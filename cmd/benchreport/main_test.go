@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	if code := run([]string{"-id", "T7"}, &b); code != 0 {
+		t.Fatalf("run = %d\n%s", code, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "[T7] REPRODUCED") {
+		t.Errorf("T7 not reproduced:\n%s", out)
+	}
+	if !strings.Contains(out, "1/1 experiments reproduced") {
+		t.Errorf("summary wrong:\n%s", out)
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	var b strings.Builder
+	if code := run([]string{"-id", "ZZ"}, &b); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+}
+
+func TestCheckModeOnFastSubset(t *testing.T) {
+	// P2 is quick and must reproduce; -check keeps exit 0.
+	var b strings.Builder
+	if code := run([]string{"-id", "P2", "-check"}, &b); code != 0 {
+		t.Fatalf("run = %d\n%s", code, b.String())
+	}
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExample3Session(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-example3"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"The extended key is verified.",
+		"matching table",
+		"integrated table",
+		"Anjuman", "It'sGreek", "TwinCities", "VillageWok", "null",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnsoundKeySession(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-example3", "-extkey", "name"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(b.String(), "unsound matching result") {
+		t.Errorf("missing unsound warning:\n%s", b.String())
+	}
+}
+
+func TestCSVAndRuleFileFlow(t *testing.T) {
+	dir := t.TempDir()
+	rPath := filepath.Join(dir, "r.csv")
+	sPath := filepath.Join(dir, "s.csv")
+	rulePath := filepath.Join(dir, "rules.txt")
+	writeFile(t, rPath, "*name,*cuisine,street\nTwinCities,Indian,Univ.Ave.\n")
+	writeFile(t, sPath, "*name,*speciality,city\nTwinCities,Mughalai,St. Paul\n")
+	writeFile(t, rulePath, "# Example 2\nspeciality=Mughalai -> cuisine=Indian\n")
+
+	var b strings.Builder
+	err := run([]string{
+		"-r", rPath, "-s", sPath, "-ilfds", rulePath,
+		"-map", "name=name:name",
+		"-map", "cuisine=cuisine:",
+		"-map", "speciality=:speciality",
+		"-extkey", "name,cuisine",
+		"-print", "matchtable",
+	}, &b)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "The extended key is verified.") {
+		t.Errorf("not verified:\n%s", out)
+	}
+	if !strings.Contains(out, "Mughalai") {
+		t.Errorf("match missing:\n%s", out)
+	}
+	// Only the matching table was requested.
+	if strings.Contains(out, "integrated table") {
+		t.Errorf("unexpected integrated table:\n%s", out)
+	}
+}
+
+func TestFixpointFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-example3", "-fixpoint"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(b.String(), "The extended key is verified.") {
+		t.Errorf("fixpoint run failed:\n%s", b.String())
+	}
+}
+
+func TestAnalyzeMode(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-example3", "-analyze",
+		"-explain", "name=It'sGreek & street=FrontAve. -> speciality=Gyros"}, &b)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"ILFDs (8):",
+		"derivable attributes: county cuisine speciality",
+		"minimal cover (8 rules):",
+		"4 ILFD table(s)",
+		"IM(speciality;cuisine)",
+		"goal:",
+		"1. apply",
+		"2. apply",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeUnprovableGoal(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-example3", "-analyze", "-explain", "cuisine=Greek -> speciality=Gyros"}, &b)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(b.String(), "does NOT follow") {
+		t.Errorf("unprovable goal not reported:\n%s", b.String())
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	var b strings.Builder
+	// No ILFDs at all.
+	dir := t.TempDir()
+	writeFile(t, dir+"/r.csv", "*a\nx\n")
+	writeFile(t, dir+"/s.csv", "*a\nx\n")
+	if err := run([]string{"-r", dir + "/r.csv", "-s", dir + "/s.csv", "-analyze"}, &b); err == nil {
+		t.Error("analyze without ILFDs accepted")
+	}
+	// Bad explain goal.
+	if err := run([]string{"-example3", "-analyze", "-explain", "garbage"}, &b); err == nil {
+		t.Error("bad goal accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing files", nil, "need -r and -s"},
+		{"missing key", []string{"-r", "x", "-s", "y"}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var b strings.Builder
+			err := run(c.args, &b)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded", c.args)
+			}
+			if c.want != "" && !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %v, want contains %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseMap(t *testing.T) {
+	am, err := parseMap("cuisine=cuisine:")
+	if err != nil || am.Name != "cuisine" || am.R != "cuisine" || am.S != "" {
+		t.Errorf("parseMap = %+v, %v", am, err)
+	}
+	am, err = parseMap("speciality=:s_spec")
+	if err != nil || am.R != "" || am.S != "s_spec" {
+		t.Errorf("parseMap = %+v, %v", am, err)
+	}
+	if _, err := parseMap("noequals"); err == nil {
+		t.Error("bad map accepted")
+	}
+	if _, err := parseMap("a=nocolon"); err == nil {
+		t.Error("missing colon accepted")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

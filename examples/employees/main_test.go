@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmployees(t *testing.T) {
+	var b strings.Builder
+	if err := demo(&b); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"WRONGLY matched",
+		"extended key + ILFDs",
+		"sound:",
+		"j.smith",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

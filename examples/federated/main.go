@@ -1,0 +1,87 @@
+// Federated: monotonic knowledge acquisition in a federated database
+// (§3.3). In virtual integration the component databases stay live and
+// the DBA supplies semantic knowledge incrementally; the identification
+// process must be monotonic — once a pair is declared matching or
+// non-matching it stays that way, and only the undetermined region
+// shrinks.
+//
+// This example replays the paper's Example 3 as a timeline: each "week"
+// the DBA learns one more ILFD, and the three-valued partition moves
+// monotonically toward completeness. At the end, a knowledgeable user
+// asserts one extra pair by hand (the §2.2 user-specified escape hatch
+// the technique remains compatible with).
+//
+// Run with: go run ./examples/federated
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"entityid"
+	"entityid/internal/paperdata"
+)
+
+func main() {
+	if err := demo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func newSystem(k int) *entityid.System {
+	sys := entityid.New()
+	sys.SetRelations(paperdata.Table5R(), paperdata.Table5S())
+	sys.MapAttr("name", "name", "name")
+	sys.MapAttr("cuisine", "cuisine", "")
+	sys.MapAttr("speciality", "", "speciality")
+	sys.MapAttr("street", "street", "")
+	sys.MapAttr("county", "", "county")
+	sys.SetExtendedKey("name", "cuisine", "speciality")
+	for _, f := range paperdata.Example3ILFDs()[:k] {
+		sys.AddILFD(f)
+	}
+	return sys
+}
+
+func demo(w io.Writer) error {
+	all := paperdata.Example3ILFDs()
+	fmt.Fprintln(w, "week  new knowledge                                        partition")
+	var lastM, lastU int
+	for k := 0; k <= len(all); k++ {
+		res, err := newSystem(k).Identify()
+		if err != nil {
+			return err
+		}
+		part := res.Partition()
+		what := "(none yet)"
+		if k > 0 {
+			what = all[k-1].String()
+		}
+		fmt.Fprintf(w, "%4d  %-50s  %v\n", k, what, part)
+		if k > 0 && (part.Matching < lastM || part.Undetermined > lastU) {
+			return fmt.Errorf("monotonicity violated at week %d", k)
+		}
+		lastM, lastU = part.Matching, part.Undetermined
+	}
+	fmt.Fprintln(w)
+
+	// Week 9: a user who knows VillageWok and the Sichuan TwinCities are
+	// unrelated cannot add negative knowledge faster than ILFDs — but a
+	// user who knows two residual rows ARE the same entity can assert
+	// the pair directly.
+	sys := newSystem(len(all))
+	sys.AssertMatch(
+		[]entityid.Value{entityid.String("VillageWok"), entityid.String("Chinese")},
+		[]entityid.Value{entityid.String("TwinCities"), entityid.String("Sichuan")},
+	)
+	res, err := sys.Identify()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "after user assertion: %d matched pairs, integrated table has %d rows\n",
+		len(res.MatchingPairs()), res.IntegratedTable().Len())
+	fmt.Fprintln(w, "every earlier verdict survived — the process is monotonic.")
+	return nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFederated(t *testing.T) {
+	var b strings.Builder
+	if err := demo(&b); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"week", "matching=3", "after user assertion: 4 matched pairs",
+		"monotonic",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstart(t *testing.T) {
+	var b strings.Builder
+	if err := demo(&b); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"verified", "matching table", "integrated table",
+		"TwinCities", "Hunan", "Anjuman", "Mughalai", "It'sGreek", "Gyros",
+		"matching=3",
+		"value conflicts during merge: 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

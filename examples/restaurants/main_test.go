@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRestaurants(t *testing.T) {
+	var b strings.Builder
+	if err := demo(&b); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Example 1", "unsound", "uniqueness violation",
+		"Example 2", "Mughalai", "not-matching",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

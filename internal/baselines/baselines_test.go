@@ -1,0 +1,393 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"entityid/internal/ilfd"
+	"entityid/internal/match"
+	"entityid/internal/paperdata"
+	"entityid/internal/relation"
+	"entityid/internal/schema"
+	"entityid/internal/value"
+)
+
+func s(v string) value.Value { return value.String(v) }
+
+// TestKeyEquivalenceInapplicableExample1 reproduces the paper's core
+// argument against approach 1: Table 1's R and S share no candidate
+// key, so key equivalence refuses to run.
+func TestKeyEquivalenceInapplicableExample1(t *testing.T) {
+	r, sRel := paperdata.Table1R(), paperdata.Table1S()
+	m := KeyEquivalence{Key: []AttrPair{{R: "name", S: "name"}}}
+	_, err := m.Match(r, sRel)
+	if err == nil || !strings.Contains(err.Error(), "inapplicable") {
+		t.Fatalf("Match = %v, want inapplicable error", err)
+	}
+}
+
+// TestKeyEquivalenceAmbiguityExample1 forces the common-attribute match
+// the paper warns about: with AllowNonKey, matching Table 1 on name
+// works until the paper's VillageWok/Penn.Ave. insertion makes one S
+// tuple match two R tuples.
+func TestKeyEquivalenceAmbiguityExample1(t *testing.T) {
+	r, sRel := paperdata.Table1R(), paperdata.Table1S()
+	m := KeyEquivalence{Key: []AttrPair{{R: "name", S: "name"}}, AllowNonKey: true}
+	mt, err := m.Match(r, sRel)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if mt.Len() != 2 { // VillageWok and OldCountry share names
+		t.Fatalf("pairs = %d, want 2", mt.Len())
+	}
+	// The paper's insertion.
+	if err := r.Insert(relation.Tuple{s("VillageWok"), s("Penn.Ave."), s("Chinese")}); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	mt, err = m.Match(r, sRel)
+	if err != nil {
+		t.Fatalf("Match after insert: %v", err)
+	}
+	perS := map[int]int{}
+	for _, p := range mt.Pairs {
+		perS[p.SIndex]++
+	}
+	if perS[0] != 2 {
+		t.Errorf("S tuple 0 matched %d times, want the ambiguous 2", perS[0])
+	}
+}
+
+func TestKeyEquivalenceHappyPath(t *testing.T) {
+	// Figure 2 relations share candidate key (name).
+	r, sRel := paperdata.Figure2R(), paperdata.Figure2S()
+	m := KeyEquivalence{Key: []AttrPair{{R: "name", S: "name"}}}
+	mt, err := m.Match(r, sRel)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if mt.Len() != 1 {
+		t.Errorf("pairs = %d", mt.Len())
+	}
+	if m.Name() != "key-equivalence" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestKeyEquivalenceValidation(t *testing.T) {
+	r, sRel := paperdata.Figure2R(), paperdata.Figure2S()
+	if _, err := (KeyEquivalence{}).Match(r, sRel); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := (KeyEquivalence{Key: []AttrPair{{R: "zzz", S: "name"}}}).Match(r, sRel); err == nil {
+		t.Error("unknown R attribute accepted")
+	}
+	if _, err := (KeyEquivalence{Key: []AttrPair{{R: "name", S: "zzz"}}}).Match(r, sRel); err == nil {
+		t.Error("unknown S attribute accepted")
+	}
+}
+
+func TestUserSpecified(t *testing.T) {
+	r, sRel := paperdata.Table1R(), paperdata.Table1S()
+	m := UserSpecified{Mapping: [][]value.Value{
+		// R key (name, street) then S key (name, city).
+		{s("VillageWok"), s("Wash.Ave."), s("VillageWok"), s("Mpls")},
+		{s("OldCountry"), s("Co.B2 Rd."), s("OldCountry"), s("Roseville")},
+	}}
+	mt, err := m.Match(r, sRel)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if mt.Len() != 2 {
+		t.Errorf("pairs = %d, want 2", mt.Len())
+	}
+	if !mt.Contains(0, 0) || !mt.Contains(2, 1) {
+		t.Errorf("pairs = %v", mt.Pairs)
+	}
+	if m.Name() != "user-specified" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestUserSpecifiedErrors(t *testing.T) {
+	r, sRel := paperdata.Table1R(), paperdata.Table1S()
+	cases := []struct {
+		name    string
+		mapping [][]value.Value
+		want    string
+	}{
+		{"wrong arity", [][]value.Value{{s("a")}}, "want 2+2"},
+		{"stale R", [][]value.Value{{s("Nope"), s("X"), s("VillageWok"), s("Mpls")}}, "no R tuple"},
+		{"stale S", [][]value.Value{{s("VillageWok"), s("Wash.Ave."), s("Nope"), s("X")}}, "no S tuple"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := UserSpecified{Mapping: c.mapping}.Match(r, sRel)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %v, want contains %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSubfields(t *testing.T) {
+	got := Subfields(s("Village Wok. Lake-Street"))
+	want := []string{"village", "wok", "lake", "street"}
+	if len(got) != len(want) {
+		t.Fatalf("Subfields = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Subfields = %v, want %v", got, want)
+		}
+	}
+	if Subfields(value.Null) != nil {
+		t.Error("NULL has subfields")
+	}
+}
+
+func TestProbabilisticKey(t *testing.T) {
+	rSch := schema.MustNew("R", []schema.Attribute{{Name: "name", Kind: value.KindString}}, []string{"name"})
+	sSch := schema.MustNew("S", []schema.Attribute{{Name: "name", Kind: value.KindString}}, []string{"name"})
+	r := relation.New(rSch)
+	r.MustInsert(s("village wok minneapolis"))
+	r.MustInsert(s("old country buffet"))
+	sRel := relation.New(sSch)
+	sRel.MustInsert(s("village wok mpls"))       // 2/3 subfields match
+	sRel.MustInsert(s("totally different name")) // no match
+
+	m := ProbabilisticKey{Key: []AttrPair{{R: "name", S: "name"}}, Threshold: 0.6}
+	mt, err := m.Match(r, sRel)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if mt.Len() != 1 || !mt.Contains(0, 0) {
+		t.Errorf("pairs = %v, want [(0,0)]", mt.Pairs)
+	}
+	// Raising the threshold kills the partial match.
+	m.Threshold = 0.9
+	mt, err = m.Match(r, sRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Len() != 0 {
+		t.Errorf("pairs = %v at threshold 0.9", mt.Pairs)
+	}
+	if m.Name() != "probabilistic-key" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if _, err := (ProbabilisticKey{Key: []AttrPair{{R: "name", S: "name"}}, Threshold: 2}).Match(r, sRel); err == nil {
+		t.Error("bad threshold accepted")
+	}
+}
+
+// TestProbabilisticKeyErroneousMatch demonstrates the paper's caveat:
+// subfield matching "may admit erroneous matching" — two different
+// restaurants sharing most name tokens get matched.
+func TestProbabilisticKeyErroneousMatch(t *testing.T) {
+	rSch := schema.MustNew("R", []schema.Attribute{{Name: "name", Kind: value.KindString}}, []string{"name"})
+	sSch := schema.MustNew("S", []schema.Attribute{{Name: "name", Kind: value.KindString}}, []string{"name"})
+	r := relation.New(rSch)
+	r.MustInsert(s("golden dragon st paul"))
+	sRel := relation.New(sSch)
+	sRel.MustInsert(s("golden dragon minneapolis")) // different entity!
+
+	m := ProbabilisticKey{Key: []AttrPair{{R: "name", S: "name"}}, Threshold: 0.5}
+	mt, err := m.Match(r, sRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Len() != 1 {
+		t.Error("expected the (unsound) probabilistic match to fire")
+	}
+}
+
+func TestProbabilisticAttr(t *testing.T) {
+	r, sRel := paperdata.Figure2R(), paperdata.Figure2S()
+	m := ProbabilisticAttr{Common: []AttrPair{
+		{R: "name", S: "name"}, {R: "cuisine", S: "cuisine"},
+	}}
+	mt, err := m.Match(r, sRel)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	// Figure 2: the comparison value is 1.0 — and the match is wrong.
+	// The baseline cannot know that; the test pins the unsound behaviour
+	// the paper uses to motivate sound techniques.
+	if mt.Len() != 1 {
+		t.Errorf("pairs = %d, want the (unsound) 1", mt.Len())
+	}
+	if m.Name() != "probabilistic-attribute" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestProbabilisticAttrThresholdAndWeights(t *testing.T) {
+	rSch := schema.MustNew("R", []schema.Attribute{
+		{Name: "name", Kind: value.KindString},
+		{Name: "city", Kind: value.KindString},
+	}, []string{"name"})
+	sSch := schema.MustNew("S", []schema.Attribute{
+		{Name: "name", Kind: value.KindString},
+		{Name: "city", Kind: value.KindString},
+	}, []string{"name"})
+	r := relation.New(rSch)
+	r.MustInsert(s("wok"), s("mpls"))
+	sRel := relation.New(sSch)
+	sRel.MustInsert(s("wok"), s("stpaul"))
+
+	common := []AttrPair{{R: "name", S: "name"}, {R: "city", S: "city"}}
+	// Unweighted, threshold 1.0: city disagrees -> no match.
+	mt, err := ProbabilisticAttr{Common: common}.Match(r, sRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Len() != 0 {
+		t.Errorf("pairs = %d at threshold 1.0", mt.Len())
+	}
+	// Threshold 0.5 admits the half-agreement.
+	mt, err = ProbabilisticAttr{Common: common, Threshold: 0.5}.Match(r, sRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Len() != 1 {
+		t.Errorf("pairs = %d at threshold 0.5", mt.Len())
+	}
+	// Heavy name weight pushes the comparison value up.
+	mt, err = ProbabilisticAttr{Common: common, Weights: []float64{9, 1}, Threshold: 0.9}.Match(r, sRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Len() != 1 {
+		t.Errorf("pairs = %d with weights", mt.Len())
+	}
+	// Weight arity check.
+	if _, err := (ProbabilisticAttr{Common: common, Weights: []float64{1}}).Match(r, sRel); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	if _, err := (ProbabilisticAttr{Common: common, Threshold: -1}).Match(r, sRel); err == nil {
+		t.Error("bad threshold accepted")
+	}
+}
+
+func TestProbabilisticAttrGreedyOneToOne(t *testing.T) {
+	rSch := schema.MustNew("R", []schema.Attribute{{Name: "name", Kind: value.KindString}, {Name: "id", Kind: value.KindInt}}, []string{"id"})
+	sSch := schema.MustNew("S", []schema.Attribute{{Name: "name", Kind: value.KindString}, {Name: "id", Kind: value.KindInt}}, []string{"id"})
+	r := relation.New(rSch)
+	r.MustInsert(s("wok"), value.Int(1))
+	r.MustInsert(s("wok"), value.Int(2))
+	sRel := relation.New(sSch)
+	sRel.MustInsert(s("wok"), value.Int(10))
+
+	mt, err := ProbabilisticAttr{Common: []AttrPair{{R: "name", S: "name"}}}.Match(r, sRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Len() != 1 {
+		t.Errorf("greedy assignment produced %d pairs, want 1", mt.Len())
+	}
+}
+
+func TestProbabilisticAttrAllNullIncomparable(t *testing.T) {
+	rSch := schema.MustNew("R", []schema.Attribute{{Name: "a", Kind: value.KindString}, {Name: "k", Kind: value.KindInt}}, []string{"k"})
+	sSch := schema.MustNew("S", []schema.Attribute{{Name: "a", Kind: value.KindString}, {Name: "k", Kind: value.KindInt}}, []string{"k"})
+	r := relation.New(rSch)
+	r.MustInsert(value.Null, value.Int(1))
+	sRel := relation.New(sSch)
+	sRel.MustInsert(value.Null, value.Int(2))
+	mt, err := ProbabilisticAttr{Common: []AttrPair{{R: "a", S: "a"}}}.Match(r, sRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Len() != 0 {
+		t.Error("incomparable pair matched")
+	}
+}
+
+func TestHeuristic(t *testing.T) {
+	// Heuristic rules in the style of Wang & Madnick: infer cuisine on
+	// the S side, then equate (name, cuisine). One rule is wrong on
+	// purpose: gyros → chinese.
+	r, sRel := paperdata.Table5R(), paperdata.Table5S()
+	h := Heuristic{
+		Rules: ilfd.Set{
+			ilfd.MustParse("speciality=Hunan -> cuisine=Chinese"),
+			ilfd.MustParse("speciality=Gyros -> cuisine=Chinese"), // wrong!
+			ilfd.MustParse("speciality=Mughalai -> cuisine=Indian"),
+		},
+		Key:     []AttrPair{{R: "name", S: "name"}, {R: "cuisine", S: "cuisine"}},
+		DeriveS: []schema.Attribute{{Name: "cuisine", Kind: value.KindString}},
+	}
+	mt, err := h.Match(r, sRel)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	// TwinCities/Hunan and Anjuman/Mughalai match correctly; It'sGreek
+	// does NOT match because the wrong rule derived chinese ≠ greek. The
+	// wrong rule silently loses a correct match — exactly the "result
+	// may not be correct" failure mode.
+	if mt.Len() != 2 {
+		t.Errorf("pairs = %d, want 2", mt.Len())
+	}
+	for _, p := range mt.Pairs {
+		if r.MustValue(p.RIndex, "name").Str() == "It'sGreek" {
+			t.Error("It'sGreek matched despite wrong heuristic rule")
+		}
+	}
+	if h.Name() != "heuristic-rules" {
+		t.Errorf("Name = %q", h.Name())
+	}
+}
+
+func TestHeuristicUnsoundMatch(t *testing.T) {
+	// A wrong heuristic rule can also create a spurious match: derive
+	// cuisine=Chinese for Gyros and ALSO flip It'sGreek's R cuisine by
+	// matching name only through the derived key. Build a scenario where
+	// the wrong rule makes two different entities agree.
+	rSch := schema.MustNew("R", []schema.Attribute{
+		{Name: "name", Kind: value.KindString},
+		{Name: "cuisine", Kind: value.KindString},
+	}, []string{"name", "cuisine"})
+	r := relation.New(rSch)
+	r.MustInsert(s("corner"), s("chinese")) // entity A
+	sSch := schema.MustNew("S", []schema.Attribute{
+		{Name: "name", Kind: value.KindString},
+		{Name: "speciality", Kind: value.KindString},
+	}, []string{"name", "speciality"})
+	sRel := relation.New(sSch)
+	sRel.MustInsert(s("corner"), s("gyros")) // entity B (greek place)
+
+	h := Heuristic{
+		Rules:   ilfd.Set{ilfd.MustParse("speciality=gyros -> cuisine=chinese")}, // wrong
+		Key:     []AttrPair{{R: "name", S: "name"}, {R: "cuisine", S: "cuisine"}},
+		DeriveS: []schema.Attribute{{Name: "cuisine", Kind: value.KindString}},
+	}
+	mt, err := h.Match(r, sRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Len() != 1 {
+		t.Errorf("pairs = %d; the wrong rule should produce the unsound match", mt.Len())
+	}
+}
+
+func TestHeuristicValidation(t *testing.T) {
+	r, sRel := paperdata.Table5R(), paperdata.Table5S()
+	h := Heuristic{Key: []AttrPair{{R: "name", S: "bogus"}}}
+	if _, err := h.Match(r, sRel); err == nil {
+		t.Error("unknown key attribute accepted")
+	}
+}
+
+// TestBaselinesAreMatchers pins the interface.
+func TestBaselinesAreMatchers(t *testing.T) {
+	for _, m := range []Matcher{
+		KeyEquivalence{}, UserSpecified{}, ProbabilisticKey{},
+		ProbabilisticAttr{}, Heuristic{},
+	} {
+		if m.Name() == "" {
+			t.Errorf("%T has empty name", m)
+		}
+	}
+}
+
+var _ = match.Pair{} // keep the import for doc references

@@ -1,0 +1,225 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"entityid/internal/ilfd"
+	"entityid/internal/match"
+	"entityid/internal/metrics"
+	"entityid/internal/relation"
+	"entityid/internal/schema"
+	"entityid/internal/value"
+)
+
+// EmployeeConfig parameterises the employee-domain generator, the
+// paper's §4 motivating scenario at scale: an HR database keyed
+// (name, office) and a sales-performance database keyed
+// (name, territory), with territory→office knowledge as ILFDs.
+type EmployeeConfig struct {
+	// Employees is the universe size.
+	Employees int
+	// OverlapFrac is the fraction present in both databases.
+	OverlapFrac float64
+	// DuplicateNameRate is the fraction of employees sharing a name
+	// with a colleague (the J. Smith problem).
+	DuplicateNameRate float64
+	// KnowledgeFrac is the fraction of territories whose office mapping
+	// the DBA knows (ILFD coverage).
+	KnowledgeFrac float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Validate checks ranges.
+func (c EmployeeConfig) Validate() error {
+	if c.Employees <= 0 {
+		return fmt.Errorf("datagen: Employees = %d, want > 0", c.Employees)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"OverlapFrac", c.OverlapFrac},
+		{"DuplicateNameRate", c.DuplicateNameRate},
+		{"KnowledgeFrac", c.KnowledgeFrac},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("datagen: %s = %g, want [0,1]", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// Employee is one ground-truth person.
+type Employee struct {
+	ID        int
+	Name      string
+	Office    string
+	Territory string
+	QuotaMet  bool
+	InHR      bool
+	InSales   bool
+}
+
+// EmployeeWorkload is a generated HR-vs-sales matching problem.
+type EmployeeWorkload struct {
+	// HR(name, office, title), key (name, office).
+	// Sales(name, territory, quota_met), key (name, territory).
+	HR, Sales *relation.Relation
+	Employees []Employee
+	Truth     metrics.TruthSet
+	// ILFDs: territory=X → office=Y for the known fraction.
+	ILFDs  ilfd.Set
+	Attrs  []match.AttrMap
+	ExtKey []string
+}
+
+var firstNames = []string{"j", "m", "a", "k", "r", "s", "t", "d"}
+var lastNames = []string{
+	"smith", "jones", "chen", "olson", "larson", "nguyen", "johnson",
+	"peterson", "schmidt", "garcia",
+}
+var offices = []string{
+	"minneapolis", "st.paul", "edina", "bloomington", "roseville",
+	"plymouth", "eagan", "burnsville", "woodbury", "maplegrove",
+	"stillwater", "hopkins",
+}
+var titles = []string{"account-exec", "senior-exec", "manager", "director"}
+
+// GenerateEmployees builds an employee workload. Each office owns a
+// disjoint set of territories (territory functionally determines
+// office, the knowledge the ILFDs encode), and duplicate-named
+// employees always sit in different offices — so {name, office} is a
+// key of the integrated world and sound matching is possible exactly
+// where territory knowledge exists.
+func GenerateEmployees(cfg EmployeeConfig) (*EmployeeWorkload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	emps := make([]Employee, cfg.Employees)
+	usedNameOffice := map[string]bool{}
+	usedNameTerr := map[string]bool{}
+	territoryOf := map[string]string{} // territory -> office (functional)
+	terrSeq := 0
+	for i := range emps {
+		e := Employee{ID: i, QuotaMet: rng.Float64() < 0.8}
+		if i > 0 && rng.Float64() < cfg.DuplicateNameRate {
+			e.Name = emps[i-1].Name
+		} else {
+			e.Name = fmt.Sprintf("%s.%s%d", firstNames[rng.Intn(len(firstNames))],
+				lastNames[rng.Intn(len(lastNames))], i/7)
+		}
+		e.Office = offices[rng.Intn(len(offices))]
+		for usedNameOffice[e.Name+"\x1f"+e.Office] {
+			e.Office = fmt.Sprintf("%s-%d", offices[rng.Intn(len(offices))], rng.Intn(100))
+		}
+		usedNameOffice[e.Name+"\x1f"+e.Office] = true
+		// A fresh territory per employee, owned by their office: keeps
+		// territory→office functional and (name, territory) unique.
+		e.Territory = fmt.Sprintf("terr-%d", terrSeq)
+		terrSeq++
+		territoryOf[e.Territory] = e.Office
+		usedNameTerr[e.Name+"\x1f"+e.Territory] = true
+
+		switch f := rng.Float64(); {
+		case f < cfg.OverlapFrac:
+			e.InHR, e.InSales = true, true
+		case f < cfg.OverlapFrac+(1-cfg.OverlapFrac)/2:
+			e.InHR = true
+		default:
+			e.InSales = true
+		}
+		emps[i] = e
+	}
+
+	hrSchema := schema.MustNew("HR",
+		[]schema.Attribute{
+			{Name: "name", Kind: value.KindString},
+			{Name: "office", Kind: value.KindString},
+			{Name: "title", Kind: value.KindString},
+		},
+		[]string{"name", "office"},
+	)
+	salesSchema := schema.MustNew("Sales",
+		[]schema.Attribute{
+			{Name: "name", Kind: value.KindString},
+			{Name: "territory", Kind: value.KindString},
+			{Name: "quota_met", Kind: value.KindBool},
+		},
+		[]string{"name", "territory"},
+	)
+	w := &EmployeeWorkload{
+		HR:        relation.New(hrSchema),
+		Sales:     relation.New(salesSchema),
+		Employees: emps,
+		Truth:     metrics.TruthSet{},
+		Attrs: []match.AttrMap{
+			{Name: "name", R: "name", S: "name"},
+			{Name: "office", R: "office", S: ""},
+			{Name: "territory", R: "", S: "territory"},
+		},
+		ExtKey: []string{"name", "office"},
+	}
+	hrIdx := map[int]int{}
+	salesIdx := map[int]int{}
+	for _, e := range emps {
+		if e.InHR {
+			if err := w.HR.Insert(relation.Tuple{
+				value.String(e.Name), value.String(e.Office),
+				value.String(titles[rng.Intn(len(titles))]),
+			}); err != nil {
+				return nil, fmt.Errorf("datagen: HR insert: %w", err)
+			}
+			hrIdx[e.ID] = w.HR.Len() - 1
+		}
+		if e.InSales {
+			if err := w.Sales.Insert(relation.Tuple{
+				value.String(e.Name), value.String(e.Territory),
+				value.Bool(e.QuotaMet),
+			}); err != nil {
+				return nil, fmt.Errorf("datagen: Sales insert: %w", err)
+			}
+			salesIdx[e.ID] = w.Sales.Len() - 1
+		}
+		if e.InHR && e.InSales {
+			w.Truth[[2]int{hrIdx[e.ID], salesIdx[e.ID]}] = true
+		}
+	}
+	// Knowledge: territory→office for a known fraction of territories
+	// that actually appear in Sales.
+	for _, e := range emps {
+		if !e.InSales {
+			continue
+		}
+		if rng.Float64() < cfg.KnowledgeFrac {
+			w.ILFDs = append(w.ILFDs, ilfd.MustNew(
+				ilfd.Conditions{ilfd.C("territory", e.Territory)},
+				ilfd.Conditions{ilfd.C("office", territoryOf[e.Territory])},
+			))
+		}
+	}
+	return w, nil
+}
+
+// MustGenerateEmployees panics on error.
+func MustGenerateEmployees(cfg EmployeeConfig) *EmployeeWorkload {
+	w, err := GenerateEmployees(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// MatchConfig assembles the match.Config for this workload.
+func (w *EmployeeWorkload) MatchConfig() match.Config {
+	return match.Config{
+		R:      w.HR,
+		S:      w.Sales,
+		Attrs:  w.Attrs,
+		ExtKey: w.ExtKey,
+		ILFDs:  w.ILFDs,
+	}
+}

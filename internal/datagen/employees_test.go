@@ -1,0 +1,117 @@
+package datagen
+
+import (
+	"testing"
+
+	"entityid/internal/match"
+	"entityid/internal/metrics"
+)
+
+func TestEmployeeValidate(t *testing.T) {
+	bad := []EmployeeConfig{
+		{Employees: 0},
+		{Employees: 10, OverlapFrac: -1},
+		{Employees: 10, DuplicateNameRate: 2},
+		{Employees: 10, KnowledgeFrac: 1.1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", cfg)
+		}
+	}
+}
+
+func TestEmployeeDeterministic(t *testing.T) {
+	cfg := EmployeeConfig{Employees: 150, OverlapFrac: 0.5, DuplicateNameRate: 0.2, KnowledgeFrac: 0.6, Seed: 9}
+	a := MustGenerateEmployees(cfg)
+	b := MustGenerateEmployees(cfg)
+	if !a.HR.Equal(b.HR) || !a.Sales.Equal(b.Sales) {
+		t.Error("same seed, different relations")
+	}
+}
+
+func TestEmployeeShape(t *testing.T) {
+	w := MustGenerateEmployees(EmployeeConfig{
+		Employees: 400, OverlapFrac: 0.6, DuplicateNameRate: 0.25, KnowledgeFrac: 0.5, Seed: 21,
+	})
+	if !w.HR.Schema().IsKey([]string{"name", "office"}) {
+		t.Error("HR key wrong")
+	}
+	if !w.Sales.Schema().IsKey([]string{"name", "territory"}) {
+		t.Error("Sales key wrong")
+	}
+	// Duplicate names exist.
+	names := map[string]int{}
+	for _, e := range w.Employees {
+		names[e.Name]++
+	}
+	dups := 0
+	for _, n := range names {
+		if n > 1 {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Error("no duplicate names at rate 0.25")
+	}
+	// (name, office) is a key of the universe.
+	seen := map[string]bool{}
+	for _, e := range w.Employees {
+		k := e.Name + "|" + e.Office
+		if seen[k] {
+			t.Fatalf("universe key collision: %s", k)
+		}
+		seen[k] = true
+	}
+	// Truth pairs reference the right entities.
+	for p := range w.Truth {
+		hrName := w.HR.MustValue(p[0], "name")
+		salesName := w.Sales.MustValue(p[1], "name")
+		if hrName.Str() != salesName.Str() {
+			t.Fatalf("truth pair %v names differ", p)
+		}
+	}
+}
+
+// TestEmployeeEndToEnd runs the paper's technique on the employee
+// domain: precision must be 1 (nobody is wrongly fired), recall equals
+// the knowledge fraction's reach.
+func TestEmployeeEndToEnd(t *testing.T) {
+	w := MustGenerateEmployees(EmployeeConfig{
+		Employees: 500, OverlapFrac: 0.5, DuplicateNameRate: 0.3, KnowledgeFrac: 0.7, Seed: 33,
+	})
+	res, err := match.Build(w.MatchConfig())
+	if err != nil {
+		t.Fatalf("match.Build: %v", err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	sc := metrics.Evaluate(res.MT, w.Truth)
+	if !sc.Sound() {
+		t.Errorf("unsound employee matching: %s", sc)
+	}
+	if sc.TruePos == 0 {
+		t.Error("no matches at 0.7 knowledge")
+	}
+	if sc.Recall() > 0.95 {
+		t.Errorf("recall %g suspiciously above knowledge fraction", sc.Recall())
+	}
+}
+
+func TestEmployeeFullKnowledge(t *testing.T) {
+	w := MustGenerateEmployees(EmployeeConfig{
+		Employees: 200, OverlapFrac: 0.5, DuplicateNameRate: 0.2, KnowledgeFrac: 1, Seed: 44,
+	})
+	res, err := match.Build(w.MatchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	sc := metrics.Evaluate(res.MT, w.Truth)
+	if sc.Recall() != 1 || !sc.Sound() {
+		t.Errorf("full knowledge: %s", sc)
+	}
+}

@@ -1,0 +1,435 @@
+// Package derive applies ILFDs to relations to fill in missing
+// extended-key attribute values, the R → R′ extension step of §4.2.
+//
+// Two modes reproduce the two derivation disciplines discussed in the
+// paper:
+//
+//   - FirstMatch mirrors the Prolog prototype (§6.1): ILFDs are tried in
+//     order and a cut prevents later rules from firing for an attribute
+//     once one has succeeded. Rule order is significant; conflicting
+//     ILFDs are silently resolved in favour of the earliest.
+//
+//   - Fixpoint is order-insensitive: all applicable ILFDs fire
+//     repeatedly until no new values are derivable, and two ILFDs
+//     deriving different values for the same attribute of the same tuple
+//     is reported as a conflict instead of masked.
+//
+// Both modes chain: a derived value can satisfy another ILFD's
+// antecedent (the paper's I9 = I7 ∘ I8 example: street → county and
+// name ∧ county → speciality compose to derive speciality from name and
+// street). Attributes that no ILFD derives default to NULL, matching the
+// prototype's "assert NULL after all ILFDs fail" idiom (§6.2).
+package derive
+
+import (
+	"fmt"
+	"sort"
+
+	"entityid/internal/ilfd"
+	"entityid/internal/ra"
+	"entityid/internal/relation"
+	"entityid/internal/schema"
+	"entityid/internal/value"
+)
+
+// Mode selects the derivation discipline.
+type Mode int
+
+// The derivation modes.
+const (
+	// FirstMatch applies ILFDs in order with cut semantics (the Prolog
+	// prototype's behaviour).
+	FirstMatch Mode = iota
+	// Fixpoint applies all ILFDs to a fixpoint and reports conflicts.
+	Fixpoint
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case FirstMatch:
+		return "first-match"
+	case Fixpoint:
+		return "fixpoint"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Conflict records two ILFDs deriving different values for the same
+// attribute of the same tuple (Fixpoint mode only).
+type Conflict struct {
+	TupleIndex int
+	Attr       string
+	Old, New   value.Value
+}
+
+// Error satisfies the error interface.
+func (c Conflict) Error() string {
+	return fmt.Sprintf("derive: conflict on tuple %d attribute %q: %s vs %s",
+		c.TupleIndex, c.Attr, c.Old, c.New)
+}
+
+// Options configures Extend.
+type Options struct {
+	// Mode selects cut vs fixpoint semantics. The zero value is
+	// FirstMatch, the prototype's behaviour.
+	Mode Mode
+	// MaxRounds bounds chaining depth (0 means len(ILFDs)+1 rounds, which
+	// suffices for any terminating chain).
+	MaxRounds int
+}
+
+// Extend returns a copy of rel extended with the `extra` attributes
+// (NULL-initialised) and with every attribute of the *extended* schema
+// that the ILFDs can derive filled in. Existing non-NULL values are
+// never overwritten: source data takes precedence over derived data, and
+// in Fixpoint mode an ILFD contradicting an existing non-NULL value is a
+// conflict.
+//
+// The relation's candidate keys are preserved; the extended relation is
+// named name. For repeated extensions with the same ILFD set (e.g.
+// per-insert incremental identification), build an Extender once.
+func Extend(rel *relation.Relation, name string, extra []schema.Attribute, fs ilfd.Set, opts Options) (*relation.Relation, []Conflict, error) {
+	return NewExtender(fs, opts).Extend(rel, name, extra)
+}
+
+// Extender applies a fixed ILFD set under fixed options, amortising the
+// discrimination-index construction across calls.
+type Extender struct {
+	fs   ilfd.Set
+	ix   *ilfdIndex
+	opts Options
+}
+
+// NewExtender prepares an extender for the ILFD set.
+func NewExtender(fs ilfd.Set, opts Options) *Extender {
+	return &Extender{fs: fs, ix: indexILFDs(fs), opts: opts}
+}
+
+// Extend is Extend with the extender's cached index.
+func (e *Extender) Extend(rel *relation.Relation, name string, extra []schema.Attribute) (*relation.Relation, []Conflict, error) {
+	sch := rel.Schema()
+	for _, a := range extra {
+		if sch.Has(a.Name) {
+			return nil, nil, fmt.Errorf("derive: relation %s already has attribute %q", sch.Name(), a.Name)
+		}
+	}
+	extSch, err := sch.Extend(name, extra)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := relation.New(extSch)
+	var conflicts []Conflict
+	for idx, t := range rel.Tuples() {
+		ext := make(relation.Tuple, extSch.Arity())
+		copy(ext, t)
+		for i := sch.Arity(); i < extSch.Arity(); i++ {
+			ext[i] = value.Null
+		}
+		rowConflicts, err := deriveTuple(out, ext, idx, e.fs, e.ix, e.opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		conflicts = append(conflicts, rowConflicts...)
+		if err := out.Insert(ext); err != nil {
+			return nil, nil, fmt.Errorf("derive: %w", err)
+		}
+	}
+	return out, conflicts, nil
+}
+
+// ExtendTuple derives a single pre-padded tuple in place against the
+// extended schema extSch (the tuple must already have extSch's arity,
+// with NULLs in underived positions). It returns the conflicts found
+// (Fixpoint mode). This is the per-insert path of incremental
+// identification.
+func (e *Extender) ExtendTuple(extSch *schema.Schema, ext relation.Tuple) ([]Conflict, error) {
+	if len(ext) != extSch.Arity() {
+		return nil, fmt.Errorf("derive: tuple arity %d, schema wants %d", len(ext), extSch.Arity())
+	}
+	scratch := relation.New(extSch)
+	return deriveTuple(scratch, ext, 0, e.fs, e.ix, e.opts)
+}
+
+// ilfdIndex is a discrimination index over an ILFD set: rules grouped
+// by their first (canonically smallest) antecedent condition, so a
+// tuple only examines rules whose leading condition its current values
+// could satisfy. Rules with empty antecedents are always candidates.
+type ilfdIndex struct {
+	byCond map[string][]int
+	always []int
+}
+
+func indexILFDs(fs ilfd.Set) *ilfdIndex {
+	ix := &ilfdIndex{byCond: make(map[string][]int, len(fs))}
+	for i, f := range fs {
+		if len(f.Antecedent) == 0 {
+			ix.always = append(ix.always, i)
+			continue
+		}
+		k := f.Antecedent[0].Key()
+		ix.byCond[k] = append(ix.byCond[k], i)
+	}
+	return ix
+}
+
+// candidates returns, in ascending rule order, the indexes of rules
+// whose leading antecedent condition holds in ext (plus the
+// empty-antecedent rules). scratch is reused across calls.
+func (ix *ilfdIndex) candidates(rel *relation.Relation, ext relation.Tuple, scratch []int) []int {
+	out := scratch[:0]
+	out = append(out, ix.always...)
+	sch := rel.Schema()
+	for i, v := range ext {
+		if v.IsNull() {
+			continue
+		}
+		k := ilfd.Condition{Attr: sch.Attr(i).Name, Val: v}.Key()
+		out = append(out, ix.byCond[k]...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// deriveTuple fills derivable NULL attributes of ext in place. Only
+// rules surfaced by the discrimination index are examined each round;
+// the index preserves rule order, so cut semantics are unchanged.
+func deriveTuple(rel *relation.Relation, ext relation.Tuple, idx int, fs ilfd.Set, ix *ilfdIndex, opts Options) ([]Conflict, error) {
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = len(fs) + 1
+	}
+	var conflicts []Conflict
+	var scratch []int
+	switch opts.Mode {
+	case FirstMatch:
+		// A cut per (attribute): once a rule has set an attribute, later
+		// rules never touch it. Chaining still happens across rounds
+		// because newly set attributes can satisfy other antecedents.
+		cut := map[string]bool{}
+		for round := 0; round < maxRounds; round++ {
+			changed := false
+			scratch = ix.candidates(rel, ext, scratch)
+			for _, fi := range scratch {
+				f := fs[fi]
+				if !f.Antecedent.HoldIn(rel, ext) {
+					continue
+				}
+				for _, c := range f.Consequent {
+					i := rel.Schema().Index(c.Attr)
+					if i < 0 || cut[c.Attr] {
+						continue
+					}
+					if !ext[i].IsNull() {
+						// Source value present: the prototype's rule order
+						// places facts before ILFDs, so facts win; cut the
+						// attribute so no ILFD overrides it.
+						cut[c.Attr] = true
+						continue
+					}
+					ext[i] = c.Val
+					cut[c.Attr] = true
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	case Fixpoint:
+		seen := map[string]bool{}
+		for round := 0; round < maxRounds; round++ {
+			changed := false
+			scratch = ix.candidates(rel, ext, scratch)
+			for _, fi := range scratch {
+				f := fs[fi]
+				if !f.Antecedent.HoldIn(rel, ext) {
+					continue
+				}
+				for _, c := range f.Consequent {
+					i := rel.Schema().Index(c.Attr)
+					if i < 0 {
+						continue
+					}
+					cur := ext[i]
+					if cur.IsNull() {
+						ext[i] = c.Val
+						changed = true
+						continue
+					}
+					if !value.Equal(cur, c.Val) {
+						k := c.Attr + "\x1f" + cur.Key() + "\x1f" + c.Val.Key()
+						if !seen[k] {
+							seen[k] = true
+							conflicts = append(conflicts, Conflict{
+								TupleIndex: idx, Attr: c.Attr, Old: cur, New: c.Val,
+							})
+						}
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	default:
+		return nil, fmt.Errorf("derive: unknown mode %v", opts.Mode)
+	}
+	return conflicts, nil
+}
+
+// Derivable returns, for each attribute name, whether some ILFD in fs
+// has it as a consequent — i.e. whether derivation could ever supply it.
+// Used to report which missing extended-key attributes are simply
+// unobtainable (they stay NULL for every tuple).
+func Derivable(fs ilfd.Set) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range fs {
+		for _, c := range f.Consequent {
+			out[c.Attr] = true
+		}
+	}
+	return out
+}
+
+// ExtendWithTables derives missing attributes relationally, the §4.2
+// formulation: for each ILFD table IM(x̄,y), R_y = Π_{K_R,y}(R ⋈_x̄ IM)
+// and the derived values are folded back onto R keyed by K_R (the
+// paper's series of outer joins). Chaining across tables is achieved by
+// iterating passes until a fixpoint: a county derived by one table can
+// feed a later speciality table, reproducing the I9 = I7 ∘ I8 chain.
+//
+// Semantics match Extend over the tables' expanded ILFDs: in FirstMatch
+// mode an attribute set in an earlier pass or by an earlier table is
+// never overwritten; in Fixpoint mode a disagreeing derivation is
+// reported as a Conflict. Derived-value folding is keyed on the source
+// relation's primary key, as in the paper's expressions; tuples whose
+// primary key contains NULL cannot be addressed relationally and are
+// left for rule-driven derivation.
+func ExtendWithTables(rel *relation.Relation, name string, extra []schema.Attribute, tables []*ilfd.Table, opts Options) (*relation.Relation, []Conflict, error) {
+	sch := rel.Schema()
+	for _, a := range extra {
+		if sch.Has(a.Name) {
+			return nil, nil, fmt.Errorf("derive: relation %s already has attribute %q", sch.Name(), a.Name)
+		}
+	}
+	extSch, err := sch.Extend(name, extra)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Working tuples, NULL-padded.
+	work := make([]relation.Tuple, rel.Len())
+	for i, t := range rel.Tuples() {
+		ext := make(relation.Tuple, extSch.Arity())
+		copy(ext, t)
+		for j := sch.Arity(); j < extSch.Arity(); j++ {
+			ext[j] = value.Null
+		}
+		work[i] = ext
+	}
+	// Primary-key positions for folding derived values back.
+	pk := sch.PrimaryKey()
+	pkIdx := make([]int, len(pk))
+	for i, a := range pk {
+		pkIdx[i] = extSch.Index(a)
+	}
+	keyOf := func(t relation.Tuple) (string, bool) {
+		k := ""
+		for n, i := range pkIdx {
+			if t[i].IsNull() {
+				return "", false
+			}
+			if n > 0 {
+				k += "\x1f"
+			}
+			k += t[i].Key()
+		}
+		return k, true
+	}
+	index := map[string]int{}
+	for i, t := range work {
+		if k, ok := keyOf(t); ok {
+			index[k] = i
+		}
+	}
+
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = len(tables) + 1
+	}
+	var conflicts []Conflict
+	seenConflict := map[string]bool{}
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		// Materialize the current working state for joining.
+		cur := relation.New(extSch)
+		for _, t := range work {
+			if err := cur.Insert(t.Clone()); err != nil {
+				return nil, nil, fmt.Errorf("derive: materialize: %w", err)
+			}
+		}
+		for _, tab := range tables {
+			yPos := extSch.Index(tab.To())
+			if yPos < 0 {
+				continue
+			}
+			usable := true
+			conds := make([]ra.On, 0, len(tab.From()))
+			for _, a := range tab.From() {
+				if !extSch.Has(a) {
+					usable = false
+					break
+				}
+				conds = append(conds, ra.On{Left: a, Right: a})
+			}
+			if !usable {
+				continue
+			}
+			// R ⋈_x̄ IM: joined rows carry R′'s attributes first, then the
+			// table's; the consequent column sits right after the
+			// antecedent columns.
+			j, err := ra.Join(cur, tab.Relation(), "Rj", ra.Inner, conds)
+			if err != nil {
+				return nil, nil, fmt.Errorf("derive: table join: %w", err)
+			}
+			consPos := extSch.Arity() + len(tab.From())
+			for _, jt := range j.Tuples() {
+				k, ok := keyOf(jt[:extSch.Arity()])
+				if !ok {
+					continue
+				}
+				i, found := index[k]
+				if !found {
+					continue
+				}
+				derived := jt[consPos]
+				curVal := work[i][yPos]
+				if curVal.IsNull() {
+					work[i][yPos] = derived
+					changed = true
+					continue
+				}
+				if !value.Equal(curVal, derived) && opts.Mode == Fixpoint {
+					ck := fmt.Sprintf("%d\x1f%s\x1f%s\x1f%s", i, tab.To(), curVal.Key(), derived.Key())
+					if !seenConflict[ck] {
+						seenConflict[ck] = true
+						conflicts = append(conflicts, Conflict{
+							TupleIndex: i, Attr: tab.To(), Old: curVal, New: derived,
+						})
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := relation.New(extSch)
+	for _, t := range work {
+		if err := out.Insert(t); err != nil {
+			return nil, nil, fmt.Errorf("derive: %w", err)
+		}
+	}
+	return out, conflicts, nil
+}

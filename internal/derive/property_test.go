@@ -1,0 +1,182 @@
+package derive
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"entityid/internal/ilfd"
+	"entityid/internal/relation"
+	"entityid/internal/schema"
+	"entityid/internal/value"
+)
+
+// randWorld builds a random relation and a random consistent ILFD set
+// over a small vocabulary. Consistency is guaranteed by deriving each
+// rule's consequent from a fixed functional table attr->value, so no
+// two rules ever disagree.
+func randWorld(rng *rand.Rand) (*relation.Relation, ilfd.Set, []schema.Attribute) {
+	baseAttrs := []schema.Attribute{
+		{Name: "a", Kind: value.KindString},
+		{Name: "b", Kind: value.KindString},
+		{Name: "id", Kind: value.KindInt},
+	}
+	extra := []schema.Attribute{
+		{Name: "x", Kind: value.KindString},
+		{Name: "y", Kind: value.KindString},
+	}
+	sch := schema.MustNew("T", baseAttrs, []string{"id"})
+	r := relation.New(sch)
+	vals := []string{"0", "1", "2"}
+	for i := 0; i < 3+rng.Intn(6); i++ {
+		r.MustInsert(
+			value.String(vals[rng.Intn(len(vals))]),
+			value.String(vals[rng.Intn(len(vals))]),
+			value.Int(int64(i)),
+		)
+	}
+	// Functional consequent assignment: x determined by a-value, y by
+	// x-value (to force chains).
+	var fs ilfd.Set
+	for _, v := range vals {
+		if rng.Intn(2) == 0 {
+			fs = append(fs, ilfd.MustNew(
+				ilfd.Conditions{ilfd.C("a", v)},
+				ilfd.Conditions{ilfd.C("x", "x"+v)},
+			))
+		}
+		if rng.Intn(2) == 0 {
+			fs = append(fs, ilfd.MustNew(
+				ilfd.Conditions{ilfd.C("x", "x"+v)},
+				ilfd.Conditions{ilfd.C("y", "y"+v)},
+			))
+		}
+	}
+	return r, fs, extra
+}
+
+// TestExtendIdempotent: extending an already-extended relation with an
+// empty extra set derives nothing new (the fixpoint was reached).
+func TestExtendIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		r, fs, extra := randWorld(rng)
+		for _, mode := range []Mode{FirstMatch, Fixpoint} {
+			once, conf, err := Extend(r, "T'", extra, fs, Options{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(conf) != 0 {
+				t.Fatalf("trial %d: consistent world produced conflicts: %v", trial, conf)
+			}
+			twice, conf, err := Extend(once, "T'", nil, fs, Options{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(conf) != 0 {
+				t.Fatalf("trial %d: re-extension produced conflicts: %v", trial, conf)
+			}
+			if !once.Equal(twice) {
+				t.Fatalf("trial %d (%v): extension not idempotent:\n%s\nvs\n%s",
+					trial, mode, once, twice)
+			}
+		}
+	}
+}
+
+// TestExtendModesAgreeOnConsistentKnowledge: with functionally
+// consistent ILFDs, cut and fixpoint derivation produce identical
+// extensions.
+func TestExtendModesAgreeOnConsistentKnowledge(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 100; trial++ {
+		r, fs, extra := randWorld(rng)
+		cut, _, err := Extend(r, "T'", extra, fs, Options{Mode: FirstMatch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fix, conf, err := Extend(r, "T'", extra, fs, Options{Mode: Fixpoint})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(conf) != 0 {
+			t.Fatalf("trial %d: conflicts on consistent set: %v", trial, conf)
+		}
+		if !cut.Equal(fix) {
+			t.Fatalf("trial %d: modes disagree:\n%s\nvs\n%s", trial, cut, fix)
+		}
+	}
+}
+
+// TestExtendRuleOrderIrrelevantForFixpoint: permuting the ILFD set does
+// not change the fixpoint extension.
+func TestExtendRuleOrderIrrelevantForFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		r, fs, extra := randWorld(rng)
+		if len(fs) < 2 {
+			continue
+		}
+		ref, _, err := Extend(r, "T'", extra, fs, Options{Mode: Fixpoint})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := make(ilfd.Set, len(fs))
+		copy(perm, fs)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		got, _, err := Extend(r, "T'", extra, perm, Options{Mode: Fixpoint})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ref.Equal(got) {
+			t.Fatalf("trial %d: fixpoint order-sensitive", trial)
+		}
+	}
+}
+
+// TestExtenderMatchesExtend: the cached-extender path and the one-shot
+// path produce identical results, including ExtendTuple.
+func TestExtenderMatchesExtend(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 50; trial++ {
+		r, fs, extra := randWorld(rng)
+		oneShot, _, err := Extend(r, "T'", extra, fs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext := NewExtender(fs, Options{})
+		cached, _, err := ext.Extend(r, "T'", extra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !oneShot.Equal(cached) {
+			t.Fatalf("trial %d: extender path differs", trial)
+		}
+		// Per-tuple path.
+		extSch := cached.Schema()
+		for i, base := range r.Tuples() {
+			tup := make(relation.Tuple, extSch.Arity())
+			copy(tup, base)
+			for j := len(base); j < extSch.Arity(); j++ {
+				tup[j] = value.Null
+			}
+			if _, err := ext.ExtendTuple(extSch, tup); err != nil {
+				t.Fatal(err)
+			}
+			if !tup.Identical(cached.Tuple(i)) {
+				t.Fatalf("trial %d tuple %d: ExtendTuple %v vs Extend %v",
+					trial, i, tup, cached.Tuple(i))
+			}
+		}
+	}
+}
+
+func TestExtendTupleArityCheck(t *testing.T) {
+	ext := NewExtender(nil, Options{})
+	sch := schema.MustNew("T", []schema.Attribute{{Name: "a", Kind: value.KindString}})
+	if _, err := ext.ExtendTuple(sch, relation.Tuple{}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+var _ = fmt.Sprintf // reserved for debugging helpers

@@ -1,0 +1,240 @@
+// Package ek implements extended keys (§4.1): the minimal attribute set
+// K_Ext = K1 ∪ K2 ∪ Ā that uniquely identifies an entity in the
+// integrated world, together with the extended-key-equivalence identity
+// rule it induces and the bookkeeping for the attributes each source
+// relation is missing (K_Ext−R, K_Ext−S).
+//
+// Extended-key attributes are integrated-world names, mapped to
+// source-relation attributes through schema.Correspondences; an
+// extended-key attribute with no correspondence entry for a relation is,
+// by definition, missing from that relation and must be derived by ILFDs
+// or left NULL.
+package ek
+
+import (
+	"fmt"
+	"sort"
+
+	"entityid/internal/relation"
+	"entityid/internal/rules"
+	"entityid/internal/schema"
+	"entityid/internal/value"
+)
+
+// Key is an extended key over integrated-world attribute names.
+type Key struct {
+	attrs []string
+}
+
+// New builds an extended key from integrated attribute names. Names must
+// be non-empty and unique; order is preserved for display but
+// set-semantics apply elsewhere.
+func New(attrs ...string) (Key, error) {
+	if len(attrs) == 0 {
+		return Key{}, fmt.Errorf("ek: empty extended key")
+	}
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		if a == "" {
+			return Key{}, fmt.Errorf("ek: empty attribute name")
+		}
+		if seen[a] {
+			return Key{}, fmt.Errorf("ek: duplicate attribute %q", a)
+		}
+		seen[a] = true
+	}
+	return Key{attrs: append([]string(nil), attrs...)}, nil
+}
+
+// MustNew panics on error; for literals in tests and examples.
+func MustNew(attrs ...string) Key {
+	k, err := New(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Attrs returns the key attributes in declaration order.
+func (k Key) Attrs() []string { return append([]string(nil), k.attrs...) }
+
+// Len returns the number of key attributes.
+func (k Key) Len() int { return len(k.attrs) }
+
+// Has reports whether the key contains the attribute.
+func (k Key) Has(attr string) bool {
+	for _, a := range k.attrs {
+		if a == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the key as {a, b, c}.
+func (k Key) String() string {
+	out := "{"
+	for i, a := range k.attrs {
+		if i > 0 {
+			out += ", "
+		}
+		out += a
+	}
+	return out + "}"
+}
+
+// Missing returns K_Ext − R: the key attributes with no correspondence
+// for the given side. side must be schema.Correspondences' left or right
+// schema; chooses by pointer identity.
+func (k Key) Missing(c *schema.Correspondences, rel *schema.Schema) ([]string, error) {
+	left := rel == c.Left()
+	if !left && rel != c.Right() {
+		return nil, fmt.Errorf("ek: schema %s is neither side of the correspondences", rel.Name())
+	}
+	var missing []string
+	for _, a := range k.attrs {
+		if _, ok := c.ByName(a); !ok {
+			// No correspondence at all: missing from both sides.
+			missing = append(missing, a)
+			continue
+		}
+		var attr string
+		var found bool
+		if left {
+			attr, found = c.LeftAttr(a)
+		} else {
+			attr, found = c.RightAttr(a)
+		}
+		if !found || attr == "" || !rel.Has(attr) {
+			missing = append(missing, a)
+		}
+	}
+	return missing, nil
+}
+
+// Rule returns the extended-key-equivalence identity rule (§4.1):
+// ∀e1,e2: (e1.A1=e2.A1) ∧ … ∧ (e1.Ak=e2.Ak) → e1 ≡ e2 over the
+// integrated attribute names.
+func (k Key) Rule() (rules.IdentityRule, error) {
+	return rules.KeyEquivalence(fmt.Sprintf("extended-key%s", k.String()), k.attrs)
+}
+
+// Covers reports whether the key includes every attribute of the given
+// candidate key (under the integrated names provided by toIntegrated,
+// which maps a source attribute to its integrated name, "" if none).
+// A common candidate key fully covered by K_Ext is the degenerate case
+// where extended-key equivalence reduces to classical key equivalence.
+func (k Key) Covers(candidate []string, toIntegrated func(string) string) bool {
+	for _, a := range candidate {
+		name := toIntegrated(a)
+		if name == "" || !k.Has(name) {
+			return false
+		}
+	}
+	return true
+}
+
+// UniqueIn checks the necessary condition the paper states for identity
+// rules (§3.2): tuples satisfying the rule's conditions must be unique
+// within each relation. For extended-key equivalence this means no two
+// tuples of rel agree (non-NULL) on all key attributes present in rel —
+// i.e. the present part of the extended key behaves as a key. Returns
+// the offending pair if violated.
+func (k Key) UniqueIn(rel *relation.Relation, attrOf func(string) (string, bool)) (i, j int, ok bool) {
+	var present []string
+	for _, a := range k.attrs {
+		if src, found := attrOf(a); found && rel.Schema().Has(src) {
+			present = append(present, src)
+		}
+	}
+	if len(present) == 0 {
+		return -1, -1, true
+	}
+	seen := map[string]int{}
+	for idx, t := range rel.Tuples() {
+		keyStr := ""
+		full := true
+		for n, a := range present {
+			v := t[rel.Schema().Index(a)]
+			if v.IsNull() {
+				full = false
+				break
+			}
+			if n > 0 {
+				keyStr += "\x1f"
+			}
+			keyStr += v.Key()
+		}
+		if !full {
+			continue
+		}
+		if prev, dup := seen[keyStr]; dup {
+			return prev, idx, false
+		}
+		seen[keyStr] = idx
+	}
+	return -1, -1, true
+}
+
+// Minimal reports whether the key is minimal with respect to a
+// uniqueness oracle: no proper subset of its attributes still uniquely
+// identifies entities. unique is called with candidate attribute subsets
+// and should report whether the subset is a key of the integrated world;
+// the extended key definition requires minimality (§4.1).
+func (k Key) Minimal(unique func(attrs []string) bool) bool {
+	if !unique(k.Attrs()) {
+		return false
+	}
+	for i := range k.attrs {
+		subset := make([]string, 0, len(k.attrs)-1)
+		subset = append(subset, k.attrs[:i]...)
+		subset = append(subset, k.attrs[i+1:]...)
+		if len(subset) > 0 && unique(subset) {
+			return false
+		}
+	}
+	return true
+}
+
+// CandidateAttrs lists the integrated names available for extended-key
+// selection, sorted — the list the prototype's setup_extkey prints
+// (§6.3).
+func CandidateAttrs(c *schema.Correspondences) []string {
+	names := c.Names()
+	sort.Strings(names)
+	return names
+}
+
+// SourceAttrs resolves the key to concrete attribute names for one side
+// of the correspondences; missing attributes resolve to "" in the same
+// position.
+func (k Key) SourceAttrs(c *schema.Correspondences, left bool) []string {
+	out := make([]string, len(k.attrs))
+	for i, a := range k.attrs {
+		if left {
+			if src, ok := c.LeftAttr(a); ok {
+				out[i] = src
+			}
+		} else {
+			if src, ok := c.RightAttr(a); ok {
+				out[i] = src
+			}
+		}
+	}
+	return out
+}
+
+// ProjectionOf returns tuple t's values for the key, using the side's
+// source attribute names; attributes missing from the relation yield
+// NULL.
+func (k Key) ProjectionOf(rel *relation.Relation, t relation.Tuple, srcAttrs []string) []value.Value {
+	out := make([]value.Value, len(k.attrs))
+	for i, src := range srcAttrs {
+		if src == "" || !rel.Schema().Has(src) {
+			out[i] = value.Null
+			continue
+		}
+		out[i] = t[rel.Schema().Index(src)]
+	}
+	return out
+}

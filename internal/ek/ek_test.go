@@ -1,0 +1,218 @@
+package ek
+
+import (
+	"strings"
+	"testing"
+
+	"entityid/internal/paperdata"
+	"entityid/internal/relation"
+	"entityid/internal/schema"
+	"entityid/internal/value"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := New(""); err == nil {
+		t.Error("empty attribute accepted")
+	}
+	if _, err := New("a", "a"); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	k := MustNew("name", "cuisine", "speciality")
+	if k.Len() != 3 || !k.Has("cuisine") || k.Has("bogus") {
+		t.Errorf("key basics wrong: %v", k)
+	}
+	if got := k.String(); got != "{name, cuisine, speciality}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := k.Attrs(); len(got) != 3 || got[0] != "name" {
+		t.Errorf("Attrs = %v", got)
+	}
+}
+
+func TestMissingExample3(t *testing.T) {
+	r, s := paperdata.Table5R(), paperdata.Table5S()
+	c := paperdata.Table5Correspondences(r, s)
+	k := MustNew(paperdata.Example3ExtendedKey()...)
+
+	// K_Ext − R = {speciality}: R has name and cuisine but no speciality.
+	// The correspondences only list name, so cuisine/speciality have no
+	// entry; Missing falls back to "no correspondence = missing", hence
+	// both cuisine and speciality are reported for S, and speciality and
+	// cuisine for R — refine with direct schema probing below.
+	missR, err := k.Missing(c, r.Schema())
+	if err != nil {
+		t.Fatalf("Missing(R): %v", err)
+	}
+	// cuisine exists in R but has no correspondence entry; the ek
+	// contract is "no correspondence -> missing", so the caller (match
+	// package) supplements correspondences for one-sided attributes. At
+	// this level we just check speciality is reported.
+	found := false
+	for _, a := range missR {
+		if a == "speciality" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Missing(R) = %v, want to include speciality", missR)
+	}
+	if _, err := k.Missing(c, paperdata.Table1R().Schema()); err == nil {
+		t.Error("Missing with foreign schema accepted")
+	}
+}
+
+func TestMissingWithFullCorrespondences(t *testing.T) {
+	// After the relations are extended (Table 6), every extended-key
+	// attribute has a correspondence and nothing is missing.
+	rp, sp := paperdata.Table6RPrime(), paperdata.Table6SPrime()
+	c := schema.MustNewCorrespondences(rp.Schema(), sp.Schema(), []schema.Correspondence{
+		{Name: "name", Left: "name", Right: "name"},
+		{Name: "cuisine", Left: "cuisine", Right: "cuisine"},
+		{Name: "speciality", Left: "speciality", Right: "speciality"},
+	})
+	k := MustNew(paperdata.Example3ExtendedKey()...)
+	missR, err := k.Missing(c, rp.Schema())
+	if err != nil {
+		t.Fatalf("Missing(R'): %v", err)
+	}
+	if len(missR) != 0 {
+		t.Errorf("Missing(R') = %v, want none", missR)
+	}
+	missS, err := k.Missing(c, sp.Schema())
+	if err != nil {
+		t.Fatalf("Missing(S'): %v", err)
+	}
+	if len(missS) != 0 {
+		t.Errorf("Missing(S') = %v, want none", missS)
+	}
+}
+
+func TestRule(t *testing.T) {
+	k := MustNew("name", "cuisine")
+	rule, err := k.Rule()
+	if err != nil {
+		t.Fatalf("Rule: %v", err)
+	}
+	if !strings.Contains(rule.Name, "extended-key") {
+		t.Errorf("rule name = %q", rule.Name)
+	}
+	if len(rule.Preds) != 2 {
+		t.Errorf("rule predicates = %d", len(rule.Preds))
+	}
+}
+
+func TestCovers(t *testing.T) {
+	k := MustNew("name", "cuisine")
+	ident := func(a string) string { return a }
+	if !k.Covers([]string{"name"}, ident) {
+		t.Error("Covers(name) = false")
+	}
+	if k.Covers([]string{"name", "street"}, ident) {
+		t.Error("Covers(name,street) = true")
+	}
+	if k.Covers([]string{"name"}, func(string) string { return "" }) {
+		t.Error("Covers with unmapped attr = true")
+	}
+}
+
+func TestUniqueIn(t *testing.T) {
+	r := paperdata.Table5R()
+	ident := func(a string) (string, bool) { return a, true }
+
+	// {name, cuisine} is R's key: unique.
+	k := MustNew("name", "cuisine")
+	if _, _, ok := k.UniqueIn(r, ident); !ok {
+		t.Error("key attrs reported non-unique")
+	}
+	// {name} alone: TwinCities repeats -> violation, and the offending
+	// pair is reported.
+	k1 := MustNew("name")
+	i, j, ok := k1.UniqueIn(r, ident)
+	if ok {
+		t.Fatal("{name} reported unique despite duplicate TwinCities")
+	}
+	if r.MustValue(i, "name").Str() != "TwinCities" || r.MustValue(j, "name").Str() != "TwinCities" {
+		t.Errorf("offending pair (%d,%d) not the TwinCities rows", i, j)
+	}
+	// Attributes entirely absent: trivially unique (nothing to compare).
+	kAbsent := MustNew("nonexistent")
+	if _, _, ok := kAbsent.UniqueIn(r, func(string) (string, bool) { return "", false }); !ok {
+		t.Error("absent attributes reported non-unique")
+	}
+}
+
+func TestUniqueInSkipsNullProjections(t *testing.T) {
+	sch := schema.MustNew("T", []schema.Attribute{
+		{Name: "a", Kind: value.KindString},
+		{Name: "b", Kind: value.KindString},
+	}, []string{"a", "b"})
+	r := relation.New(sch)
+	r.MustInsert(value.String("x"), value.Null)
+	r.MustInsert(value.String("x"), value.Null)
+	k := MustNew("a", "b")
+	if _, _, ok := k.UniqueIn(r, func(a string) (string, bool) { return a, true }); !ok {
+		t.Error("NULL-containing projections flagged as duplicates")
+	}
+}
+
+func TestMinimal(t *testing.T) {
+	k := MustNew("name", "cuisine")
+	// Oracle: only the full pair is unique.
+	pairOnly := func(attrs []string) bool { return len(attrs) == 2 }
+	if !k.Minimal(pairOnly) {
+		t.Error("minimal key reported non-minimal")
+	}
+	// Oracle: name alone is already unique -> {name, cuisine} not minimal.
+	nameEnough := func(attrs []string) bool {
+		for _, a := range attrs {
+			if a == "name" {
+				return true
+			}
+		}
+		return false
+	}
+	if k.Minimal(nameEnough) {
+		t.Error("non-minimal key reported minimal")
+	}
+	// Oracle: nothing is unique -> not even a key.
+	if k.Minimal(func([]string) bool { return false }) {
+		t.Error("non-key reported minimal")
+	}
+}
+
+func TestCandidateAttrsAndSourceAttrs(t *testing.T) {
+	r, s := paperdata.Table1R(), paperdata.Table1S()
+	c := paperdata.Table1Correspondences(r, s)
+	if got := CandidateAttrs(c); len(got) != 1 || got[0] != "name" {
+		t.Errorf("CandidateAttrs = %v", got)
+	}
+	k := MustNew("name", "street")
+	left := k.SourceAttrs(c, true)
+	if left[0] != "name" || left[1] != "" {
+		t.Errorf("SourceAttrs(left) = %v", left)
+	}
+	right := k.SourceAttrs(c, false)
+	if right[0] != "name" || right[1] != "" {
+		t.Errorf("SourceAttrs(right) = %v", right)
+	}
+}
+
+func TestProjectionOf(t *testing.T) {
+	r, s := paperdata.Table1R(), paperdata.Table1S()
+	c := paperdata.Table1Correspondences(r, s)
+	k := MustNew("name", "street")
+	src := k.SourceAttrs(c, true)
+	proj := k.ProjectionOf(r, r.Tuple(0), src)
+	if proj[0].Str() != "VillageWok" {
+		t.Errorf("projection name = %v", proj[0])
+	}
+	if !proj[1].IsNull() {
+		// street has no correspondence -> NULL in the integrated
+		// projection even though R happens to have a street attribute
+		// (the projection goes through integrated names).
+		t.Errorf("projection street = %v, want NULL (no correspondence)", proj[1])
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsReproduce asserts every paper artifact reproduces:
+// each runner's Check must be nil. This is the repository's top-level
+// "does the reproduction hold" gate.
+func TestAllExperimentsReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not short")
+	}
+	for _, rep := range All() {
+		rep := rep
+		t.Run(rep.ID, func(t *testing.T) {
+			if rep.Check != nil {
+				t.Errorf("%s (%s): %v\n%s", rep.ID, rep.Title, rep.Check, rep.Text)
+			}
+			if strings.TrimSpace(rep.Text) == "" {
+				t.Errorf("%s: empty report text", rep.ID)
+			}
+			if rep.Title == "" {
+				t.Errorf("%s: empty title", rep.ID)
+			}
+		})
+	}
+}
+
+func TestTable1Ambiguity(t *testing.T) {
+	rep := Table1()
+	if rep.Check != nil {
+		t.Fatalf("Table1: %v", rep.Check)
+	}
+	for _, want := range []string{"inapplicable", "ambiguous"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("Table1 text missing %q:\n%s", want, rep.Text)
+		}
+	}
+}
+
+func TestTable7ExactRows(t *testing.T) {
+	rep := Table7()
+	if rep.Check != nil {
+		t.Fatalf("Table7: %v", rep.Check)
+	}
+	// Rows render in the prototype's sorted order.
+	ai := strings.Index(rep.Text, "Anjuman")
+	gi := strings.Index(rep.Text, "It'sGreek")
+	ti := strings.Index(rep.Text, "TwinCities")
+	if !(ai >= 0 && ai < gi && gi < ti) {
+		t.Errorf("Table7 rows out of order:\n%s", rep.Text)
+	}
+}
+
+func TestPrototypeSessions(t *testing.T) {
+	p1 := Prototype1()
+	if p1.Check != nil {
+		t.Fatalf("P1: %v", p1.Check)
+	}
+	if !strings.Contains(p1.Text, "The extended key is verified.") {
+		t.Errorf("P1 missing verification message:\n%s", p1.Text)
+	}
+	p2 := Prototype2()
+	if p2.Check != nil {
+		t.Fatalf("P2: %v", p2.Check)
+	}
+	if !strings.Contains(p2.Text, "unsound matching result") {
+		t.Errorf("P2 missing warning:\n%s", p2.Text)
+	}
+}
+
+func TestFigure3Series(t *testing.T) {
+	rep := Figure3()
+	if rep.Check != nil {
+		t.Fatalf("F3: %v", rep.Check)
+	}
+	// The series must contain the 0-knowledge row and the full row.
+	if !strings.Contains(rep.Text, "\n    0  ") || !strings.Contains(rep.Text, "\n    8  ") {
+		t.Errorf("F3 series incomplete:\n%s", rep.Text)
+	}
+}

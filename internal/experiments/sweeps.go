@@ -1,0 +1,371 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"entityid/internal/baselines"
+	"entityid/internal/datagen"
+	"entityid/internal/derive"
+	"entityid/internal/federate"
+	"entityid/internal/ilfd"
+	"entityid/internal/match"
+	"entityid/internal/metrics"
+	"entityid/internal/paperdata"
+	"entityid/internal/relation"
+	"entityid/internal/schema"
+	"entityid/internal/value"
+)
+
+// ScalingMatch (S1) measures matching-table construction across
+// universe sizes — the scaling data the paper never reported. The check
+// asserts soundness at every size; timings are informative (exact
+// numbers live in bench_output.txt).
+func ScalingMatch() Report {
+	rep := Report{ID: "S1", Title: "S1 — scaling: matching-table construction"}
+	var b strings.Builder
+	b.WriteString("entities  |R|    |S|    pairs  precision  recall  wall\n")
+	for _, n := range []int{100, 1000, 10000} {
+		w, err := datagen.Generate(datagen.Config{
+			Entities: n, OverlapFrac: 0.5, HomonymRate: 0.1,
+			ILFDCoverage: 0.7, Seed: int64(n),
+		})
+		if err != nil {
+			rep.Check = err
+			return rep
+		}
+		start := time.Now()
+		res, err := match.Build(w.MatchConfig())
+		if err != nil {
+			rep.Check = err
+			return rep
+		}
+		elapsed := time.Since(start)
+		if err := res.Verify(); err != nil {
+			rep.Check = fmt.Errorf("n=%d: %w", n, err)
+			return rep
+		}
+		sc := metrics.Evaluate(res.MT, w.Truth)
+		fmt.Fprintf(&b, "%8d  %5d  %5d  %5d  %9.3f  %6.3f  %s\n",
+			n, w.R.Len(), w.S.Len(), res.MT.Len(), sc.Precision(), sc.Recall(), elapsed.Round(time.Microsecond))
+		if !sc.Sound() {
+			rep.Check = fmt.Errorf("n=%d unsound: %s", n, sc)
+			return rep
+		}
+	}
+	b.WriteString("expected shape: precision stays 1.0 (sound by construction); recall tracks ILFD coverage (0.7);\n")
+	b.WriteString("construction is near-linear (hash join + per-tuple derivation).\n")
+	rep.Text = b.String()
+	return rep
+}
+
+// ClosureCost (S2) measures symbol-set closure cost over growing ILFD
+// sets with bounded chain depth (§5.2 notes closure of F is expensive
+// while X⁺ is cheap — this quantifies "cheap").
+func ClosureCost() Report {
+	rep := Report{ID: "S2", Title: "S2 — ILFD closure X⁺ cost"}
+	var b strings.Builder
+	b.WriteString("|F|    chain-depth  wall/closure\n")
+	for _, size := range []int{16, 128, 1024} {
+		fs, seed := chainILFDs(size, 8)
+		start := time.Now()
+		const reps = 100
+		var got ilfd.Conditions
+		for r := 0; r < reps; r++ {
+			got = ilfd.Closure(seed, fs)
+		}
+		per := time.Since(start) / reps
+		fmt.Fprintf(&b, "%5d  %11d  %s\n", size, 8, per.Round(time.Nanosecond))
+		if len(got) < 9 { // seed + 8 chained consequents
+			rep.Check = fmt.Errorf("|F|=%d: closure size %d, want ≥ 9", size, len(got))
+			return rep
+		}
+	}
+	b.WriteString("expected shape: closure is linear-ish in |F| per pass; depth-8 chains resolve in microseconds.\n")
+	rep.Text = b.String()
+	return rep
+}
+
+// chainILFDs builds an ILFD set containing one depth-`depth` chain
+// reachable from the returned seed, padded with unrelated ILFDs up to
+// size.
+func chainILFDs(size, depth int) (ilfd.Set, ilfd.Conditions) {
+	var fs ilfd.Set
+	for i := 0; i < depth; i++ {
+		fs = append(fs, ilfd.MustNew(
+			ilfd.Conditions{ilfd.C(fmt.Sprintf("a%d", i), "1")},
+			ilfd.Conditions{ilfd.C(fmt.Sprintf("a%d", i+1), "1")},
+		))
+	}
+	for i := len(fs); i < size; i++ {
+		fs = append(fs, ilfd.MustNew(
+			ilfd.Conditions{ilfd.C(fmt.Sprintf("pad%d", i), "x")},
+			ilfd.Conditions{ilfd.C(fmt.Sprintf("pad%d", i), "x")},
+		))
+	}
+	return fs, ilfd.Conditions{ilfd.C("a0", "1")}
+}
+
+// BaselineQuality (S3) scores every §2.2 baseline against the paper's
+// technique across homonym rates, quantifying the soundness violations
+// the paper predicts qualitatively.
+func BaselineQuality() Report {
+	rep := Report{ID: "S3", Title: "S3 — baseline quality (soundness violations) vs homonym rate"}
+	var b strings.Builder
+	b.WriteString("homonyms  technique                 pairs  fp  precision  recall\n")
+	for _, rate := range []float64{0, 0.1, 0.3} {
+		w, err := datagen.Generate(datagen.Config{
+			Entities: 600, OverlapFrac: 0.5, HomonymRate: rate,
+			ILFDCoverage: 0.7, MissingPhone: 0.2, DirtyPhone: 0.3,
+			Seed: int64(1000 + int(rate*100)),
+		})
+		if err != nil {
+			rep.Check = err
+			return rep
+		}
+		// Our technique.
+		res, err := match.Build(w.MatchConfig())
+		if err != nil {
+			rep.Check = err
+			return rep
+		}
+		if err := res.Verify(); err != nil {
+			rep.Check = err
+			return rep
+		}
+		oursScore := metrics.Evaluate(res.MT, w.Truth)
+		row := func(name string, sc metrics.Score) {
+			fmt.Fprintf(&b, "%8.2f  %-24s  %5d  %2d  %9.3f  %6.3f\n",
+				rate, name, sc.TruePos+sc.FalsePos, sc.FalsePos, sc.Precision(), sc.Recall())
+		}
+		row("extended-key+ILFD (ours)", oursScore)
+		if !oursScore.Sound() {
+			rep.Check = fmt.Errorf("rate=%.2f: our technique unsound: %s", rate, oursScore)
+			return rep
+		}
+
+		// Baselines. Name-only equality (the Example 1 trap).
+		loose := baselines.KeyEquivalence{
+			Key: []baselines.AttrPair{{R: "name", S: "name"}}, AllowNonKey: true,
+		}
+		if mt, err := loose.Match(w.R, w.S); err == nil {
+			row("name-equality", metrics.Evaluate(mt, w.Truth))
+		}
+		// Probabilistic key on name.
+		pk := baselines.ProbabilisticKey{
+			Key: []baselines.AttrPair{{R: "name", S: "name"}}, Threshold: 0.6,
+		}
+		if mt, err := pk.Match(w.R, w.S); err == nil {
+			row("probabilistic-key", metrics.Evaluate(mt, w.Truth))
+		}
+		// Probabilistic attributes on name+phone.
+		pa := baselines.ProbabilisticAttr{
+			Common: []baselines.AttrPair{
+				{R: "name", S: "name"}, {R: "phone", S: "phone"},
+			},
+			Threshold: 0.99,
+		}
+		if mt, err := pa.Match(w.R, w.S); err == nil {
+			row("probabilistic-attribute", metrics.Evaluate(mt, w.Truth))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("expected shape: ours keeps fp=0 at every homonym rate; name-based baselines accumulate\n")
+	b.WriteString("false positives as homonyms grow (the instance-level homonym problem, §2).\n")
+	rep.Text = b.String()
+	return rep
+}
+
+// DeriveAblation (S4) compares the two derivation disciplines (cut vs
+// fixpoint) and the two ILFD representations (rules vs relational
+// tables) on correctness and bulk cost — the design choices DESIGN.md
+// calls out.
+func DeriveAblation() Report {
+	rep := Report{ID: "S4", Title: "S4 — ablation: cut vs fixpoint; rules vs ILFD tables"}
+	var b strings.Builder
+
+	// Correctness on Example 3: all four combinations must produce the
+	// same extension (Example 3's knowledge is conflict-free).
+	fs := paperdata.Example3ILFDs()
+	tables, rest, err := ilfd.FromSet(fs, func(string) value.Kind { return value.KindString })
+	if err != nil || len(rest) != 0 {
+		rep.Check = fmt.Errorf("FromSet: %v (rest %d)", err, len(rest))
+		return rep
+	}
+	extraR := []schema.Attribute{
+		{Name: "speciality", Kind: value.KindString},
+		{Name: "county", Kind: value.KindString},
+	}
+	r := paperdata.Table5R()
+	ruleCut, _, err := derive.Extend(r, "R'", extraR, fs, derive.Options{Mode: derive.FirstMatch})
+	if err != nil {
+		rep.Check = err
+		return rep
+	}
+	ruleFix, conf, err := derive.Extend(r, "R'", extraR, fs, derive.Options{Mode: derive.Fixpoint})
+	if err != nil {
+		rep.Check = err
+		return rep
+	}
+	tabCut, _, err := derive.ExtendWithTables(r, "R'", extraR, tables, derive.Options{Mode: derive.FirstMatch})
+	if err != nil {
+		rep.Check = err
+		return rep
+	}
+	same := ruleCut.Equal(ruleFix) && ruleCut.Equal(tabCut)
+	fmt.Fprintf(&b, "Example 3 extensions identical across {cut, fixpoint} × {rules, tables}: %t (fixpoint conflicts: %d)\n",
+		same, len(conf))
+	if !same || len(conf) != 0 {
+		rep.Check = fmt.Errorf("ablation arms disagree on conflict-free input")
+		return rep
+	}
+
+	// Conflict visibility: inject a contradictory ILFD; cut hides it,
+	// fixpoint reports it.
+	noisy := append(append(ilfd.Set{}, fs...), ilfd.MustParse("speciality=Hunan -> cuisine=Thai"))
+	_, cutConf, err := derive.Extend(paperdata.Table5S(), "S'",
+		[]schema.Attribute{{Name: "cuisine", Kind: value.KindString}}, noisy,
+		derive.Options{Mode: derive.FirstMatch})
+	if err != nil {
+		rep.Check = err
+		return rep
+	}
+	_, fixConf, err := derive.Extend(paperdata.Table5S(), "S'",
+		[]schema.Attribute{{Name: "cuisine", Kind: value.KindString}}, noisy,
+		derive.Options{Mode: derive.Fixpoint})
+	if err != nil {
+		rep.Check = err
+		return rep
+	}
+	fmt.Fprintf(&b, "contradictory ILFD injected: cut reports %d conflicts (first rule wins, Prolog behaviour),\n", len(cutConf))
+	fmt.Fprintf(&b, "fixpoint reports %d conflict(s) — the ablation argument for order-insensitive derivation.\n", len(fixConf))
+	if len(cutConf) != 0 || len(fixConf) == 0 {
+		rep.Check = fmt.Errorf("conflict visibility wrong: cut=%d fixpoint=%d", len(cutConf), len(fixConf))
+		return rep
+	}
+
+	// Bulk cost: rules vs tables on a large uniform family.
+	w := datagen.MustGenerate(datagen.Config{
+		Entities: 3000, OverlapFrac: 0.5, ILFDCoverage: 1, Seed: 77,
+	})
+	extra := []schema.Attribute{{Name: "cuisine", Kind: value.KindString}}
+	var uniform ilfd.Set
+	for _, f := range w.ILFDs {
+		if len(f.Antecedent) == 1 && f.Antecedent[0].Attr == "speciality" {
+			uniform = append(uniform, f)
+		}
+	}
+	bigTables, _, err := ilfd.FromSet(uniform, func(string) value.Kind { return value.KindString })
+	if err != nil {
+		rep.Check = err
+		return rep
+	}
+	start := time.Now()
+	byRules, _, err := derive.Extend(w.S, "S'", extra, uniform, derive.Options{})
+	if err != nil {
+		rep.Check = err
+		return rep
+	}
+	ruleTime := time.Since(start)
+	start = time.Now()
+	byTables, _, err := derive.ExtendWithTables(w.S, "S'", extra, bigTables, derive.Options{})
+	if err != nil {
+		rep.Check = err
+		return rep
+	}
+	tableTime := time.Since(start)
+	fmt.Fprintf(&b, "bulk derivation over %d tuples × %d uniform ILFDs: rules %s, tables %s (hash-join)\n",
+		w.S.Len(), len(uniform), ruleTime.Round(time.Microsecond), tableTime.Round(time.Microsecond))
+	if !byRules.Equal(byTables) {
+		rep.Check = fmt.Errorf("bulk rule/table derivations differ")
+	}
+	rep.Text = b.String()
+	return rep
+}
+
+// IncrementalMaintenance (S5) validates the federated-integration mode
+// the paper's conclusion motivates: streaming tuples one at a time into
+// a live federation reaches exactly the batch matching state, with
+// per-insert work independent of relation size.
+func IncrementalMaintenance() Report {
+	rep := Report{ID: "S5", Title: "S5 — incremental (federated) vs batch identification"}
+	var b strings.Builder
+	w, err := datagen.Generate(datagen.Config{
+		Entities: 400, OverlapFrac: 0.5, HomonymRate: 0.15,
+		ILFDCoverage: 0.8, Seed: 404,
+	})
+	if err != nil {
+		rep.Check = err
+		return rep
+	}
+	cfg := w.MatchConfig()
+
+	// Batch.
+	start := time.Now()
+	batch, err := match.Build(cfg)
+	if err != nil {
+		rep.Check = err
+		return rep
+	}
+	batchTime := time.Since(start)
+
+	// Incremental: start empty, stream every tuple.
+	empty := cfg
+	empty.R = relation.New(w.R.Schema())
+	empty.S = relation.New(w.S.Schema())
+	fed, err := federate.New(empty)
+	if err != nil {
+		rep.Check = err
+		return rep
+	}
+	inserts := 0
+	start = time.Now()
+	for _, t := range w.R.Tuples() {
+		if _, err := fed.InsertR(t.Clone()); err != nil {
+			rep.Check = fmt.Errorf("InsertR: %w", err)
+			return rep
+		}
+		inserts++
+	}
+	for _, t := range w.S.Tuples() {
+		if _, err := fed.InsertS(t.Clone()); err != nil {
+			rep.Check = fmt.Errorf("InsertS: %w", err)
+			return rep
+		}
+		inserts++
+	}
+	incTime := time.Since(start)
+
+	same := len(fed.Pairs()) == batch.MT.Len()
+	if same {
+		batchSet := map[match.Pair]bool{}
+		for _, p := range batch.MT.Pairs {
+			batchSet[p] = true
+		}
+		for _, p := range fed.Pairs() {
+			if !batchSet[p] {
+				same = false
+				break
+			}
+		}
+	}
+	fmt.Fprintf(&b, "workload: %d entities, |R|=%d, |S|=%d, %d truth pairs\n",
+		len(w.Entities), w.R.Len(), w.S.Len(), len(w.Truth))
+	fmt.Fprintf(&b, "batch identification:        %d pairs in %s\n", batch.MT.Len(), batchTime.Round(time.Microsecond))
+	fmt.Fprintf(&b, "incremental (%4d inserts):  %d pairs in %s (%s/insert)\n",
+		inserts, len(fed.Pairs()), incTime.Round(time.Microsecond),
+		(incTime / time.Duration(inserts)).Round(time.Nanosecond))
+	fmt.Fprintf(&b, "states identical: %t; incremental state verifies: %t\n",
+		same, fed.Result().Verify() == nil)
+	b.WriteString("paper (conclusion): \"entity identification has to be performed whenever the information about\n")
+	b.WriteString("real-world entities exists in different databases\" — the federation maintains it per insert.\n")
+	if !same {
+		rep.Check = fmt.Errorf("incremental and batch states differ")
+	}
+	if err := fed.Result().Verify(); err != nil {
+		rep.Check = err
+	}
+	rep.Text = b.String()
+	return rep
+}

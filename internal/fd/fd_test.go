@@ -1,0 +1,190 @@
+package fd
+
+import (
+	"strings"
+	"testing"
+
+	"entityid/internal/ilfd"
+	"entityid/internal/relation"
+	"entityid/internal/schema"
+	"entityid/internal/value"
+)
+
+func mkRel(t *testing.T, rows ...[3]string) *relation.Relation {
+	t.Helper()
+	sch := schema.MustNew("R",
+		[]schema.Attribute{
+			{Name: "name", Kind: value.KindString},
+			{Name: "cuisine", Kind: value.KindString},
+			{Name: "speciality", Kind: value.KindString},
+		},
+		[]string{"name", "speciality"},
+	)
+	r := relation.New(sch)
+	for _, row := range rows {
+		if err := r.InsertStrings(row[0], row[1], row[2]); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	return r
+}
+
+func TestNewValidationAndString(t *testing.T) {
+	if _, err := New(nil, []string{"a"}); err == nil {
+		t.Error("empty From accepted")
+	}
+	if _, err := New([]string{"a"}, nil); err == nil {
+		t.Error("empty To accepted")
+	}
+	f := MustNew([]string{"b", "a", "b"}, []string{"c"})
+	if got := f.String(); got != "{a,b} -> {c}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSatisfiedBy(t *testing.T) {
+	// name -> cuisine: holds when same names imply same cuisine.
+	good := mkRel(t,
+		[3]string{"wok", "chinese", "hunan"},
+		[3]string{"wok", "chinese", "sichuan"},
+		[3]string{"anjuman", "indian", "mughalai"},
+	)
+	f := MustNew([]string{"name"}, []string{"cuisine"})
+	ok, err := f.SatisfiedBy(good)
+	if err != nil || !ok {
+		t.Errorf("SatisfiedBy(good) = %t, %v", ok, err)
+	}
+	bad := mkRel(t,
+		[3]string{"wok", "chinese", "hunan"},
+		[3]string{"wok", "thai", "sichuan"},
+	)
+	ok, err = f.SatisfiedBy(bad)
+	if err != nil || ok {
+		t.Errorf("SatisfiedBy(bad) = %t, %v", ok, err)
+	}
+	// Unknown attribute errors.
+	g := MustNew([]string{"bogus"}, []string{"cuisine"})
+	if _, err := g.SatisfiedBy(good); err == nil {
+		t.Error("unknown attribute FD did not error")
+	}
+}
+
+func TestSatisfiedByNullAgreesWithNull(t *testing.T) {
+	// FD checking uses storage identity: two tuples with NULL name agree
+	// on name, so differing cuisines violate name -> cuisine.
+	r := mkRel(t,
+		[3]string{"null", "chinese", "hunan"},
+		[3]string{"null", "thai", "gyros"},
+	)
+	f := MustNew([]string{"name"}, []string{"cuisine"})
+	ok, err := f.SatisfiedBy(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("NULL-agreeing tuples did not violate the FD")
+	}
+}
+
+func TestClosureAndImplies(t *testing.T) {
+	fds := []FD{
+		MustNew([]string{"a"}, []string{"b"}),
+		MustNew([]string{"b"}, []string{"c"}),
+		MustNew([]string{"c", "d"}, []string{"e"}),
+	}
+	clo := Closure([]string{"a"}, fds)
+	want := "a,b,c"
+	if got := strings.Join(clo, ","); got != want {
+		t.Errorf("Closure(a) = %v, want %s", clo, want)
+	}
+	if !Implies(fds, MustNew([]string{"a"}, []string{"c"})) {
+		t.Error("a->c not implied")
+	}
+	if Implies(fds, MustNew([]string{"a"}, []string{"e"})) {
+		t.Error("a->e wrongly implied (d missing)")
+	}
+	if !Implies(fds, MustNew([]string{"a", "d"}, []string{"e"})) {
+		t.Error("ad->e not implied")
+	}
+}
+
+// TestProposition2 exercises the paper's Proposition 2 in both
+// directions: a value-complete ILFD family yields a holding FD, and an
+// incomplete family both fails the premise and admits a violating
+// instance.
+func TestProposition2(t *testing.T) {
+	domains := map[string][]value.Value{
+		"speciality": {value.String("hunan"), value.String("sichuan"), value.String("gyros")},
+	}
+	complete := ilfd.Set{
+		ilfd.MustParse("speciality=hunan -> cuisine=chinese"),
+		ilfd.MustParse("speciality=sichuan -> cuisine=chinese"),
+		ilfd.MustParse("speciality=gyros -> cuisine=greek"),
+	}
+	target := MustNew([]string{"speciality"}, []string{"cuisine"})
+
+	ok, err := FromILFDFamily(complete, domains, target)
+	if err != nil || !ok {
+		t.Fatalf("complete family premise = %t, %v", ok, err)
+	}
+	// Any relation consistent with the ILFDs satisfies the FD.
+	r := mkRel(t,
+		[3]string{"a", "chinese", "hunan"},
+		[3]string{"b", "chinese", "hunan"},
+		[3]string{"c", "greek", "gyros"},
+	)
+	if vs := complete.Violations(r); len(vs) != 0 {
+		t.Fatalf("instance violates ILFDs: %v", vs)
+	}
+	holds, err := target.SatisfiedBy(r)
+	if err != nil || !holds {
+		t.Errorf("FD does not hold on ILFD-consistent instance: %t, %v", holds, err)
+	}
+
+	// Incomplete family: gyros uncovered.
+	incomplete := complete[:2]
+	ok, err = FromILFDFamily(incomplete, domains, target)
+	if err != nil || ok {
+		t.Errorf("incomplete family premise = %t, %v (want false)", ok, err)
+	}
+	// And indeed an instance consistent with the incomplete family can
+	// violate the FD (converse of Prop. 2 is false).
+	r2 := mkRel(t,
+		[3]string{"a", "greek", "gyros"},
+		[3]string{"b", "turkish", "gyros"},
+	)
+	if vs := incomplete.Violations(r2); len(vs) != 0 {
+		t.Fatalf("r2 violates incomplete ILFDs: %v", vs)
+	}
+	holds, err = target.SatisfiedBy(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Error("expected FD violation on incomplete-family instance")
+	}
+}
+
+func TestFromILFDFamilyErrors(t *testing.T) {
+	_, err := FromILFDFamily(nil, map[string][]value.Value{}, MustNew([]string{"x"}, []string{"y"}))
+	if err == nil {
+		t.Error("missing domain accepted")
+	}
+}
+
+func TestFromILFDFamilyDerivedCoverage(t *testing.T) {
+	// Coverage may come through inference, not just literal ILFDs:
+	// a→b and b→c cover a→c.
+	fs := ilfd.Set{
+		ilfd.MustParse("a=1 -> b=2"),
+		ilfd.MustParse("b=2 -> c=3"),
+		ilfd.MustParse("a=9 -> c=0"),
+	}
+	domains := map[string][]value.Value{
+		"a": {value.String("1"), value.String("9")},
+	}
+	ok, err := FromILFDFamily(fs, domains, MustNew([]string{"a"}, []string{"c"}))
+	if err != nil || !ok {
+		t.Errorf("derived coverage = %t, %v", ok, err)
+	}
+}

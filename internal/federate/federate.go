@@ -1,0 +1,293 @@
+// Package federate implements virtual database integration (§1, §2):
+// the component relations stay live and autonomous, and entity
+// identification is maintained incrementally as tuples arrive — "in the
+// case of federated databases … instance integration may have to be
+// performed whenever updating is done on the participating databases"
+// (§2), and the paper's conclusion makes query-time identification the
+// ongoing-work item this package closes.
+//
+// A Federation holds the current matching state and supports:
+//
+//   - InsertR / InsertS: O(1 + candidates) incremental identification of
+//     the new tuple against the opposite extended relation, with the
+//     §3.2 uniqueness and consistency constraints enforced as insertion
+//     guards (a violating insert is rejected and rolled back, the way a
+//     database rejects a key violation);
+//   - AddILFD: monotone knowledge growth — the state is rebuilt and the
+//     §3.3 monotonicity property is asserted: every previously matched
+//     pair must survive;
+//   - Integrated / Result: the current integrated view for query
+//     processing.
+//
+// Equivalence with batch identification (match.Build on the final
+// relations) is the package's central invariant, pinned by tests.
+package federate
+
+import (
+	"fmt"
+	"strings"
+
+	"entityid/internal/ilfd"
+	"entityid/internal/integrate"
+	"entityid/internal/match"
+	"entityid/internal/relation"
+)
+
+// Federation is a live, incrementally maintained identification state.
+type Federation struct {
+	cfg match.Config
+	res *match.Result
+	// rExt / sExt are the cached per-side rename+derive pipelines, so a
+	// single insert pays only the per-tuple derivation, not pipeline
+	// setup.
+	rExt, sExt *match.SideExtender
+	// extKeyIdx indexes each side's extended relation by its non-NULL
+	// extended-key projection: projection -> tuple positions.
+	rIdx, sIdx map[string][]int
+	// matchedR / matchedS track current pairings for uniqueness guards.
+	matchedR map[int]int
+	matchedS map[int]int
+}
+
+// New builds the initial state from a configuration; the initial
+// matching table must verify (fail-closed like System.Identify).
+func New(cfg match.Config) (*Federation, error) {
+	// Work on private copies: the federation owns its relations.
+	cfg.R = cfg.R.Clone()
+	cfg.S = cfg.S.Clone()
+	f := &Federation{cfg: cfg}
+	if err := f.rebuild(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// rebuild runs batch identification and refreshes the indexes.
+func (f *Federation) rebuild() error {
+	res, err := match.Build(f.cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.Verify(); err != nil {
+		return fmt.Errorf("federate: %w", err)
+	}
+	f.res = res
+	f.rExt = match.NewSideExtender(f.cfg, true)
+	f.sExt = match.NewSideExtender(f.cfg, false)
+	f.rIdx = indexByKey(res.RPrime, res.ExtKey())
+	f.sIdx = indexByKey(res.SPrime, res.ExtKey())
+	f.matchedR = make(map[int]int, res.MT.Len())
+	f.matchedS = make(map[int]int, res.MT.Len())
+	for _, p := range res.MT.Pairs {
+		f.matchedR[p.RIndex] = p.SIndex
+		f.matchedS[p.SIndex] = p.RIndex
+	}
+	return nil
+}
+
+func indexByKey(rel *relation.Relation, extKey []string) map[string][]int {
+	idx := make(map[string][]int, rel.Len())
+	for i, t := range rel.Tuples() {
+		if k, ok := keyProjection(rel, t, extKey); ok {
+			idx[k] = append(idx[k], i)
+		}
+	}
+	return idx
+}
+
+func keyProjection(rel *relation.Relation, t relation.Tuple, extKey []string) (string, bool) {
+	var b strings.Builder
+	for n, a := range extKey {
+		v := t[rel.Schema().Index(a)]
+		if v.IsNull() {
+			return "", false
+		}
+		if n > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(v.Key())
+	}
+	return b.String(), true
+}
+
+// Result returns the current match result (shared; do not mutate).
+func (f *Federation) Result() *match.Result { return f.res }
+
+// MT returns the current matching table.
+func (f *Federation) MT() *match.Table { return f.res.MT }
+
+// Integrated builds the current integrated table.
+func (f *Federation) Integrated() (*integrate.Table, error) {
+	return integrate.Build(f.res, integrate.Options{})
+}
+
+// InsertR adds a tuple to relation R, identifies it incrementally, and
+// returns the pairs it produced (at most one, by uniqueness). The
+// insert is rejected — with the federation state unchanged — if it
+// would make the matching table unsound (uniqueness or consistency
+// violation) or violate R's candidate keys.
+func (f *Federation) InsertR(t relation.Tuple) ([]match.Pair, error) {
+	return f.insert(t, true)
+}
+
+// InsertS is InsertR for relation S.
+func (f *Federation) InsertS(t relation.Tuple) ([]match.Pair, error) {
+	return f.insert(t, false)
+}
+
+func (f *Federation) insert(t relation.Tuple, left bool) ([]match.Pair, error) {
+	base := f.cfg.S
+	if left {
+		base = f.cfg.R
+	}
+	// Validate against the base schema and keys first, without mutating.
+	if err := base.CanInsert(t); err != nil {
+		return nil, fmt.Errorf("federate: %w", err)
+	}
+	// Extend the single new tuple: run derivation on a one-tuple
+	// relation with the same schema.
+	oneTuple := relation.New(base.Schema())
+	if err := oneTuple.Insert(t.Clone()); err != nil {
+		return nil, fmt.Errorf("federate: %w", err)
+	}
+	ext, err := f.extendOne(oneTuple, left)
+	if err != nil {
+		return nil, err
+	}
+	extTuple := ext.Tuple(0)
+
+	// Probe the opposite side's extended-key index.
+	extKey := f.res.ExtKey()
+	var newPairs []match.Pair
+	if k, ok := keyProjection(ext, extTuple, extKey); ok {
+		var partners []int
+		if left {
+			partners = f.sIdx[k]
+		} else {
+			partners = f.rIdx[k]
+		}
+		if len(partners) > 1 {
+			return nil, fmt.Errorf("federate: insert would match %d tuples at once (unsound)", len(partners))
+		}
+		for _, j := range partners {
+			if left {
+				if prev, taken := f.matchedS[j]; taken {
+					return nil, fmt.Errorf("federate: uniqueness violation: S tuple %d already matched to R tuple %d", j, prev)
+				}
+				newPairs = append(newPairs, match.Pair{RIndex: f.res.RPrime.Len(), SIndex: j})
+			} else {
+				if prev, taken := f.matchedR[j]; taken {
+					return nil, fmt.Errorf("federate: uniqueness violation: R tuple %d already matched to S tuple %d", j, prev)
+				}
+				newPairs = append(newPairs, match.Pair{RIndex: j, SIndex: f.res.SPrime.Len()})
+			}
+		}
+	}
+	// Consistency guard: a new pair must not be declared distinct.
+	for _, p := range newPairs {
+		var rt, st relation.Tuple
+		if left {
+			rt, st = extTuple, f.res.SPrime.Tuple(p.SIndex)
+		} else {
+			rt, st = f.res.RPrime.Tuple(p.RIndex), extTuple
+		}
+		for _, d := range f.res.Distinct() {
+			var rRel, sRel *relation.Relation
+			if left {
+				rRel, sRel = ext, f.res.SPrime
+			} else {
+				rRel, sRel = f.res.RPrime, ext
+			}
+			if d.Holds(rRel, rt, sRel, st) || d.Holds(sRel, st, rRel, rt) {
+				return nil, fmt.Errorf("federate: consistency violation: new tuple matches a pair distinctness rule %q forbids", d.Name)
+			}
+		}
+	}
+
+	// Commit: mutate base relation, extended relation, indexes, pairs.
+	if left {
+		if err := f.cfg.R.Insert(t); err != nil {
+			return nil, fmt.Errorf("federate: %w", err)
+		}
+		if err := f.res.RPrime.Insert(extTuple); err != nil {
+			return nil, fmt.Errorf("federate: extended insert: %w", err)
+		}
+		i := f.res.RPrime.Len() - 1
+		if k, ok := keyProjection(f.res.RPrime, extTuple, extKey); ok {
+			f.rIdx[k] = append(f.rIdx[k], i)
+		}
+		for _, p := range newPairs {
+			f.res.MT.Pairs = append(f.res.MT.Pairs, p)
+			f.matchedR[p.RIndex] = p.SIndex
+			f.matchedS[p.SIndex] = p.RIndex
+		}
+	} else {
+		if err := f.cfg.S.Insert(t); err != nil {
+			return nil, fmt.Errorf("federate: %w", err)
+		}
+		if err := f.res.SPrime.Insert(extTuple); err != nil {
+			return nil, fmt.Errorf("federate: extended insert: %w", err)
+		}
+		j := f.res.SPrime.Len() - 1
+		if k, ok := keyProjection(f.res.SPrime, extTuple, extKey); ok {
+			f.sIdx[k] = append(f.sIdx[k], j)
+		}
+		for _, p := range newPairs {
+			f.res.MT.Pairs = append(f.res.MT.Pairs, p)
+			f.matchedR[p.RIndex] = p.SIndex
+			f.matchedS[p.SIndex] = p.RIndex
+		}
+	}
+	return newPairs, nil
+}
+
+// extendOne runs the cached per-side rename + derivation pipeline on a
+// single-tuple relation.
+func (f *Federation) extendOne(one *relation.Relation, left bool) (*relation.Relation, error) {
+	se := f.sExt
+	if left {
+		se = f.rExt
+	}
+	ext, _, err := se.Extend(one)
+	if err != nil {
+		return nil, fmt.Errorf("federate: extend: %w", err)
+	}
+	return ext, nil
+}
+
+// AddILFD grows the knowledge base and rebuilds the state, asserting
+// §3.3 monotonicity: every previously matched pair must still be
+// matched (by position). A non-monotone outcome — possible only when
+// the new ILFD contradicts data or prior knowledge — is reported and
+// the federation keeps its previous state.
+func (f *Federation) AddILFD(fd ilfd.ILFD) error {
+	prevPairs := append([]match.Pair(nil), f.res.MT.Pairs...)
+	prev := f.cfg.ILFDs
+	next := make(ilfd.Set, 0, len(prev)+1)
+	next = append(next, prev...)
+	next = append(next, fd)
+	f.cfg.ILFDs = next
+	if err := f.rebuild(); err != nil {
+		f.cfg.ILFDs = prev
+		if rerr := f.rebuild(); rerr != nil {
+			return fmt.Errorf("federate: rollback failed: %v (original: %w)", rerr, err)
+		}
+		return err
+	}
+	for _, p := range prevPairs {
+		if _, ok := f.matchedR[p.RIndex]; !ok || f.matchedR[p.RIndex] != p.SIndex {
+			err := fmt.Errorf("federate: ILFD %v breaks monotonicity: pair (%d,%d) lost", fd, p.RIndex, p.SIndex)
+			f.cfg.ILFDs = prev
+			if rerr := f.rebuild(); rerr != nil {
+				return fmt.Errorf("federate: rollback failed: %v (original: %w)", rerr, err)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Pairs returns the current matching pairs.
+func (f *Federation) Pairs() []match.Pair {
+	return append([]match.Pair(nil), f.res.MT.Pairs...)
+}

@@ -1,0 +1,346 @@
+// Package ilfd implements instance-level functional dependencies (ILFDs),
+// the semantic constraints the paper uses to derive missing extended-key
+// attribute values (§4.1, §5).
+//
+// An ILFD has the form
+//
+//	(A1=a1) ∧ … ∧ (An=an) → (B1=b1) ∧ … ∧ (Bm=bm)
+//
+// where each (A=a) is a proposition about a single entity: "the entity's A
+// attribute has value a". Unlike a classical FD — whose violation involves
+// two tuples — an ILFD is checked one tuple at a time (§4.1). Several
+// ILFDs with identical antecedents combine into one formula with a
+// conjunctive consequent (§5), which is why Consequent is a set here.
+//
+// The package provides the paper's full ILFD theory: satisfaction and
+// violation over relations, Armstrong-style axioms and derived inference
+// rules (§5.2), the closure X⁺_F of a set of proposition symbols, the
+// inference test F ⊨ f, relational ILFD tables IM(x̄,y) (§4.2), and a
+// small text format for rule files.
+package ilfd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"entityid/internal/relation"
+	"entityid/internal/value"
+)
+
+// Condition is one proposition symbol: attribute Attr has value Val.
+type Condition struct {
+	Attr string
+	Val  value.Value
+}
+
+// C is shorthand for a string-valued condition.
+func C(attr, val string) Condition {
+	return Condition{Attr: attr, Val: value.String(val)}
+}
+
+// Key encodes the condition for set membership; two conditions are the
+// same proposition symbol iff their keys are equal.
+func (c Condition) Key() string { return c.Attr + "\x1e" + c.Val.Key() }
+
+// String renders the condition as attr=value.
+func (c Condition) String() string { return c.Attr + "=" + c.Val.String() }
+
+// HoldsIn reports whether the condition holds in tuple t of relation r:
+// the attribute exists and its value Equals Val (matching-level equality,
+// so a NULL attribute satisfies nothing).
+func (c Condition) HoldsIn(r *relation.Relation, t relation.Tuple) bool {
+	i := r.Schema().Index(c.Attr)
+	return i >= 0 && value.Equal(t[i], c.Val)
+}
+
+// Conditions is a set of proposition symbols with canonical (sorted,
+// deduplicated) order.
+type Conditions []Condition
+
+// Normalize sorts by key and removes duplicates, in place, returning the
+// result.
+func (cs Conditions) Normalize() Conditions {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Key() < cs[j].Key() })
+	out := cs[:0]
+	var last string
+	for i, c := range cs {
+		k := c.Key()
+		if i > 0 && k == last {
+			continue
+		}
+		out = append(out, c)
+		last = k
+	}
+	return out
+}
+
+// Contains reports whether the set contains the proposition symbol c.
+func (cs Conditions) Contains(c Condition) bool {
+	k := c.Key()
+	for _, x := range cs {
+		if x.Key() == k {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAll reports whether every symbol of o is in cs.
+func (cs Conditions) ContainsAll(o Conditions) bool {
+	for _, c := range o {
+		if !cs.Contains(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the normalized union of two condition sets.
+func (cs Conditions) Union(o Conditions) Conditions {
+	out := make(Conditions, 0, len(cs)+len(o))
+	out = append(out, cs...)
+	out = append(out, o...)
+	return out.Normalize()
+}
+
+// Equal reports set equality (after normalization of both operands).
+func (cs Conditions) Equal(o Conditions) bool {
+	a := append(Conditions(nil), cs...).Normalize()
+	b := append(Conditions(nil), o...).Normalize()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			return false
+		}
+	}
+	return true
+}
+
+// HoldIn reports whether every condition holds in tuple t.
+func (cs Conditions) HoldIn(r *relation.Relation, t relation.Tuple) bool {
+	for _, c := range cs {
+		if !c.HoldsIn(r, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the conjunction as (a=x) ∧ (b=y).
+func (cs Conditions) String() string {
+	if len(cs) == 0 {
+		return "⊤"
+	}
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = "(" + c.String() + ")"
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// ILFD is one instance-level functional dependency.
+type ILFD struct {
+	Antecedent Conditions
+	Consequent Conditions
+}
+
+// New builds a normalized ILFD. The consequent must be non-empty; an
+// empty antecedent is allowed (an unconditional fact, useful in theory
+// tests) but rejected by Validate for use against relations.
+func New(ante, cons Conditions) (ILFD, error) {
+	if len(cons) == 0 {
+		return ILFD{}, fmt.Errorf("ilfd: empty consequent")
+	}
+	f := ILFD{
+		Antecedent: append(Conditions(nil), ante...).Normalize(),
+		Consequent: append(Conditions(nil), cons...).Normalize(),
+	}
+	return f, nil
+}
+
+// MustNew panics on error; for literals in tests and examples.
+func MustNew(ante, cons Conditions) ILFD {
+	f, err := New(ante, cons)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// String renders the ILFD as (A=a) ∧ … → (B=b).
+func (f ILFD) String() string {
+	return f.Antecedent.String() + " → " + f.Consequent.String()
+}
+
+// Key is a canonical encoding for deduplication.
+func (f ILFD) Key() string {
+	parts := make([]string, 0, len(f.Antecedent)+1+len(f.Consequent))
+	for _, c := range f.Antecedent {
+		parts = append(parts, c.Key())
+	}
+	parts = append(parts, "\x1d")
+	for _, c := range f.Consequent {
+		parts = append(parts, c.Key())
+	}
+	return strings.Join(parts, "\x1c")
+}
+
+// Equal reports whether two ILFDs have the same antecedent and consequent
+// sets.
+func (f ILFD) Equal(o ILFD) bool {
+	return f.Antecedent.Equal(o.Antecedent) && f.Consequent.Equal(o.Consequent)
+}
+
+// Trivial reports whether the ILFD is trivial in the sense of the
+// reflexivity axiom (§5.2): its consequent is a subset of its antecedent,
+// so it holds in every entity set regardless of F.
+func (f ILFD) Trivial() bool {
+	return f.Antecedent.ContainsAll(f.Consequent)
+}
+
+// Attrs returns the sorted set of attribute names the ILFD mentions.
+func (f ILFD) Attrs() []string {
+	set := map[string]bool{}
+	for _, c := range f.Antecedent {
+		set[c.Attr] = true
+	}
+	for _, c := range f.Consequent {
+		set[c.Attr] = true
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SatisfiedBy reports whether tuple t of relation r satisfies the ILFD:
+// if the antecedent holds in t, the consequent holds too. Violation
+// checking involves only one tuple (§4.1).
+//
+// A consequent condition whose attribute is NULL in t counts as not
+// holding — the tuple does not *contradict* the ILFD, but it does not
+// satisfy it either; use Contradicts to distinguish.
+func (f ILFD) SatisfiedBy(r *relation.Relation, t relation.Tuple) bool {
+	if !f.Antecedent.HoldIn(r, t) {
+		return true
+	}
+	return f.Consequent.HoldIn(r, t)
+}
+
+// Contradicts reports whether tuple t positively contradicts the ILFD:
+// the antecedent holds and some consequent attribute has a non-NULL value
+// different from the required one. A NULL consequent attribute is merely
+// missing information, not a contradiction.
+func (f ILFD) Contradicts(r *relation.Relation, t relation.Tuple) bool {
+	if !f.Antecedent.HoldIn(r, t) {
+		return false
+	}
+	for _, c := range f.Consequent {
+		i := r.Schema().Index(c.Attr)
+		if i < 0 {
+			continue
+		}
+		v := t[i]
+		if !v.IsNull() && !value.Equal(v, c.Val) {
+			return true
+		}
+	}
+	return false
+}
+
+// Set is an ordered collection of ILFDs (order matters for the
+// first-match derivation mode, mirroring Prolog rule order).
+type Set []ILFD
+
+// Dedup returns the set with exact duplicates removed, preserving first
+// occurrences.
+func (fs Set) Dedup() Set {
+	seen := map[string]bool{}
+	out := make(Set, 0, len(fs))
+	for _, f := range fs {
+		k := f.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// SatisfiedBy reports whether every ILFD in the set is satisfied by every
+// tuple of r. The paper assumes "all tuples modeling the real world are
+// consistent with the ILFDs" (§4.1); this is the checker for that
+// assumption.
+func (fs Set) SatisfiedBy(r *relation.Relation) bool {
+	return len(fs.Violations(r)) == 0
+}
+
+// Violation records a tuple that fails an ILFD.
+type Violation struct {
+	ILFD  ILFD
+	Index int // tuple position in the relation
+}
+
+// Violations returns every (ILFD, tuple) pair where the tuple's
+// antecedent holds but its consequent does not hold (missing counts as
+// not holding).
+func (fs Set) Violations(r *relation.Relation) []Violation {
+	var out []Violation
+	for _, f := range fs {
+		for i, t := range r.Tuples() {
+			if !f.SatisfiedBy(r, t) {
+				out = append(out, Violation{ILFD: f, Index: i})
+			}
+		}
+	}
+	return out
+}
+
+// Contradictions returns every (ILFD, tuple) pair where the tuple
+// positively contradicts the ILFD (non-NULL wrong value).
+func (fs Set) Contradictions(r *relation.Relation) []Violation {
+	var out []Violation
+	for _, f := range fs {
+		for i, t := range r.Tuples() {
+			if f.Contradicts(r, t) {
+				out = append(out, Violation{ILFD: f, Index: i})
+			}
+		}
+	}
+	return out
+}
+
+// CombineByAntecedent merges ILFDs with identical antecedents into single
+// formulas with conjunctive consequents, the §5 normal form
+// ((P→Q1) ∧ (P→Q2) ≡ P→(Q1∧Q2)). Order follows first occurrence of each
+// antecedent.
+func (fs Set) CombineByAntecedent() Set {
+	type slot struct {
+		ante Conditions
+		cons Conditions
+	}
+	var order []string
+	byAnte := map[string]*slot{}
+	for _, f := range fs {
+		k := f.Antecedent.String()
+		s, ok := byAnte[k]
+		if !ok {
+			s = &slot{ante: f.Antecedent}
+			byAnte[k] = s
+			order = append(order, k)
+		}
+		s.cons = s.cons.Union(f.Consequent)
+	}
+	out := make(Set, 0, len(order))
+	for _, k := range order {
+		s := byAnte[k]
+		out = append(out, MustNew(s.ante, s.cons))
+	}
+	return out
+}

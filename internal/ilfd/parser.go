@@ -1,0 +1,208 @@
+package ilfd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"entityid/internal/schema"
+	"entityid/internal/value"
+)
+
+// This file implements the small text format used by rule files and the
+// CLI:
+//
+//	# comment
+//	speciality=Hunan -> cuisine=Chinese
+//	name=TwinCities & street=Co.B2 -> speciality=Hunan
+//	street=FrontAve. -> county=Ramsey & region=East
+//
+// Each line is antecedent -> consequent; conjuncts are joined with '&'.
+// Values may be double-quoted to include '&', '=', '#' or leading/
+// trailing spaces. Without a schema, values parse as strings; with a
+// schema, each value parses according to the attribute's declared kind.
+
+// ParseLine parses one ILFD in the text format with string-typed values.
+func ParseLine(line string) (ILFD, error) {
+	return parseLine(line, nil)
+}
+
+// ParseLineTyped parses one ILFD, typing each value by the attribute's
+// kind in sch. Attributes missing from the schema default to string.
+func ParseLineTyped(line string, sch *schema.Schema) (ILFD, error) {
+	return parseLine(line, sch)
+}
+
+func parseLine(line string, sch *schema.Schema) (ILFD, error) {
+	parts := strings.SplitN(line, "->", 2)
+	if len(parts) != 2 {
+		return ILFD{}, fmt.Errorf("ilfd: parse %q: missing '->'", line)
+	}
+	ante, err := parseConjunction(parts[0], sch)
+	if err != nil {
+		return ILFD{}, fmt.Errorf("ilfd: parse %q: antecedent: %w", line, err)
+	}
+	cons, err := parseConjunction(parts[1], sch)
+	if err != nil {
+		return ILFD{}, fmt.Errorf("ilfd: parse %q: consequent: %w", line, err)
+	}
+	if len(cons) == 0 {
+		return ILFD{}, fmt.Errorf("ilfd: parse %q: empty consequent", line)
+	}
+	return New(ante, cons)
+}
+
+func parseConjunction(text string, sch *schema.Schema) (Conditions, error) {
+	var out Conditions
+	for _, part := range splitTop(text, '&') {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := indexTop(part, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("condition %q: missing '='", part)
+		}
+		attr := strings.TrimSpace(part[:eq])
+		raw := strings.TrimSpace(part[eq+1:])
+		if attr == "" {
+			return nil, fmt.Errorf("condition %q: empty attribute", part)
+		}
+		text, quoted, err := unquote(raw)
+		if err != nil {
+			return nil, fmt.Errorf("condition %q: %w", part, err)
+		}
+		var v value.Value
+		if quoted {
+			v = value.String(text)
+		} else {
+			kind := value.KindString
+			if sch != nil && sch.Has(attr) {
+				kind = sch.KindOf(attr)
+			}
+			v, err = value.Parse(text, kind)
+			if err != nil {
+				return nil, fmt.Errorf("condition %q: %w", part, err)
+			}
+			if v.IsNull() {
+				return nil, fmt.Errorf("condition %q: ILFD conditions relate concrete values, not NULL", part)
+			}
+		}
+		out = append(out, Condition{Attr: attr, Val: v})
+	}
+	return out, nil
+}
+
+// splitTop splits on sep outside double quotes.
+func splitTop(s string, sep byte) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case sep:
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// indexTop finds the first sep outside double quotes, or -1.
+func indexTop(s string, sep byte) int {
+	quoted := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			quoted = !quoted
+		case sep:
+			if !quoted {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func unquote(s string) (text string, quoted bool, err error) {
+	if !strings.HasPrefix(s, `"`) {
+		return s, false, nil
+	}
+	if len(s) < 2 || !strings.HasSuffix(s, `"`) {
+		return "", false, fmt.Errorf("unterminated quote in %q", s)
+	}
+	return s[1 : len(s)-1], true, nil
+}
+
+// ParseSet reads a rule file: one ILFD per line, blank lines and
+// #-comments skipped. A nil schema types every value as string.
+func ParseSet(r io.Reader, sch *schema.Schema) (Set, error) {
+	var out Set
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f, err := parseLine(line, sch)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MustParse parses a single ILFD line with string values, panicking on
+// error; for literals in tests and examples.
+func MustParse(line string) ILFD {
+	f, err := ParseLine(line)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// FormatSet renders a set in the parsable text format (values quoted when
+// they contain metacharacters).
+func FormatSet(fs Set) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(formatRule(f))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatRule(f ILFD) string {
+	return formatConj(f.Antecedent) + " -> " + formatConj(f.Consequent)
+}
+
+func formatConj(cs Conditions) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.Attr + "=" + quoteIfNeeded(c.Val)
+	}
+	return strings.Join(parts, " & ")
+}
+
+func quoteIfNeeded(v value.Value) string {
+	s := v.String()
+	if v.Kind() == value.KindString &&
+		(strings.ContainsAny(s, `&="#`) || strings.TrimSpace(s) != s || s == "" ||
+			strings.EqualFold(s, "null")) {
+		return `"` + s + `"`
+	}
+	return s
+}

@@ -1,0 +1,541 @@
+// Package match constructs matching tables — the paper's core algorithm
+// (§4.2) — and implements the correctness machinery of §3: the
+// uniqueness and consistency constraints, the three-valued
+// match/non-match/undetermined classifier, and the extended-key
+// soundness verification the prototype performs on setup_extkey (§6.3).
+//
+// The construction follows the paper step by step:
+//
+//  1. Extend R to R′ (and S to S′) with the extended-key attributes each
+//     side is missing, NULL-initialised.
+//  2. Apply the available ILFDs to derive missing extended-key values
+//     (delegated to the derive package; cut or fixpoint semantics).
+//  3. Join R′ and S′ on identical non-NULL extended-key values; project
+//     each matched pair onto (K_R, K_S) to form MT_RS.
+//
+// Negative information comes from distinctness rules: the user-supplied
+// ones plus — via Proposition 1 — one rule per ILFD consequent. The
+// conceptual negative matching table NMT_RS is enumerated lazily because
+// it is usually far larger than MT_RS (§4.1).
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"entityid/internal/derive"
+	"entityid/internal/ilfd"
+	"entityid/internal/ra"
+	"entityid/internal/relation"
+	"entityid/internal/rules"
+	"entityid/internal/schema"
+	"entityid/internal/value"
+)
+
+// AttrMap places one integrated-world attribute in the two source
+// relations. R or S is empty when the relation does not model the
+// attribute (it will be derived or stay NULL).
+type AttrMap struct {
+	Name string // integrated name (ILFDs and the extended key use this)
+	R, S string // source attribute names; "" = absent
+}
+
+// Config is the input to Build.
+type Config struct {
+	// R and S are the source relations.
+	R, S *relation.Relation
+	// Attrs maps integrated attribute names to source attributes. Every
+	// extended-key attribute, every attribute mentioned by an ILFD and
+	// every attribute mentioned by a distinctness rule must appear here.
+	Attrs []AttrMap
+	// ExtKey lists the extended key's integrated attribute names.
+	ExtKey []string
+	// ILFDs supply derivation knowledge, written over integrated names.
+	ILFDs ilfd.Set
+	// Identity are extra identity rules (beyond extended-key
+	// equivalence) over integrated names, evaluated on the extended
+	// relations: any pair satisfying any rule — in either orientation —
+	// joins the matching table. The §3.2 uniqueness requirement ("the
+	// uniqueness of tuple in a relation satisfying the identity rule
+	// conditions must be observed") is enforced by Verify like every
+	// other source of pairs.
+	Identity []rules.IdentityRule
+	// Distinct are extra distinctness rules over integrated names.
+	Distinct []rules.DistinctnessRule
+	// DeriveMode selects cut (default) or fixpoint derivation.
+	DeriveMode derive.Mode
+	// DisableProp1 turns off the automatic ILFD → distinctness-rule
+	// conversion of Proposition 1.
+	DisableProp1 bool
+}
+
+// Pair is one matching-table entry: positions of the matched tuples in
+// the source relations.
+type Pair struct {
+	RIndex, SIndex int
+}
+
+// Table is a matching table (or negative matching table): a set of
+// tuple pairs with the key attributes used to display them.
+type Table struct {
+	// RKey and SKey are the source relations' primary keys, whose values
+	// identify the pair (the paper: "a matching table entry consists of
+	// the key values of the pair of tuples").
+	RKey, SKey []string
+	Pairs      []Pair
+}
+
+// Len returns the number of pairs.
+func (t *Table) Len() int { return len(t.Pairs) }
+
+// Contains reports whether the pair (i, j) is in the table.
+func (t *Table) Contains(i, j int) bool {
+	for _, p := range t.Pairs {
+		if p.RIndex == i && p.SIndex == j {
+			return true
+		}
+	}
+	return false
+}
+
+// Verdict is the three-valued outcome of the identification function
+// (§3.2).
+type Verdict int
+
+// The three verdicts.
+const (
+	Undetermined Verdict = iota
+	Matching
+	NotMatching
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Matching:
+		return "matching"
+	case NotMatching:
+		return "not-matching"
+	case Undetermined:
+		return "undetermined"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Result is the outcome of Build.
+type Result struct {
+	// RPrime and SPrime are the extended relations (Table 6). Attribute
+	// names are integrated names.
+	RPrime, SPrime *relation.Relation
+	// MT is the matching table (Table 7).
+	MT *Table
+	// Conflicts lists derivation conflicts (fixpoint mode only).
+	Conflicts []derive.Conflict
+	// distinct holds the effective distinctness rules (user + Prop. 1).
+	distinct []rules.DistinctnessRule
+	extKey   []string
+}
+
+// Build runs the §4.2 matching-table construction. It fails if the
+// configuration is inconsistent (unknown attributes, kind mismatches);
+// soundness verification is a separate step (Verify) so callers can
+// inspect an unsound table the way the prototype prints its warning.
+func Build(cfg Config) (*Result, error) {
+	if cfg.R == nil || cfg.S == nil {
+		return nil, fmt.Errorf("match: R and S must both be set")
+	}
+	if len(cfg.ExtKey) == 0 {
+		return nil, fmt.Errorf("match: empty extended key")
+	}
+	byName := map[string]AttrMap{}
+	for _, am := range cfg.Attrs {
+		if am.Name == "" {
+			return nil, fmt.Errorf("match: attribute map entry with empty integrated name")
+		}
+		if _, dup := byName[am.Name]; dup {
+			return nil, fmt.Errorf("match: duplicate attribute map entry %q", am.Name)
+		}
+		if am.R != "" && !cfg.R.Schema().Has(am.R) {
+			return nil, fmt.Errorf("match: attribute %q: R has no attribute %q", am.Name, am.R)
+		}
+		if am.S != "" && !cfg.S.Schema().Has(am.S) {
+			return nil, fmt.Errorf("match: attribute %q: S has no attribute %q", am.Name, am.S)
+		}
+		if am.R != "" && am.S != "" {
+			if rk, sk := cfg.R.Schema().KindOf(am.R), cfg.S.Schema().KindOf(am.S); rk != sk {
+				return nil, fmt.Errorf("match: attribute %q: kind mismatch %s vs %s", am.Name, rk, sk)
+			}
+		}
+		byName[am.Name] = am
+	}
+	for _, k := range cfg.ExtKey {
+		if _, ok := byName[k]; !ok {
+			return nil, fmt.Errorf("match: extended-key attribute %q not in attribute map", k)
+		}
+	}
+
+	rPrime, rConf, err := extendSide(cfg.R, "R'", true, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sPrime, sConf, err := extendSide(cfg.S, "S'", false, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Join R′ and S′ over the extended key (non-NULL equality) and read
+	// off tuple pairs. The join result is only needed for pair
+	// extraction, so pair up directly with the same hash discipline as
+	// ra.Join — but through the public operator to stay faithful to the
+	// paper's relational expression.
+	pairs, err := joinPairs(rPrime, sPrime, cfg.ExtKey)
+	if err != nil {
+		return nil, err
+	}
+	// Extra identity rules contribute pairs by pairwise evaluation.
+	if len(cfg.Identity) > 0 {
+		have := make(map[[2]int]bool, len(pairs))
+		for _, p := range pairs {
+			have[[2]int{p.RIndex, p.SIndex}] = true
+		}
+		for i, rt := range rPrime.Tuples() {
+			for j, st := range sPrime.Tuples() {
+				if have[[2]int{i, j}] {
+					continue
+				}
+				for _, rule := range cfg.Identity {
+					if rule.Holds(rPrime, rt, sPrime, st) || rule.Holds(sPrime, st, rPrime, rt) {
+						have[[2]int{i, j}] = true
+						pairs = append(pairs, Pair{RIndex: i, SIndex: j})
+						break
+					}
+				}
+			}
+		}
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a].RIndex != pairs[b].RIndex {
+				return pairs[a].RIndex < pairs[b].RIndex
+			}
+			return pairs[a].SIndex < pairs[b].SIndex
+		})
+	}
+
+	res := &Result{
+		RPrime: rPrime,
+		SPrime: sPrime,
+		// Key attribute names are taken from the extended relations, so
+		// they reflect integrated names after renaming.
+		MT:        &Table{RKey: rPrime.Schema().PrimaryKey(), SKey: sPrime.Schema().PrimaryKey(), Pairs: pairs},
+		Conflicts: append(rConf, sConf...),
+		extKey:    append([]string(nil), cfg.ExtKey...),
+	}
+	res.distinct = append(res.distinct, cfg.Distinct...)
+	if !cfg.DisableProp1 {
+		for _, f := range cfg.ILFDs {
+			res.distinct = append(res.distinct, rules.ToDistinctness(f)...)
+		}
+	}
+	return res, nil
+}
+
+// SideExtender is the reusable rename + derive pipeline for one side of
+// a configuration: it turns any relation with that side's schema into
+// its extended form. Build uses one per side; incremental maintenance
+// (the federate package) holds them across inserts to amortise the
+// derivation index.
+type SideExtender struct {
+	name      string
+	renameMap map[string]string
+	extra     []schema.Attribute
+	ext       *derive.Extender
+}
+
+// NewSideExtender prepares the pipeline for the left (R) or right (S)
+// side of cfg. It assumes cfg's attribute map was validated (Build does
+// so; external callers get errors surfaced on Extend).
+func NewSideExtender(cfg Config, left bool) *SideExtender {
+	se := &SideExtender{renameMap: map[string]string{}}
+	if left {
+		se.name = "R'"
+	} else {
+		se.name = "S'"
+	}
+	for _, am := range cfg.Attrs {
+		src := am.R
+		if !left {
+			src = am.S
+		}
+		if src != "" && src != am.Name {
+			se.renameMap[src] = am.Name
+		}
+	}
+	// Attributes the side is missing: in the map but with empty source.
+	for _, am := range cfg.Attrs {
+		src := am.R
+		other := am.S
+		if !left {
+			src, other = am.S, am.R
+		}
+		if src != "" {
+			continue
+		}
+		kind := value.KindString
+		if other != "" {
+			if left {
+				kind = cfg.S.Schema().KindOf(other)
+			} else {
+				kind = cfg.R.Schema().KindOf(other)
+			}
+		} else if k, ok := consequentKind(cfg.ILFDs, am.Name); ok {
+			kind = k
+		}
+		se.extra = append(se.extra, schema.Attribute{Name: am.Name, Kind: kind})
+	}
+	se.ext = derive.NewExtender(cfg.ILFDs, derive.Options{Mode: cfg.DeriveMode})
+	return se
+}
+
+// Extend runs the pipeline over a relation with the side's source
+// schema.
+func (se *SideExtender) Extend(rel *relation.Relation) (*relation.Relation, []derive.Conflict, error) {
+	cur := rel
+	if len(se.renameMap) > 0 {
+		renamed, err := ra.Rename(rel, rel.Schema().Name(), se.renameMap)
+		if err != nil {
+			return nil, nil, fmt.Errorf("match: rename %s: %w", rel.Schema().Name(), err)
+		}
+		cur = renamed
+	}
+	return se.ext.Extend(cur, se.name, se.extra)
+}
+
+// extendSide renames a source relation's mapped attributes to integrated
+// names, then derives the missing integrated attributes.
+func extendSide(rel *relation.Relation, name string, left bool, cfg Config) (*relation.Relation, []derive.Conflict, error) {
+	se := NewSideExtender(cfg, left)
+	se.name = name
+	return se.Extend(rel)
+}
+
+// consequentKind infers an attribute's kind from ILFD consequents.
+func consequentKind(fs ilfd.Set, attr string) (value.Kind, bool) {
+	for _, f := range fs {
+		for _, c := range f.Consequent {
+			if c.Attr == attr {
+				return c.Val.Kind(), true
+			}
+		}
+	}
+	return value.KindNull, false
+}
+
+// joinPairs pairs up tuples of rp and sp that agree (non-NULL) on every
+// extended-key attribute.
+func joinPairs(rp, sp *relation.Relation, extKey []string) ([]Pair, error) {
+	for _, a := range extKey {
+		if !rp.Schema().Has(a) {
+			return nil, fmt.Errorf("match: extended relation %s missing key attribute %q", rp.Schema().Name(), a)
+		}
+		if !sp.Schema().Has(a) {
+			return nil, fmt.Errorf("match: extended relation %s missing key attribute %q", sp.Schema().Name(), a)
+		}
+	}
+	keyOf := func(rel *relation.Relation, t relation.Tuple) (string, bool) {
+		var b strings.Builder
+		for n, a := range extKey {
+			v := t[rel.Schema().Index(a)]
+			if v.IsNull() {
+				return "", false
+			}
+			if n > 0 {
+				b.WriteByte('\x1f')
+			}
+			b.WriteString(v.Key())
+		}
+		return b.String(), true
+	}
+	index := map[string][]int{}
+	for j, t := range sp.Tuples() {
+		if k, ok := keyOf(sp, t); ok {
+			index[k] = append(index[k], j)
+		}
+	}
+	var pairs []Pair
+	for i, t := range rp.Tuples() {
+		k, ok := keyOf(rp, t)
+		if !ok {
+			continue
+		}
+		for _, j := range index[k] {
+			pairs = append(pairs, Pair{RIndex: i, SIndex: j})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].RIndex != pairs[b].RIndex {
+			return pairs[a].RIndex < pairs[b].RIndex
+		}
+		return pairs[a].SIndex < pairs[b].SIndex
+	})
+	return pairs, nil
+}
+
+// Verify checks the §3.2 constraints on the matching table:
+//
+//   - uniqueness: no tuple of either relation matches more than one
+//     tuple of the other (the prototype's setup_extkey check), and
+//   - consistency: no matched pair is simultaneously declared distinct
+//     by a distinctness rule.
+//
+// A nil return means the extended key produced a sound table (the
+// prototype's "The extended key is verified."); otherwise the error
+// describes the first violation (the prototype's "unsound matching
+// result" warning).
+func (res *Result) Verify() error {
+	seenR := map[int]int{}
+	seenS := map[int]int{}
+	for _, p := range res.MT.Pairs {
+		if j, dup := seenR[p.RIndex]; dup {
+			return fmt.Errorf("match: uniqueness violation: R tuple %d matches S tuples %d and %d",
+				p.RIndex, j, p.SIndex)
+		}
+		seenR[p.RIndex] = p.SIndex
+		if i, dup := seenS[p.SIndex]; dup {
+			return fmt.Errorf("match: uniqueness violation: S tuple %d matches R tuples %d and %d",
+				p.SIndex, i, p.RIndex)
+		}
+		seenS[p.SIndex] = p.RIndex
+	}
+	for _, p := range res.MT.Pairs {
+		for _, d := range res.distinct {
+			if res.distinctHolds(d, p.RIndex, p.SIndex) {
+				return fmt.Errorf("match: consistency violation: pair (%d,%d) matched but distinctness rule %q fires",
+					p.RIndex, p.SIndex, d.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// distinctHolds evaluates a distinctness rule over the pair in both
+// orientations: the rule's e1 and e2 range over all entities of E, so a
+// pair (r, s) instantiates either (e1=r, e2=s) or (e1=s, e2=r). Table 4
+// of the paper needs the second orientation (the Mughalai tuple lives in
+// S).
+func (res *Result) distinctHolds(d rules.DistinctnessRule, i, j int) bool {
+	rt, st := res.RPrime.Tuple(i), res.SPrime.Tuple(j)
+	return d.Holds(res.RPrime, rt, res.SPrime, st) ||
+		d.Holds(res.SPrime, st, res.RPrime, rt)
+}
+
+// Classify returns the three-valued verdict for the pair (i, j): in the
+// matching table ⇒ Matching; some distinctness rule fires ⇒ NotMatching;
+// otherwise Undetermined (§3.2, Figure 3).
+func (res *Result) Classify(i, j int) Verdict {
+	if res.MT.Contains(i, j) {
+		return Matching
+	}
+	for _, d := range res.distinct {
+		if res.distinctHolds(d, i, j) {
+			return NotMatching
+		}
+	}
+	return Undetermined
+}
+
+// Counts enumerates all |R|×|S| pairs and tallies the three verdicts —
+// the Figure 3 partition. Completeness holds exactly when undetermined
+// is zero.
+func (res *Result) Counts() (matching, notMatching, undetermined int) {
+	for i := 0; i < res.RPrime.Len(); i++ {
+		for j := 0; j < res.SPrime.Len(); j++ {
+			switch res.Classify(i, j) {
+			case Matching:
+				matching++
+			case NotMatching:
+				notMatching++
+			default:
+				undetermined++
+			}
+		}
+	}
+	return
+}
+
+// NegativePairs enumerates up to limit entries of the conceptual
+// negative matching table NMT_RS: pairs some distinctness rule declares
+// distinct. limit <= 0 means no limit. Matched pairs are excluded (a
+// pair in both tables is a consistency violation Verify reports; the
+// NMT view follows the classifier).
+func (res *Result) NegativePairs(limit int) []Pair {
+	var out []Pair
+	for i := 0; i < res.RPrime.Len(); i++ {
+		for j := 0; j < res.SPrime.Len(); j++ {
+			if res.Classify(i, j) == NotMatching {
+				out = append(out, Pair{RIndex: i, SIndex: j})
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// UndeterminedPairs enumerates up to limit undetermined pairs.
+func (res *Result) UndeterminedPairs(limit int) []Pair {
+	var out []Pair
+	for i := 0; i < res.RPrime.Len(); i++ {
+		for j := 0; j < res.SPrime.Len(); j++ {
+			if res.Classify(i, j) == Undetermined {
+				out = append(out, Pair{RIndex: i, SIndex: j})
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ExtKey returns the extended key attributes the result was built with.
+func (res *Result) ExtKey() []string { return append([]string(nil), res.extKey...) }
+
+// Distinct returns the effective distinctness rules (user + Prop. 1).
+func (res *Result) Distinct() []rules.DistinctnessRule {
+	return append([]rules.DistinctnessRule(nil), res.distinct...)
+}
+
+// RenderMT renders the matching table in the prototype's print format:
+// columns are R's key attributes then S's key attributes, one row per
+// pair, sorted lexicographically (the prototype's setof ordering).
+func (res *Result) RenderMT(title string) string {
+	header := make([]string, 0, len(res.MT.RKey)+len(res.MT.SKey))
+	for _, a := range res.MT.RKey {
+		header = append(header, "r_"+a)
+	}
+	for _, a := range res.MT.SKey {
+		header = append(header, "s_"+a)
+	}
+	var rows []relation.Tuple
+	for _, p := range res.MT.Pairs {
+		row := make(relation.Tuple, 0, len(header))
+		for _, a := range res.MT.RKey {
+			row = append(row, res.RPrime.MustValue(p.RIndex, a))
+		}
+		for _, a := range res.MT.SKey {
+			row = append(row, res.SPrime.MustValue(p.SIndex, a))
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		for i := range rows[a] {
+			if c := value.Compare(rows[a][i], rows[b][i]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return relation.Format(title, header, rows)
+}

@@ -1,0 +1,415 @@
+// Package relation implements in-memory relations: ordered collections of
+// tuples over a schema, with candidate-key enforcement and deterministic
+// iteration. Relations are the substrate every other package operates on —
+// the paper assumes "the data model used is relational and real-world
+// entities of the same type can be represented as tuples in relations"
+// (§3.1).
+//
+// Key enforcement deliberately skips NULLs: the extended relations R′ and
+// S′ of §4.2 carry NULL in attributes the source relation never modeled,
+// and the integrated table T_RS may hold NULLs even inside extended-key
+// attributes. Candidate keys are therefore checked with storage-level
+// identity over fully non-NULL key projections only.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"entityid/internal/schema"
+	"entityid/internal/value"
+)
+
+// Tuple is one row of a relation. Values appear in schema attribute order.
+type Tuple []value.Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	return append(Tuple(nil), t...)
+}
+
+// Key encodes the tuple (or a projection of it) as a map key.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(v.Key())
+	}
+	return b.String()
+}
+
+// Identical reports storage-level equality of two tuples (NULL identical
+// to NULL).
+func (t Tuple) Identical(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !value.Identical(t[i], o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation is a mutable multiset of tuples over a schema. The first
+// candidate key of the schema is enforced on Insert: two tuples may not
+// agree (non-NULL, storage-identical) on all primary-key attributes. All
+// candidate keys declared on the schema are enforced likewise.
+type Relation struct {
+	schema *schema.Schema
+	tuples []Tuple
+	// keyIdx maps candidate-key ordinal -> key-projection string -> tuple
+	// position, for O(1) duplicate detection and key lookups.
+	keyIdx []map[string]int
+	// bag disables duplicate detection (NewBag).
+	bag bool
+}
+
+// New creates an empty relation with the given schema.
+func New(s *schema.Schema) *Relation {
+	r := &Relation{schema: s}
+	r.keyIdx = make([]map[string]int, len(s.Keys()))
+	for i := range r.keyIdx {
+		r.keyIdx[i] = make(map[string]int)
+	}
+	return r
+}
+
+// NewBag creates an empty relation that does not enforce candidate
+// keys: a bag, for operator outputs (merged views, projections) whose
+// rows may legitimately repeat. The schema's keys remain declared for
+// documentation, and LookupKey still resolves the last-inserted tuple
+// per key value.
+func NewBag(s *schema.Schema) *Relation {
+	r := New(s)
+	r.bag = true
+	return r
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *schema.Schema { return r.schema }
+
+// IsBag reports whether the relation was created with NewBag (no
+// candidate-key enforcement).
+func (r *Relation) IsBag() bool { return r.bag }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuple returns the tuple at position i (not a copy; callers must not
+// mutate it).
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Tuples returns the tuples in insertion order. The slice is shared;
+// callers must not mutate it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Value returns tuple i's value for the named attribute.
+func (r *Relation) Value(i int, attr string) (value.Value, error) {
+	j := r.schema.Index(attr)
+	if j < 0 {
+		return value.Null, fmt.Errorf("relation %s: no attribute %q", r.schema.Name(), attr)
+	}
+	return r.tuples[i][j], nil
+}
+
+// MustValue is Value that panics on unknown attributes.
+func (r *Relation) MustValue(i int, attr string) value.Value {
+	v, err := r.Value(i, attr)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// keyProjection returns the encoded projection of t onto key, and whether
+// every key attribute is non-NULL (NULL-containing projections are not
+// indexed, mirroring SQL's treatment of NULLs in unique constraints and
+// the paper's extended relations).
+func (r *Relation) keyProjection(t Tuple, key []string) (string, bool) {
+	var b strings.Builder
+	for i, a := range key {
+		v := t[r.schema.Index(a)]
+		if v.IsNull() {
+			return "", false
+		}
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(v.Key())
+	}
+	return b.String(), true
+}
+
+// CanInsert reports whether Insert would accept the tuple, without
+// mutating the relation: it checks arity, value kinds and candidate
+// keys. Incremental pipelines use it as a cheap insertion guard.
+func (r *Relation) CanInsert(t Tuple) error {
+	if err := r.checkShape(t); err != nil {
+		return err
+	}
+	for ki, key := range r.schema.Keys() {
+		proj, full := r.keyProjection(t, key)
+		if !full {
+			continue
+		}
+		if at, dup := r.keyIdx[ki][proj]; dup && !r.bag {
+			return fmt.Errorf("relation %s: key (%s) violation: tuple %v duplicates tuple %d",
+				r.schema.Name(), strings.Join(key, ","), t, at)
+		}
+	}
+	return nil
+}
+
+func (r *Relation) checkShape(t Tuple) error {
+	if len(t) != r.schema.Arity() {
+		return fmt.Errorf("relation %s: arity %d tuple, schema wants %d",
+			r.schema.Name(), len(t), r.schema.Arity())
+	}
+	for i, v := range t {
+		if v.IsNull() {
+			continue
+		}
+		if want := r.schema.Attr(i).Kind; v.Kind() != want {
+			return fmt.Errorf("relation %s: attribute %q: %s value, schema wants %s",
+				r.schema.Name(), r.schema.Attr(i).Name, v.Kind(), want)
+		}
+	}
+	return nil
+}
+
+// Insert appends a tuple. It fails if the arity is wrong, a value's kind
+// disagrees with the schema (NULL is allowed anywhere), or a candidate key
+// is violated.
+func (r *Relation) Insert(t Tuple) error {
+	if err := r.checkShape(t); err != nil {
+		return err
+	}
+	keys := r.schema.Keys()
+	projs := make([]string, len(keys))
+	indexed := make([]bool, len(keys))
+	for ki, key := range keys {
+		proj, full := r.keyProjection(t, key)
+		if !full {
+			continue
+		}
+		if at, dup := r.keyIdx[ki][proj]; dup && !r.bag {
+			return fmt.Errorf("relation %s: key (%s) violation: tuple %v duplicates tuple %d",
+				r.schema.Name(), strings.Join(key, ","), t, at)
+		}
+		projs[ki], indexed[ki] = proj, true
+	}
+	pos := len(r.tuples)
+	r.tuples = append(r.tuples, t.Clone())
+	for ki := range keys {
+		if indexed[ki] {
+			r.keyIdx[ki][projs[ki]] = pos
+		}
+	}
+	return nil
+}
+
+// MustInsert is Insert that panics on error; for literals in tests and
+// examples.
+func (r *Relation) MustInsert(vals ...value.Value) {
+	if err := r.Insert(Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// InsertStrings inserts a tuple given as text, parsing each field
+// according to the schema's declared kind ("null" and "" become NULL).
+func (r *Relation) InsertStrings(fields ...string) error {
+	if len(fields) != r.schema.Arity() {
+		return fmt.Errorf("relation %s: %d fields, schema wants %d",
+			r.schema.Name(), len(fields), r.schema.Arity())
+	}
+	t := make(Tuple, len(fields))
+	for i, f := range fields {
+		v, err := value.Parse(f, r.schema.Attr(i).Kind)
+		if err != nil {
+			return fmt.Errorf("relation %s: field %d: %w", r.schema.Name(), i, err)
+		}
+		t[i] = v
+	}
+	return r.Insert(t)
+}
+
+// LookupKey finds the tuple whose primary-key projection equals the given
+// values (in primary-key attribute order). It returns the tuple index or
+// -1. NULL key values never match.
+func (r *Relation) LookupKey(keyVals ...value.Value) int {
+	key := r.schema.PrimaryKey()
+	if len(keyVals) != len(key) {
+		return -1
+	}
+	var b strings.Builder
+	for i, v := range keyVals {
+		if v.IsNull() {
+			return -1
+		}
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(v.Key())
+	}
+	if pos, ok := r.keyIdx[0][b.String()]; ok {
+		return pos
+	}
+	return -1
+}
+
+// Project returns the values of tuple t for the named attributes, in
+// order.
+func (r *Relation) Project(t Tuple, attrs []string) (Tuple, error) {
+	out := make(Tuple, len(attrs))
+	for i, a := range attrs {
+		j := r.schema.Index(a)
+		if j < 0 {
+			return nil, fmt.Errorf("relation %s: no attribute %q", r.schema.Name(), a)
+		}
+		out[i] = t[j]
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := New(r.schema)
+	out.bag = r.bag
+	out.tuples = make([]Tuple, len(r.tuples))
+	for i, t := range r.tuples {
+		out.tuples[i] = t.Clone()
+	}
+	for ki := range r.keyIdx {
+		for k, v := range r.keyIdx[ki] {
+			out.keyIdx[ki][k] = v
+		}
+	}
+	return out
+}
+
+// Equal reports whether two relations have equal schemas and the same
+// multiset of tuples (order-insensitive, storage-level identity).
+func (r *Relation) Equal(o *Relation) bool {
+	if !r.schema.Equal(o.schema) || r.Len() != o.Len() {
+		return false
+	}
+	counts := make(map[string]int, r.Len())
+	for _, t := range r.tuples {
+		counts[t.Key()]++
+	}
+	for _, t := range o.tuples {
+		counts[t.Key()]--
+		if counts[t.Key()] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Sort orders tuples by the given attributes (ascending, value.Compare),
+// in place. With no attributes it sorts by the whole tuple. Sorting
+// re-indexes keys.
+func (r *Relation) Sort(attrs ...string) error {
+	idx := make([]int, 0, len(attrs))
+	for _, a := range attrs {
+		j := r.schema.Index(a)
+		if j < 0 {
+			return fmt.Errorf("relation %s: sort: no attribute %q", r.schema.Name(), a)
+		}
+		idx = append(idx, j)
+	}
+	if len(idx) == 0 {
+		for j := 0; j < r.schema.Arity(); j++ {
+			idx = append(idx, j)
+		}
+	}
+	sort.SliceStable(r.tuples, func(a, b int) bool {
+		ta, tb := r.tuples[a], r.tuples[b]
+		for _, j := range idx {
+			if c := value.Compare(ta[j], tb[j]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	r.reindex()
+	return nil
+}
+
+func (r *Relation) reindex() {
+	keys := r.schema.Keys()
+	for ki := range r.keyIdx {
+		r.keyIdx[ki] = make(map[string]int)
+	}
+	for pos, t := range r.tuples {
+		for ki, key := range keys {
+			if proj, full := r.keyProjection(t, key); full {
+				r.keyIdx[ki][proj] = pos
+			}
+		}
+	}
+}
+
+// String renders the relation as an aligned text table in the prototype's
+// style: a header line with attribute names, a dashed rule, then one line
+// per tuple with NULLs printed as "null".
+func (r *Relation) String() string {
+	return Format(r.schema.Name(), r.schema.AttrNames(), r.tuples)
+}
+
+// Format renders any header + rows as the aligned text table used by the
+// prototype's print utilities (§6.3).
+func Format(title string, header []string, rows []Tuple) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	cells := make([][]string, len(rows))
+	for ri, row := range rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("-", max(len(title), 8)))
+		b.WriteByte('\n')
+	}
+	for i, h := range header {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], h)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

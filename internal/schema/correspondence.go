@@ -1,0 +1,111 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Correspondence records that an attribute of one relation is semantically
+// equivalent to an attribute of another relation. The paper assumes these
+// equivalences were determined during schema integration (§3.1: "the
+// synonym problem would have been resolved before entity identification");
+// the prototype's setup_extkey lists exactly these pairs as extended-key
+// candidates (§6.3).
+type Correspondence struct {
+	// Name is the integrated-world attribute name, e.g. "name" for the
+	// pair (r_name, s_name).
+	Name string
+	// Left and Right are the attribute names in the two source relations.
+	Left, Right string
+}
+
+// Correspondences is the set of attribute equivalences between two
+// relations, the input to extended-key selection.
+type Correspondences struct {
+	left, right *Schema
+	list        []Correspondence
+	byName      map[string]Correspondence
+}
+
+// NewCorrespondences validates and collects attribute correspondences
+// between the two schemas. Every referenced attribute must exist in its
+// schema, kinds must agree (the paper assumes domain mismatches were
+// resolved at schema integration), and integrated names must be unique.
+func NewCorrespondences(left, right *Schema, list []Correspondence) (*Correspondences, error) {
+	c := &Correspondences{
+		left:   left,
+		right:  right,
+		byName: make(map[string]Correspondence, len(list)),
+	}
+	for _, cor := range list {
+		if cor.Name == "" {
+			return nil, fmt.Errorf("correspondence (%s,%s): empty integrated name", cor.Left, cor.Right)
+		}
+		if !left.Has(cor.Left) {
+			return nil, fmt.Errorf("correspondence %s: %s has no attribute %q", cor.Name, left.Name(), cor.Left)
+		}
+		if !right.Has(cor.Right) {
+			return nil, fmt.Errorf("correspondence %s: %s has no attribute %q", cor.Name, right.Name(), cor.Right)
+		}
+		if lk, rk := left.KindOf(cor.Left), right.KindOf(cor.Right); lk != rk {
+			return nil, fmt.Errorf("correspondence %s: kind mismatch %s:%s vs %s:%s",
+				cor.Name, cor.Left, lk, cor.Right, rk)
+		}
+		if _, dup := c.byName[cor.Name]; dup {
+			return nil, fmt.Errorf("correspondence %s: duplicate integrated name", cor.Name)
+		}
+		c.byName[cor.Name] = cor
+		c.list = append(c.list, cor)
+	}
+	return c, nil
+}
+
+// MustNewCorrespondences panics on error; for literals in tests/examples.
+func MustNewCorrespondences(left, right *Schema, list []Correspondence) *Correspondences {
+	c, err := NewCorrespondences(left, right, list)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Left returns the left schema.
+func (c *Correspondences) Left() *Schema { return c.left }
+
+// Right returns the right schema.
+func (c *Correspondences) Right() *Schema { return c.right }
+
+// List returns the correspondences in declaration order.
+func (c *Correspondences) List() []Correspondence {
+	return append([]Correspondence(nil), c.list...)
+}
+
+// Names returns the integrated attribute names, sorted, i.e. the candidate
+// attributes the prototype's setup_extkey offers for extended-key
+// selection.
+func (c *Correspondences) Names() []string {
+	out := make([]string, 0, len(c.list))
+	for _, cor := range c.list {
+		out = append(out, cor.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName resolves an integrated attribute name to its correspondence.
+func (c *Correspondences) ByName(name string) (Correspondence, bool) {
+	cor, ok := c.byName[name]
+	return cor, ok
+}
+
+// LeftAttr returns the left-relation attribute for an integrated name.
+func (c *Correspondences) LeftAttr(name string) (string, bool) {
+	cor, ok := c.byName[name]
+	return cor.Left, ok
+}
+
+// RightAttr returns the right-relation attribute for an integrated name.
+func (c *Correspondences) RightAttr(name string) (string, bool) {
+	cor, ok := c.byName[name]
+	return cor.Right, ok
+}

@@ -1,0 +1,275 @@
+// Package value implements the typed attribute values used throughout the
+// entity-identification system: strings, integers, floats, booleans and the
+// NULL value that marks missing information.
+//
+// The comparison semantics follow the paper's prototype (Lim et al., §6.2):
+// NULL is an ordinary symbol for storage purposes, but it must never compare
+// equal to another NULL during matching. Equal implements that null-safe
+// equality (the prototype's non_null_eq predicate); Identical implements the
+// storage-level equality in which NULL equals NULL (used when deciding
+// whether a derived value conflicts with an existing one).
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind int
+
+// The kinds of values. KindNull is the zero Kind so that the zero Value is
+// NULL: a freshly extended attribute is missing until something derives it.
+const (
+	KindNull Kind = iota
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Value is an immutable typed attribute value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64
+	f    float64
+	b    bool
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// String returns a string value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Str returns the underlying string. It panics if v is not a string; use
+// Kind to test first.
+func (v Value) Str() string {
+	v.mustBe(KindString)
+	return v.s
+}
+
+// IntVal returns the underlying integer.
+func (v Value) IntVal() int64 {
+	v.mustBe(KindInt)
+	return v.i
+}
+
+// FloatVal returns the underlying float.
+func (v Value) FloatVal() float64 {
+	v.mustBe(KindFloat)
+	return v.f
+}
+
+// BoolVal returns the underlying boolean.
+func (v Value) BoolVal() bool {
+	v.mustBe(KindBool)
+	return v.b
+}
+
+func (v Value) mustBe(k Kind) {
+	if v.kind != k {
+		panic(fmt.Sprintf("value: %s used as %s", v.kind, k))
+	}
+}
+
+// String renders the value for display. NULL renders as "null", matching
+// the prototype's output format.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return "?"
+	}
+}
+
+// Equal is the matching-level equality used by identity rules and
+// extended-key joins: it holds only for two non-NULL values of the same
+// kind with equal contents. In particular Equal(Null, Null) is false, the
+// prototype's non_null_eq semantics.
+func Equal(a, b Value) bool {
+	if a.kind == KindNull || b.kind == KindNull {
+		return false
+	}
+	return Identical(a, b)
+}
+
+// Identical is storage-level equality: NULL is identical to NULL, and two
+// non-NULL values are identical when their kind and contents agree. Use it
+// to detect derivation conflicts or duplicate tuples, never to match
+// entities.
+func Identical(a, b Value) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return a.s == b.s
+	case KindInt:
+		return a.i == b.i
+	case KindFloat:
+		return a.f == b.f
+	case KindBool:
+		return a.b == b.b
+	default:
+		return false
+	}
+}
+
+// Compare orders two values. It returns a negative number, zero or a
+// positive number as a sorts before, the same as, or after b. The total
+// order is: NULL first, then values grouped by kind (string < int < float <
+// bool is arbitrary but fixed), with natural ordering within a kind. Compare
+// exists so that relations, tables and reports can be printed
+// deterministically; it is not an entity-matching operation.
+func Compare(a, b Value) int {
+	if a.kind != b.kind {
+		return int(a.kind) - int(b.kind)
+	}
+	switch a.kind {
+	case KindNull:
+		return 0
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	case KindInt:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		switch {
+		case a.f < b.f:
+			return -1
+		case a.f > b.f:
+			return 1
+		}
+		return 0
+	case KindBool:
+		switch {
+		case !a.b && b.b:
+			return -1
+		case a.b && !b.b:
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// Less reports whether a sorts strictly before b under Compare.
+func Less(a, b Value) bool { return Compare(a, b) < 0 }
+
+// Key returns a string that uniquely encodes the value, suitable for use as
+// a map key. Distinct values always produce distinct keys (the kind prefix
+// separates, e.g., the string "1" from the integer 1).
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00"
+	case KindString:
+		return "s:" + v.s
+	case KindInt:
+		return "i:" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return "f:" + strconv.FormatFloat(v.f, 'b', -1, 64)
+	case KindBool:
+		return "b:" + strconv.FormatBool(v.b)
+	default:
+		return "?"
+	}
+}
+
+// Parse converts text into a value of the given kind. The literal "null"
+// (any case) and the empty string parse as NULL for every kind, matching
+// the CSV conventions used by the loaders.
+func Parse(text string, k Kind) (Value, error) {
+	if text == "" || strings.EqualFold(text, "null") {
+		return Null, nil
+	}
+	switch k {
+	case KindNull:
+		return Null, fmt.Errorf("value: cannot parse %q as null", text)
+	case KindString:
+		return String(text), nil
+	case KindInt:
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("value: parse int %q: %w", text, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Null, fmt.Errorf("value: parse float %q: %w", text, err)
+		}
+		return Float(f), nil
+	case KindBool:
+		b, err := strconv.ParseBool(text)
+		if err != nil {
+			return Null, fmt.Errorf("value: parse bool %q: %w", text, err)
+		}
+		return Bool(b), nil
+	default:
+		return Null, fmt.Errorf("value: unknown kind %v", k)
+	}
+}
+
+// MustParse is Parse that panics on error; intended for literals in tests
+// and examples.
+func MustParse(text string, k Kind) Value {
+	v, err := Parse(text, k)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
