@@ -413,6 +413,59 @@ func BenchmarkFederateInsert(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleBuild is S6: full matching-table construction on the
+// canonical ~2k×2k scale workload, blocked hash-join identity rules
+// (engine) versus the nested-loop reference (naive).
+func BenchmarkScaleBuild(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		naive bool
+	}{{"engine", false}, {"naive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := datagen.ScaleMatchConfig()
+			cfg.Naive = mode.naive
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := match.Build(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.MT.Len() == 0 {
+					b.Fatal("empty matching table")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaleCounts is S7: the full |R|×|S| Figure 3 partition on
+// the canonical scale workload — the pair-indexed, compiled-rule,
+// parallel sweep (engine) versus the linear-scan, interpreted,
+// sequential reference (naive). BENCH_match.json (benchreport
+// -benchjson) tracks the same measurement across PRs.
+func BenchmarkScaleCounts(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		naive bool
+	}{{"engine", false}, {"naive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := datagen.ScaleMatchConfig()
+			cfg.Naive = mode.naive
+			res, err := match.Build(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, _, u := res.Counts()
+				if m == 0 || u == 0 {
+					b.Fatal("degenerate partition")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationDerive is S4: cut vs fixpoint semantics and rules vs
 // relational ILFD tables, bulk derivation over 3000 entities.
 func BenchmarkAblationDerive(b *testing.B) {

@@ -6,19 +6,28 @@
 //
 // Usage:
 //
-//	benchreport          # print all reports
-//	benchreport -id T7   # print one report
-//	benchreport -check   # exit 1 if any reproduction check fails
+//	benchreport                          # print all reports
+//	benchreport -id T7                   # print one report
+//	benchreport -check                   # exit 1 if any reproduction check fails
+//	benchreport -benchjson BENCH_match.json
+//	                                     # time the scale matching workload
+//	                                     # (engine vs naive) and write the
+//	                                     # JSON perf record tracked across PRs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
+	"entityid/internal/datagen"
 	"entityid/internal/experiments"
+	"entityid/internal/match"
 )
 
 func main() {
@@ -29,11 +38,15 @@ func run(args []string, w io.Writer) int {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		id    = fs.String("id", "", "run only the experiment with this id (e.g. T7, F3)")
-		check = fs.Bool("check", false, "exit nonzero if any reproduction check fails")
+		id        = fs.String("id", "", "run only the experiment with this id (e.g. T7, F3)")
+		check     = fs.Bool("check", false, "exit nonzero if any reproduction check fails")
+		benchJSON = fs.String("benchjson", "", "measure the scale matching workload (engine vs naive) and write a JSON report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *benchJSON != "" {
+		return runBenchJSON(*benchJSON, w)
 	}
 	failures := 0
 	ran := 0
@@ -60,5 +73,113 @@ func run(args []string, w io.Writer) int {
 	if *check && failures > 0 {
 		return 1
 	}
+	return 0
+}
+
+// benchRecord is the perf trajectory record written to BENCH_match.json:
+// one engine-vs-naive measurement of the canonical scale workload
+// (datagen.ScaleMatchConfig) per PR, so regressions and wins are visible
+// in version control.
+type benchRecord struct {
+	GeneratedAt string `json:"generated_at"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+
+	RTuples       int `json:"r_tuples"`
+	STuples       int `json:"s_tuples"`
+	MTPairs       int `json:"mt_pairs"`
+	DistinctRules int `json:"distinct_rules"`
+
+	Matching     int `json:"matching"`
+	NotMatching  int `json:"not_matching"`
+	Undetermined int `json:"undetermined"`
+
+	EngineBuildNS  int64   `json:"engine_build_ns"`
+	NaiveBuildNS   int64   `json:"naive_build_ns"`
+	BuildSpeedup   float64 `json:"build_speedup"`
+	EngineCountsNS int64   `json:"engine_counts_ns"`
+	NaiveCountsNS  int64   `json:"naive_counts_ns"`
+	CountsSpeedup  float64 `json:"counts_speedup"`
+}
+
+// runBenchJSON times matching-table construction and the full Figure 3
+// sweep on the scale workload with the engine and with the naive
+// reference, double-checks the two paths agree (a last-line defence
+// behind the differential tests), and writes the JSON record.
+func runBenchJSON(path string, w io.Writer) int {
+	timeIt := func(f func()) int64 {
+		start := time.Now()
+		f()
+		return time.Since(start).Nanoseconds()
+	}
+	best := func(runs int, f func()) int64 {
+		b := timeIt(f)
+		for n := 1; n < runs; n++ {
+			if t := timeIt(f); t < b {
+				b = t
+			}
+		}
+		return b
+	}
+
+	engCfg := datagen.ScaleMatchConfig()
+	naiveCfg := engCfg
+	naiveCfg.Naive = true
+
+	var engRes, naiveRes *match.Result
+	var err error
+	rec := benchRecord{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	// The engine is fast enough to take best-of-3; the naive reference
+	// path is measured once (it is the slow side by orders of magnitude).
+	rec.EngineBuildNS = best(3, func() {
+		engRes, err = match.Build(engCfg)
+	})
+	if err != nil {
+		fmt.Fprintf(w, "benchjson: engine build: %v\n", err)
+		return 1
+	}
+	rec.NaiveBuildNS = timeIt(func() {
+		naiveRes, err = match.Build(naiveCfg)
+	})
+	if err != nil {
+		fmt.Fprintf(w, "benchjson: naive build: %v\n", err)
+		return 1
+	}
+
+	var em, en, eu, nm, nn, nu int
+	rec.EngineCountsNS = best(3, func() {
+		em, en, eu = engRes.Counts()
+	})
+	rec.NaiveCountsNS = timeIt(func() {
+		nm, nn, nu = naiveRes.Counts()
+	})
+	if engRes.MT.Len() != naiveRes.MT.Len() || em != nm || en != nn || eu != nu {
+		fmt.Fprintf(w, "benchjson: engine and naive paths disagree: MT %d vs %d, counts (%d,%d,%d) vs (%d,%d,%d)\n",
+			engRes.MT.Len(), naiveRes.MT.Len(), em, en, eu, nm, nn, nu)
+		return 1
+	}
+
+	rec.RTuples = engRes.RPrime.Len()
+	rec.STuples = engRes.SPrime.Len()
+	rec.MTPairs = engRes.MT.Len()
+	rec.DistinctRules = len(engRes.Distinct())
+	rec.Matching, rec.NotMatching, rec.Undetermined = em, en, eu
+	rec.BuildSpeedup = float64(rec.NaiveBuildNS) / float64(rec.EngineBuildNS)
+	rec.CountsSpeedup = float64(rec.NaiveCountsNS) / float64(rec.EngineCountsNS)
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(w, "benchjson: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(w, "benchjson: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(w, "wrote %s: build %.1fx, counts %.1fx (engine vs naive, %d×%d grid, GOMAXPROCS=%d)\n",
+		path, rec.BuildSpeedup, rec.CountsSpeedup, rec.RTuples, rec.STuples, rec.GoMaxProcs)
 	return 0
 }

@@ -289,7 +289,7 @@ func (sys *System) IdentifyUnchecked() (*Result, error) {
 			return nil, fmt.Errorf("entityid: asserted pair %d: no S tuple with key %v", n, ap.sKey)
 		}
 		if !inner.MT.Contains(i, j) {
-			inner.MT.Pairs = append(inner.MT.Pairs, match.Pair{RIndex: i, SIndex: j})
+			inner.MT.Add(match.Pair{RIndex: i, SIndex: j})
 		}
 	}
 	res := &Result{inner: inner, VerifyErr: inner.Verify()}

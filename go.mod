@@ -1,0 +1,3 @@
+module entityid
+
+go 1.24

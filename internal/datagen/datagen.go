@@ -27,6 +27,7 @@ import (
 	"entityid/internal/match"
 	"entityid/internal/metrics"
 	"entityid/internal/relation"
+	"entityid/internal/rules"
 	"entityid/internal/schema"
 	"entityid/internal/value"
 )
@@ -322,6 +323,33 @@ func (w *Workload) MatchConfig() match.Config {
 		ExtKey: w.ExtKey,
 		ILFDs:  w.ILFDs,
 	}
+}
+
+// ScaleMatchConfig is the canonical perf workload shared by the
+// BenchmarkScale* benchmarks and benchreport's BENCH_match.json
+// emitter: ~2k×2k tuples, a blocked identity rule (name ∧ phone) that
+// carries the bulk of the matching table, light instance-ILFD coverage
+// so the distinctness-rule set stays representative without drowning
+// the sweep in rules. Deterministic (fixed seed), so timings across
+// PRs measure the engine, not the data.
+func ScaleMatchConfig() match.Config {
+	w := MustGenerate(Config{
+		Entities:    2700, // ≈2k tuples per side at 0.5 overlap
+		OverlapFrac: 0.5,
+		HomonymRate: 0.05,
+		// Instance-ILFD coverage is deliberately light: each covered
+		// entity mints a Prop.-1 distinctness rule, and the sweep cost is
+		// |R|·|S|·|rules| — 1% keeps the rule set at a realistic dozens,
+		// not thousands.
+		ILFDCoverage: 0.01,
+		Seed:         424242,
+	})
+	cfg := w.MatchConfig()
+	cfg.Identity = []rules.IdentityRule{rules.MustNewIdentity("name-phone", []rules.Predicate{
+		{Left: rules.Attr1("name"), Op: rules.Eq, Right: rules.Attr2("name")},
+		{Left: rules.Attr1("phone"), Op: rules.Eq, Right: rules.Attr2("phone")},
+	})}
+	return cfg
 }
 
 // CoveredTruth counts the truth pairs whose R-side entity has an

@@ -25,7 +25,6 @@ package federate
 
 import (
 	"fmt"
-	"strings"
 
 	"entityid/internal/ilfd"
 	"entityid/internal/integrate"
@@ -44,6 +43,11 @@ type Federation struct {
 	// extKeyIdx indexes each side's extended relation by its non-NULL
 	// extended-key projection: projection -> tuple positions.
 	rIdx, sIdx map[string][]int
+	// rKeyPos / sKeyPos are the extended-key column offsets in each
+	// side's extended schema, resolved once per rebuild so per-insert key
+	// projection indexes raw tuples instead of calling Schema().Index per
+	// attribute.
+	rKeyPos, sKeyPos []int
 	// matchedR / matchedS track current pairings for uniqueness guards.
 	matchedR map[int]int
 	matchedS map[int]int
@@ -74,8 +78,10 @@ func (f *Federation) rebuild() error {
 	f.res = res
 	f.rExt = match.NewSideExtender(f.cfg, true)
 	f.sExt = match.NewSideExtender(f.cfg, false)
-	f.rIdx = indexByKey(res.RPrime, res.ExtKey())
-	f.sIdx = indexByKey(res.SPrime, res.ExtKey())
+	f.rKeyPos = keyOffsets(res.RPrime, res.ExtKey())
+	f.sKeyPos = keyOffsets(res.SPrime, res.ExtKey())
+	f.rIdx = indexByKey(res.RPrime, f.rKeyPos)
+	f.sIdx = indexByKey(res.SPrime, f.sKeyPos)
 	f.matchedR = make(map[int]int, res.MT.Len())
 	f.matchedS = make(map[int]int, res.MT.Len())
 	for _, p := range res.MT.Pairs {
@@ -85,29 +91,27 @@ func (f *Federation) rebuild() error {
 	return nil
 }
 
-func indexByKey(rel *relation.Relation, extKey []string) map[string][]int {
+// keyOffsets resolves the extended-key attributes to column offsets in
+// the extended relation's schema. Build guarantees they exist.
+func keyOffsets(rel *relation.Relation, extKey []string) []int {
+	pos := make([]int, len(extKey))
+	for n, a := range extKey {
+		pos[n] = rel.Schema().Index(a)
+	}
+	return pos
+}
+
+// indexByKey builds the probe index with match.ProjectionKey — the
+// same encoding the batch join buckets by, so incremental probes and
+// batch construction can never disagree on key equality.
+func indexByKey(rel *relation.Relation, keyPos []int) map[string][]int {
 	idx := make(map[string][]int, rel.Len())
 	for i, t := range rel.Tuples() {
-		if k, ok := keyProjection(rel, t, extKey); ok {
+		if k, ok := match.ProjectionKey(t, keyPos); ok {
 			idx[k] = append(idx[k], i)
 		}
 	}
 	return idx
-}
-
-func keyProjection(rel *relation.Relation, t relation.Tuple, extKey []string) (string, bool) {
-	var b strings.Builder
-	for n, a := range extKey {
-		v := t[rel.Schema().Index(a)]
-		if v.IsNull() {
-			return "", false
-		}
-		if n > 0 {
-			b.WriteByte('\x1f')
-		}
-		b.WriteString(v.Key())
-	}
-	return b.String(), true
 }
 
 // Result returns the current match result (shared; do not mutate).
@@ -156,10 +160,15 @@ func (f *Federation) insert(t relation.Tuple, left bool) ([]match.Pair, error) {
 	}
 	extTuple := ext.Tuple(0)
 
-	// Probe the opposite side's extended-key index.
-	extKey := f.res.ExtKey()
+	// Probe the opposite side's extended-key index. The one-tuple
+	// extended relation shares its side's schema layout (same rename +
+	// extend pipeline), so the cached key offsets apply.
+	keyPos := f.sKeyPos
+	if left {
+		keyPos = f.rKeyPos
+	}
 	var newPairs []match.Pair
-	if k, ok := keyProjection(ext, extTuple, extKey); ok {
+	if k, ok := match.ProjectionKey(extTuple, keyPos); ok {
 		var partners []int
 		if left {
 			partners = f.sIdx[k]
@@ -183,7 +192,9 @@ func (f *Federation) insert(t relation.Tuple, left bool) ([]match.Pair, error) {
 			}
 		}
 	}
-	// Consistency guard: a new pair must not be declared distinct.
+	// Consistency guard: a new pair must not be declared distinct. The
+	// result's compiled distinctness rules are reused — the candidate
+	// tuple has R′/S′ layout, which is all compiled evaluation needs.
 	for _, p := range newPairs {
 		var rt, st relation.Tuple
 		if left {
@@ -191,16 +202,8 @@ func (f *Federation) insert(t relation.Tuple, left bool) ([]match.Pair, error) {
 		} else {
 			rt, st = f.res.RPrime.Tuple(p.RIndex), extTuple
 		}
-		for _, d := range f.res.Distinct() {
-			var rRel, sRel *relation.Relation
-			if left {
-				rRel, sRel = ext, f.res.SPrime
-			} else {
-				rRel, sRel = f.res.RPrime, ext
-			}
-			if d.Holds(rRel, rt, sRel, st) || d.Holds(sRel, st, rRel, rt) {
-				return nil, fmt.Errorf("federate: consistency violation: new tuple matches a pair distinctness rule %q forbids", d.Name)
-			}
+		if name, fires := f.res.DistinctFires(rt, st); fires {
+			return nil, fmt.Errorf("federate: consistency violation: new tuple matches a pair distinctness rule %q forbids", name)
 		}
 	}
 
@@ -213,11 +216,11 @@ func (f *Federation) insert(t relation.Tuple, left bool) ([]match.Pair, error) {
 			return nil, fmt.Errorf("federate: extended insert: %w", err)
 		}
 		i := f.res.RPrime.Len() - 1
-		if k, ok := keyProjection(f.res.RPrime, extTuple, extKey); ok {
+		if k, ok := match.ProjectionKey(extTuple, f.rKeyPos); ok {
 			f.rIdx[k] = append(f.rIdx[k], i)
 		}
 		for _, p := range newPairs {
-			f.res.MT.Pairs = append(f.res.MT.Pairs, p)
+			f.res.MT.Add(p)
 			f.matchedR[p.RIndex] = p.SIndex
 			f.matchedS[p.SIndex] = p.RIndex
 		}
@@ -229,11 +232,11 @@ func (f *Federation) insert(t relation.Tuple, left bool) ([]match.Pair, error) {
 			return nil, fmt.Errorf("federate: extended insert: %w", err)
 		}
 		j := f.res.SPrime.Len() - 1
-		if k, ok := keyProjection(f.res.SPrime, extTuple, extKey); ok {
+		if k, ok := match.ProjectionKey(extTuple, f.sKeyPos); ok {
 			f.sIdx[k] = append(f.sIdx[k], j)
 		}
 		for _, p := range newPairs {
-			f.res.MT.Pairs = append(f.res.MT.Pairs, p)
+			f.res.MT.Add(p)
 			f.matchedR[p.RIndex] = p.SIndex
 			f.matchedS[p.SIndex] = p.RIndex
 		}

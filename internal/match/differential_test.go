@@ -1,0 +1,153 @@
+package match_test
+
+// Differential tests: the indexed/blocked/parallel engine versus the
+// reference implementation (Config.Naive) over randomized datagen
+// instances. The two paths must agree bit-for-bit on the matching
+// table, the Figure 3 partition, verification (including the error
+// message), the classifier, and both lazy NMT/undetermined sweeps.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"entityid/internal/datagen"
+	"entityid/internal/match"
+	"entityid/internal/rules"
+	"entityid/internal/value"
+)
+
+// namePhoneRule is a blocked-path identity rule: two cross-equality
+// predicates drive hash-join candidate generation.
+func namePhoneRule(t testing.TB) rules.IdentityRule {
+	t.Helper()
+	r, err := rules.NewIdentity("name-phone", []rules.Predicate{
+		{Left: rules.Attr1("name"), Op: rules.Eq, Right: rules.Attr2("name")},
+		{Left: rules.Attr1("phone"), Op: rules.Eq, Right: rules.Attr2("phone")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// constPinRule has no cross-equality predicate (cuisine is pinned by
+// equal constants on both sides), forcing the engine's nested-loop
+// fallback. It matches every chinese×chinese pair, so workloads using
+// it generally fail Verify — differentially, in both paths.
+func constPinRule(t testing.TB) rules.IdentityRule {
+	t.Helper()
+	r, err := rules.NewIdentity("all-chinese", []rules.Predicate{
+		{Left: rules.Attr1("cuisine"), Op: rules.Eq, Right: rules.Const(value.String("chinese"))},
+		{Left: rules.Attr2("cuisine"), Op: rules.Eq, Right: rules.Const(value.String("chinese"))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestEngineMatchesReferenceDifferentially(t *testing.T) {
+	cases := []struct {
+		name     string
+		gen      datagen.Config
+		identity func(testing.TB) []rules.IdentityRule
+	}{
+		{
+			name: "baseline",
+			gen:  datagen.Config{Entities: 90, OverlapFrac: 0.5, HomonymRate: 0.1, ILFDCoverage: 0.7, Seed: 1},
+		},
+		{
+			name: "high-homonym",
+			gen:  datagen.Config{Entities: 120, OverlapFrac: 0.6, HomonymRate: 0.35, ILFDCoverage: 0.5, Seed: 2},
+		},
+		{
+			name: "dirty-phones",
+			gen:  datagen.Config{Entities: 100, OverlapFrac: 0.4, HomonymRate: 0.1, ILFDCoverage: 0.6, MissingPhone: 0.3, DirtyPhone: 0.4, Seed: 3},
+		},
+		{
+			name: "no-knowledge",
+			gen:  datagen.Config{Entities: 80, OverlapFrac: 0.5, HomonymRate: 0.1, ILFDCoverage: 0, Seed: 4},
+		},
+		{
+			name: "blocked-identity-rule",
+			gen:  datagen.Config{Entities: 110, OverlapFrac: 0.5, HomonymRate: 0.2, ILFDCoverage: 0.3, MissingPhone: 0.1, DirtyPhone: 0.2, Seed: 5},
+			identity: func(t testing.TB) []rules.IdentityRule {
+				return []rules.IdentityRule{namePhoneRule(t)}
+			},
+		},
+		{
+			name: "fallback-identity-rule",
+			gen:  datagen.Config{Entities: 60, OverlapFrac: 0.5, HomonymRate: 0.1, ILFDCoverage: 0.5, Seed: 6},
+			identity: func(t testing.TB) []rules.IdentityRule {
+				return []rules.IdentityRule{constPinRule(t)}
+			},
+		},
+		{
+			name: "mixed-identity-rules",
+			gen:  datagen.Config{Entities: 70, OverlapFrac: 0.5, HomonymRate: 0.15, ILFDCoverage: 0.4, Seed: 7},
+			identity: func(t testing.TB) []rules.IdentityRule {
+				return []rules.IdentityRule{namePhoneRule(t), constPinRule(t)}
+			},
+		},
+	}
+	for _, tc := range cases {
+		for seedShift := int64(0); seedShift < 3; seedShift++ {
+			gen := tc.gen
+			gen.Seed += 1000 * seedShift
+			t.Run(fmt.Sprintf("%s/seed=%d", tc.name, gen.Seed), func(t *testing.T) {
+				t.Parallel()
+				w := datagen.MustGenerate(gen)
+				cfg := w.MatchConfig()
+				if tc.identity != nil {
+					cfg.Identity = tc.identity(t)
+				}
+
+				engCfg, refCfg := cfg, cfg
+				refCfg.Naive = true
+				eng, err := match.Build(engCfg)
+				if err != nil {
+					t.Fatalf("engine Build: %v", err)
+				}
+				ref, err := match.Build(refCfg)
+				if err != nil {
+					t.Fatalf("reference Build: %v", err)
+				}
+
+				if !reflect.DeepEqual(eng.MT.Pairs, ref.MT.Pairs) {
+					t.Fatalf("MT mismatch:\nengine    %v\nreference %v", eng.MT.Pairs, ref.MT.Pairs)
+				}
+				if got, want := errString(eng.Verify()), errString(ref.Verify()); got != want {
+					t.Fatalf("Verify mismatch:\nengine    %q\nreference %q", got, want)
+				}
+				em, en, eu := eng.Counts()
+				rm, rn, ru := ref.Counts()
+				if em != rm || en != rn || eu != ru {
+					t.Fatalf("Counts mismatch: engine (%d,%d,%d), reference (%d,%d,%d)", em, en, eu, rm, rn, ru)
+				}
+				for i := 0; i < eng.RPrime.Len(); i++ {
+					for j := 0; j < eng.SPrime.Len(); j++ {
+						if ev, rv := eng.Classify(i, j), ref.Classify(i, j); ev != rv {
+							t.Fatalf("Classify(%d,%d) mismatch: engine %v, reference %v", i, j, ev, rv)
+						}
+					}
+				}
+				for _, limit := range []int{0, 1, 17} {
+					if got, want := eng.NegativePairs(limit), ref.NegativePairs(limit); !reflect.DeepEqual(got, want) {
+						t.Fatalf("NegativePairs(%d) mismatch: %d vs %d pairs", limit, len(got), len(want))
+					}
+					if got, want := eng.UndeterminedPairs(limit), ref.UndeterminedPairs(limit); !reflect.DeepEqual(got, want) {
+						t.Fatalf("UndeterminedPairs(%d) mismatch: %d vs %d pairs", limit, len(got), len(want))
+					}
+				}
+			})
+		}
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

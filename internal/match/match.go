@@ -17,12 +17,35 @@
 // ones plus — via Proposition 1 — one rule per ILFD consequent. The
 // conceptual negative matching table NMT_RS is enumerated lazily because
 // it is usually far larger than MT_RS (§4.1).
+//
+// # Engine architecture
+//
+// The paper's semantics are evaluated by an indexed, blocked, parallel
+// engine; the naive formulation survives as the executable specification
+// in reference.go (Config.Naive selects it, and differential tests pin
+// the two paths to identical results).
+//
+//   - Pair index: Table backs its pair list with a hash set plus per-row
+//     and per-column postings, so Contains is O(1) and the uniqueness
+//     half of Verify is a single O(|MT|) pass. The index extends itself
+//     lazily, so append-only mutation of Pairs stays supported.
+//   - Compiled rules: every identity and distinctness rule is compiled
+//     (rules.Compile) against the R′/S′ schemas once per Result, turning
+//     each predicate evaluation into direct tuple-slice indexing instead
+//     of per-evaluation Schema().Index lookups.
+//   - Blocking: extra identity rules are evaluated by hash-join candidate
+//     generation over each rule's cross-equality attributes (§3.2
+//     well-formedness guarantees matched pairs agree on them), falling
+//     back to the nested loop only for rules with no usable equality.
+//   - Parallel sweeps: Counts, NegativePairs and UndeterminedPairs shard
+//     the |R|×|S| grid across a GOMAXPROCS-sized worker pool and merge
+//     shard results in deterministic row order.
 package match
 
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"sync"
 
 	"entityid/internal/derive"
 	"entityid/internal/ilfd"
@@ -68,6 +91,12 @@ type Config struct {
 	// DisableProp1 turns off the automatic ILFD → distinctness-rule
 	// conversion of Proposition 1.
 	DisableProp1 bool
+	// Naive disables the indexed/blocked/parallel engine and evaluates
+	// with the reference implementation (reference.go): nested-loop
+	// identity rules, linear-scan table membership, interpreted rule
+	// predicates, sequential sweeps. It exists for differential testing
+	// and benchmarking; results are identical either way.
+	Naive bool
 }
 
 // Pair is one matching-table entry: positions of the matched tuples in
@@ -84,19 +113,64 @@ type Table struct {
 	// the key values of the pair of tuples").
 	RKey, SKey []string
 	Pairs      []Pair
+
+	// Pair index: a hash set for O(1) Contains plus per-row and
+	// per-column postings for the O(|MT|) uniqueness pass of Verify.
+	// Built lazily and extended incrementally, so code that appends to
+	// Pairs directly (a supported, pre-index idiom) stays correct; idxLen
+	// is how many Pairs entries have been absorbed. Not safe for
+	// concurrent mutation; concurrent reads after an index() call are.
+	set    map[Pair]struct{}
+	byR    map[int][]int
+	byS    map[int][]int
+	idxLen int
 }
 
 // Len returns the number of pairs.
 func (t *Table) Len() int { return len(t.Pairs) }
 
+// index brings the pair index up to date with Pairs.
+func (t *Table) index() {
+	if t.set == nil {
+		t.set = make(map[Pair]struct{}, len(t.Pairs))
+		t.byR = make(map[int][]int, len(t.Pairs))
+		t.byS = make(map[int][]int, len(t.Pairs))
+	}
+	for ; t.idxLen < len(t.Pairs); t.idxLen++ {
+		p := t.Pairs[t.idxLen]
+		t.set[p] = struct{}{}
+		t.byR[p.RIndex] = append(t.byR[p.RIndex], p.SIndex)
+		t.byS[p.SIndex] = append(t.byS[p.SIndex], p.RIndex)
+	}
+}
+
 // Contains reports whether the pair (i, j) is in the table.
 func (t *Table) Contains(i, j int) bool {
-	for _, p := range t.Pairs {
-		if p.RIndex == i && p.SIndex == j {
-			return true
-		}
+	t.index()
+	_, ok := t.set[Pair{RIndex: i, SIndex: j}]
+	return ok
+}
+
+// Add appends a pair, keeping the index current.
+func (t *Table) Add(p Pair) {
+	t.Pairs = append(t.Pairs, p)
+	if t.set != nil {
+		t.index()
 	}
-	return false
+}
+
+// MatchesOfR returns the S positions matched to R tuple i (shared; do
+// not mutate).
+func (t *Table) MatchesOfR(i int) []int {
+	t.index()
+	return t.byR[i]
+}
+
+// MatchesOfS returns the R positions matched to S tuple j (shared; do
+// not mutate).
+func (t *Table) MatchesOfS(j int) []int {
+	t.index()
+	return t.byS[j]
 }
 
 // Verdict is the three-valued outcome of the identification function
@@ -136,6 +210,12 @@ type Result struct {
 	// distinct holds the effective distinctness rules (user + Prop. 1).
 	distinct []rules.DistinctnessRule
 	extKey   []string
+	// naive routes Classify/Counts/sweeps through the reference
+	// implementation (set from Config.Naive).
+	naive bool
+	// eng is the lazily built compiled-rule engine (engine.go).
+	eng     *engine
+	engOnce sync.Once
 }
 
 // Build runs the §4.2 matching-table construction. It fails if the
@@ -194,26 +274,17 @@ func Build(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Extra identity rules contribute pairs by pairwise evaluation.
+	// Extra identity rules contribute pairs beyond the extended-key join:
+	// blocked hash-join candidate generation per rule (engine.go), or the
+	// reference nested loop under cfg.Naive.
 	if len(cfg.Identity) > 0 {
-		have := make(map[[2]int]bool, len(pairs))
-		for _, p := range pairs {
-			have[[2]int{p.RIndex, p.SIndex}] = true
+		var extra []Pair
+		if cfg.Naive {
+			extra = referenceIdentityPairs(rPrime, sPrime, cfg.Identity, pairs)
+		} else {
+			extra = blockedIdentityPairs(rPrime, sPrime, cfg.Identity, pairs)
 		}
-		for i, rt := range rPrime.Tuples() {
-			for j, st := range sPrime.Tuples() {
-				if have[[2]int{i, j}] {
-					continue
-				}
-				for _, rule := range cfg.Identity {
-					if rule.Holds(rPrime, rt, sPrime, st) || rule.Holds(sPrime, st, rPrime, rt) {
-						have[[2]int{i, j}] = true
-						pairs = append(pairs, Pair{RIndex: i, SIndex: j})
-						break
-					}
-				}
-			}
-		}
+		pairs = append(pairs, extra...)
 		sort.Slice(pairs, func(a, b int) bool {
 			if pairs[a].RIndex != pairs[b].RIndex {
 				return pairs[a].RIndex < pairs[b].RIndex
@@ -230,6 +301,7 @@ func Build(cfg Config) (*Result, error) {
 		MT:        &Table{RKey: rPrime.Schema().PrimaryKey(), SKey: sPrime.Schema().PrimaryKey(), Pairs: pairs},
 		Conflicts: append(rConf, sConf...),
 		extKey:    append([]string(nil), cfg.ExtKey...),
+		naive:     cfg.Naive,
 	}
 	res.distinct = append(res.distinct, cfg.Distinct...)
 	if !cfg.DisableProp1 {
@@ -332,39 +404,26 @@ func consequentKind(fs ilfd.Set, attr string) (value.Kind, bool) {
 }
 
 // joinPairs pairs up tuples of rp and sp that agree (non-NULL) on every
-// extended-key attribute.
+// extended-key attribute. Key columns are resolved to offsets once per
+// relation; tuple encoding then indexes the raw slices directly.
 func joinPairs(rp, sp *relation.Relation, extKey []string) ([]Pair, error) {
-	for _, a := range extKey {
-		if !rp.Schema().Has(a) {
-			return nil, fmt.Errorf("match: extended relation %s missing key attribute %q", rp.Schema().Name(), a)
-		}
-		if !sp.Schema().Has(a) {
-			return nil, fmt.Errorf("match: extended relation %s missing key attribute %q", sp.Schema().Name(), a)
-		}
+	rIdx, err := attrOffsets(rp, extKey)
+	if err != nil {
+		return nil, err
 	}
-	keyOf := func(rel *relation.Relation, t relation.Tuple) (string, bool) {
-		var b strings.Builder
-		for n, a := range extKey {
-			v := t[rel.Schema().Index(a)]
-			if v.IsNull() {
-				return "", false
-			}
-			if n > 0 {
-				b.WriteByte('\x1f')
-			}
-			b.WriteString(v.Key())
-		}
-		return b.String(), true
+	sIdx, err := attrOffsets(sp, extKey)
+	if err != nil {
+		return nil, err
 	}
 	index := map[string][]int{}
 	for j, t := range sp.Tuples() {
-		if k, ok := keyOf(sp, t); ok {
+		if k, ok := ProjectionKey(t, sIdx); ok {
 			index[k] = append(index[k], j)
 		}
 	}
 	var pairs []Pair
 	for i, t := range rp.Tuples() {
-		k, ok := keyOf(rp, t)
+		k, ok := ProjectionKey(t, rIdx)
 		if !ok {
 			continue
 		}
@@ -392,9 +451,14 @@ func joinPairs(rp, sp *relation.Relation, extKey []string) ([]Pair, error) {
 // prototype's "The extended key is verified."); otherwise the error
 // describes the first violation (the prototype's "unsound matching
 // result" warning).
+//
+// Both halves are a single pass over the matching table: uniqueness via
+// O(1) seen-maps, consistency via the compiled distinctness rules
+// (interpreted rules under Config.Naive).
 func (res *Result) Verify() error {
-	seenR := map[int]int{}
-	seenS := map[int]int{}
+	res.MT.index()
+	seenR := make(map[int]int, len(res.MT.Pairs))
+	seenS := make(map[int]int, len(res.MT.Pairs))
 	for _, p := range res.MT.Pairs {
 		if j, dup := seenR[p.RIndex]; dup {
 			return fmt.Errorf("match: uniqueness violation: R tuple %d matches S tuples %d and %d",
@@ -407,96 +471,75 @@ func (res *Result) Verify() error {
 		}
 		seenS[p.SIndex] = p.RIndex
 	}
+	if res.naive {
+		return res.referenceVerifyConsistency()
+	}
+	eng := res.engine()
 	for _, p := range res.MT.Pairs {
-		for _, d := range res.distinct {
-			if res.distinctHolds(d, p.RIndex, p.SIndex) {
-				return fmt.Errorf("match: consistency violation: pair (%d,%d) matched but distinctness rule %q fires",
-					p.RIndex, p.SIndex, d.Name)
-			}
+		if name, fires := eng.distinctFiresNamed(res.RPrime.Tuple(p.RIndex), res.SPrime.Tuple(p.SIndex)); fires {
+			return fmt.Errorf("match: consistency violation: pair (%d,%d) matched but distinctness rule %q fires",
+				p.RIndex, p.SIndex, name)
 		}
 	}
 	return nil
-}
-
-// distinctHolds evaluates a distinctness rule over the pair in both
-// orientations: the rule's e1 and e2 range over all entities of E, so a
-// pair (r, s) instantiates either (e1=r, e2=s) or (e1=s, e2=r). Table 4
-// of the paper needs the second orientation (the Mughalai tuple lives in
-// S).
-func (res *Result) distinctHolds(d rules.DistinctnessRule, i, j int) bool {
-	rt, st := res.RPrime.Tuple(i), res.SPrime.Tuple(j)
-	return d.Holds(res.RPrime, rt, res.SPrime, st) ||
-		d.Holds(res.SPrime, st, res.RPrime, rt)
 }
 
 // Classify returns the three-valued verdict for the pair (i, j): in the
 // matching table ⇒ Matching; some distinctness rule fires ⇒ NotMatching;
 // otherwise Undetermined (§3.2, Figure 3).
 func (res *Result) Classify(i, j int) Verdict {
+	if res.naive {
+		return res.referenceClassify(i, j)
+	}
 	if res.MT.Contains(i, j) {
 		return Matching
 	}
-	for _, d := range res.distinct {
-		if res.distinctHolds(d, i, j) {
-			return NotMatching
-		}
+	if res.engine().distinctFires(res.RPrime.Tuple(i), res.SPrime.Tuple(j)) {
+		return NotMatching
 	}
 	return Undetermined
 }
 
+// DistinctFires reports whether any effective distinctness rule (user +
+// Prop. 1) declares the pair of tuples distinct, in either orientation,
+// along with the first firing rule's name. The tuples must be laid out
+// like R′ and S′ tuples respectively; incremental pipelines (federate)
+// use it to test candidate tuples that are not yet part of the extended
+// relations, reusing the result's compiled rules.
+func (res *Result) DistinctFires(rt, st relation.Tuple) (string, bool) {
+	return res.engine().distinctFiresNamed(rt, st)
+}
+
 // Counts enumerates all |R|×|S| pairs and tallies the three verdicts —
 // the Figure 3 partition. Completeness holds exactly when undetermined
-// is zero.
+// is zero. The grid is sharded across a worker pool (engine.go); the
+// tallies are additive, so the merge is order-independent.
 func (res *Result) Counts() (matching, notMatching, undetermined int) {
-	for i := 0; i < res.RPrime.Len(); i++ {
-		for j := 0; j < res.SPrime.Len(); j++ {
-			switch res.Classify(i, j) {
-			case Matching:
-				matching++
-			case NotMatching:
-				notMatching++
-			default:
-				undetermined++
-			}
-		}
+	if res.naive {
+		return res.referenceCounts()
 	}
-	return
+	return res.parallelCounts()
 }
 
 // NegativePairs enumerates up to limit entries of the conceptual
 // negative matching table NMT_RS: pairs some distinctness rule declares
 // distinct. limit <= 0 means no limit. Matched pairs are excluded (a
 // pair in both tables is a consistency violation Verify reports; the
-// NMT view follows the classifier).
+// NMT view follows the classifier). Enumeration order is row-major
+// regardless of how the parallel sweep shards the grid.
 func (res *Result) NegativePairs(limit int) []Pair {
-	var out []Pair
-	for i := 0; i < res.RPrime.Len(); i++ {
-		for j := 0; j < res.SPrime.Len(); j++ {
-			if res.Classify(i, j) == NotMatching {
-				out = append(out, Pair{RIndex: i, SIndex: j})
-				if limit > 0 && len(out) >= limit {
-					return out
-				}
-			}
-		}
+	if res.naive {
+		return res.referenceSweep(NotMatching, limit)
 	}
-	return out
+	return res.parallelSweep(NotMatching, limit)
 }
 
 // UndeterminedPairs enumerates up to limit undetermined pairs.
 func (res *Result) UndeterminedPairs(limit int) []Pair {
-	var out []Pair
-	for i := 0; i < res.RPrime.Len(); i++ {
-		for j := 0; j < res.SPrime.Len(); j++ {
-			if res.Classify(i, j) == Undetermined {
-				out = append(out, Pair{RIndex: i, SIndex: j})
-				if limit > 0 && len(out) >= limit {
-					return out
-				}
-			}
-		}
+	if res.naive {
+		return res.referenceSweep(Undetermined, limit)
 	}
-	return out
+	return res.parallelSweep(Undetermined, limit)
 }
 
 // ExtKey returns the extended key attributes the result was built with.

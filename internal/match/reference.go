@@ -1,0 +1,130 @@
+// The reference (pre-engine) implementation of the §3.2/§4.2 semantics:
+// nested-loop identity rules, linear-scan table membership, interpreted
+// rule predicates, sequential |R|×|S| sweeps. It is kept as the
+// executable specification of what the indexed/blocked/parallel engine
+// (engine.go) must compute — differential tests build each workload both
+// ways and require identical results — and as the baseline the scale
+// benchmarks measure speedups against. Select it with Config.Naive.
+package match
+
+import (
+	"fmt"
+
+	"entityid/internal/relation"
+	"entityid/internal/rules"
+)
+
+// referenceIdentityPairs is the nested-loop identity-rule pass: every
+// (i, j) not already paired is tested against every rule, in both
+// orientations, with interpreted predicate evaluation.
+func referenceIdentityPairs(rp, sp *relation.Relation, identity []rules.IdentityRule, base []Pair) []Pair {
+	have := make(map[Pair]bool, len(base))
+	for _, p := range base {
+		have[p] = true
+	}
+	return referenceIdentityPairsHave(rp, sp, identity, have)
+}
+
+// referenceIdentityPairsHave is referenceIdentityPairs over a shared
+// have-set; the blocked path reuses it for rules with no usable
+// equality predicate.
+func referenceIdentityPairsHave(rp, sp *relation.Relation, identity []rules.IdentityRule, have map[Pair]bool) []Pair {
+	var out []Pair
+	for i, rt := range rp.Tuples() {
+		for j, st := range sp.Tuples() {
+			if have[Pair{RIndex: i, SIndex: j}] {
+				continue
+			}
+			for _, rule := range identity {
+				if rule.Holds(rp, rt, sp, st) || rule.Holds(sp, st, rp, rt) {
+					have[Pair{RIndex: i, SIndex: j}] = true
+					out = append(out, Pair{RIndex: i, SIndex: j})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// referenceContains is the linear-scan table membership test.
+func (res *Result) referenceContains(i, j int) bool {
+	for _, p := range res.MT.Pairs {
+		if p.RIndex == i && p.SIndex == j {
+			return true
+		}
+	}
+	return false
+}
+
+// distinctHolds evaluates a distinctness rule over the pair in both
+// orientations: the rule's e1 and e2 range over all entities of E, so a
+// pair (r, s) instantiates either (e1=r, e2=s) or (e1=s, e2=r). Table 4
+// of the paper needs the second orientation (the Mughalai tuple lives in
+// S).
+func (res *Result) distinctHolds(d rules.DistinctnessRule, i, j int) bool {
+	rt, st := res.RPrime.Tuple(i), res.SPrime.Tuple(j)
+	return d.Holds(res.RPrime, rt, res.SPrime, st) ||
+		d.Holds(res.SPrime, st, res.RPrime, rt)
+}
+
+// referenceClassify is the interpreted, linear-scan classifier.
+func (res *Result) referenceClassify(i, j int) Verdict {
+	if res.referenceContains(i, j) {
+		return Matching
+	}
+	for _, d := range res.distinct {
+		if res.distinctHolds(d, i, j) {
+			return NotMatching
+		}
+	}
+	return Undetermined
+}
+
+// referenceCounts is the sequential Figure 3 tally.
+func (res *Result) referenceCounts() (matching, notMatching, undetermined int) {
+	for i := 0; i < res.RPrime.Len(); i++ {
+		for j := 0; j < res.SPrime.Len(); j++ {
+			switch res.referenceClassify(i, j) {
+			case Matching:
+				matching++
+			case NotMatching:
+				notMatching++
+			default:
+				undetermined++
+			}
+		}
+	}
+	return
+}
+
+// referenceSweep is the sequential row-major enumeration of pairs with
+// the given verdict.
+func (res *Result) referenceSweep(want Verdict, limit int) []Pair {
+	var out []Pair
+	for i := 0; i < res.RPrime.Len(); i++ {
+		for j := 0; j < res.SPrime.Len(); j++ {
+			if res.referenceClassify(i, j) == want {
+				out = append(out, Pair{RIndex: i, SIndex: j})
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// referenceVerifyConsistency is the interpreted consistency half of
+// Verify.
+func (res *Result) referenceVerifyConsistency() error {
+	for _, p := range res.MT.Pairs {
+		for _, d := range res.distinct {
+			if res.distinctHolds(d, p.RIndex, p.SIndex) {
+				return fmt.Errorf("match: consistency violation: pair (%d,%d) matched but distinctness rule %q fires",
+					p.RIndex, p.SIndex, d.Name)
+			}
+		}
+	}
+	return nil
+}

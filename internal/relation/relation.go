@@ -406,10 +406,3 @@ func Format(title string, header []string, rows []Tuple) string {
 	}
 	return b.String()
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,114 @@
+package rules
+
+import (
+	"reflect"
+	"testing"
+
+	"entityid/internal/relation"
+	"entityid/internal/schema"
+	"entityid/internal/value"
+)
+
+func compileSchemas(t *testing.T) (*schema.Schema, *schema.Schema, relation.Tuple, relation.Tuple) {
+	t.Helper()
+	s1 := schema.MustNew("R", []schema.Attribute{
+		{Name: "name"}, {Name: "cuisine"}, {Name: "rank", Kind: value.KindInt},
+	})
+	s2 := schema.MustNew("S", []schema.Attribute{
+		{Name: "cuisine"}, {Name: "name"}, {Name: "rank", Kind: value.KindInt},
+	})
+	t1 := relation.Tuple{value.String("wok"), value.String("chinese"), value.Int(3)}
+	t2 := relation.Tuple{value.String("chinese"), value.String("wok"), value.Int(5)}
+	return s1, s2, t1, t2
+}
+
+// TestCompiledAgreesWithInterpreted pins the compiled evaluator to the
+// interpreted one over every operator, attribute layout (the two
+// schemas order their columns differently), NULL operands, and an
+// absent attribute.
+func TestCompiledAgreesWithInterpreted(t *testing.T) {
+	s1, s2, t1, t2 := compileSchemas(t)
+	r1, r2 := relation.New(s1), relation.New(s2)
+	preds := []Predicate{
+		{Left: Attr1("name"), Op: Eq, Right: Attr2("name")},
+		{Left: Attr1("cuisine"), Op: Eq, Right: Const(value.String("chinese"))},
+		{Left: Attr1("rank"), Op: Lt, Right: Attr2("rank")},
+		{Left: Attr1("rank"), Op: Ge, Right: Attr2("rank")},
+		{Left: Attr1("rank"), Op: Ne, Right: Const(value.String("3"))}, // kind mismatch
+		{Left: Attr1("missing"), Op: Eq, Right: Attr2("name")},         // absent attribute
+		{Left: Const(value.Null), Op: Eq, Right: Attr2("name")},        // NULL operand
+	}
+	for n, p := range preds {
+		want := p.Holds(r1, t1, r2, t2)
+		got := CompiledPredicate{
+			left:  compileOperand(p.Left, s1, s2),
+			op:    p.Op,
+			right: compileOperand(p.Right, s1, s2),
+		}.Holds(t1, t2)
+		if got != want {
+			t.Errorf("pred %d (%s): compiled %v, interpreted %v", n, p, got, want)
+		}
+	}
+}
+
+func TestCompiledRuleBothOrientations(t *testing.T) {
+	s1, s2, t1, t2 := compileSchemas(t)
+	r1, r2 := relation.New(s1), relation.New(s2)
+	rule := MustNewDistinctness("ranked", []Predicate{
+		{Left: Attr1("name"), Op: Eq, Right: Attr2("name")},
+		{Left: Attr1("rank"), Op: Lt, Right: Attr2("rank")},
+	})
+	fwd := rule.Compile(s1, s2)
+	rev := rule.Compile(s2, s1)
+	if got, want := fwd.Holds(t1, t2), rule.Holds(r1, t1, r2, t2); got != want {
+		t.Errorf("forward: compiled %v, interpreted %v", got, want)
+	}
+	if got, want := rev.Holds(t2, t1), rule.Holds(r2, t2, r1, t1); got != want {
+		t.Errorf("reverse: compiled %v, interpreted %v", got, want)
+	}
+	if !fwd.Holds(t1, t2) || rev.Holds(t2, t1) {
+		t.Errorf("rank 3 < 5 should hold forward only: fwd %v rev %v", fwd.Holds(t1, t2), rev.Holds(t2, t1))
+	}
+}
+
+func TestEqualityAttrs(t *testing.T) {
+	rule := MustNewIdentity("r", []Predicate{
+		{Left: Attr1("name"), Op: Eq, Right: Attr2("name")},
+		{Left: Attr2("city"), Op: Eq, Right: Attr1("city")},
+		{Left: Attr1("cuisine"), Op: Eq, Right: Const(value.String("chinese"))},
+		{Left: Attr2("cuisine"), Op: Eq, Right: Const(value.String("chinese"))},
+	})
+	if got, want := rule.EqualityAttrs(), []string{"city", "name"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("EqualityAttrs = %v, want %v", got, want)
+	}
+	constOnly := MustNewIdentity("c", []Predicate{
+		{Left: Attr1("cuisine"), Op: Eq, Right: Const(value.String("chinese"))},
+		{Left: Attr2("cuisine"), Op: Eq, Right: Const(value.String("chinese"))},
+	})
+	if got := constOnly.EqualityAttrs(); len(got) != 0 {
+		t.Errorf("EqualityAttrs = %v, want none", got)
+	}
+}
+
+func TestSidePredicates(t *testing.T) {
+	s1, s2, t1, _ := compileSchemas(t)
+	rule := MustNewDistinctness("d", []Predicate{
+		{Left: Attr1("cuisine"), Op: Eq, Right: Const(value.String("chinese"))}, // e1-only
+		{Left: Attr2("rank"), Op: Gt, Right: Const(value.Int(1))},               // e2-only
+		{Left: Attr1("name"), Op: Ne, Right: Attr2("name")},                     // cross
+		{Left: Const(value.Int(1)), Op: Eq, Right: Const(value.Int(1))},         // const-only
+	})
+	e1, e2, cross := rule.Compile(s1, s2).SidePredicates()
+	if len(e1) != 2 || len(e2) != 1 || len(cross) != 1 {
+		t.Fatalf("split = %d/%d/%d preds, want 2/1/1", len(e1), len(e2), len(cross))
+	}
+	if !e1[0].HoldsSingle(E1, t1) {
+		t.Errorf("e1-only predicate should hold on %v", t1)
+	}
+	if !e1[1].HoldsSingle(E1, nil) {
+		t.Errorf("const-only predicate should hold with no tuple at all")
+	}
+	if cross[0].HoldsSingle(E1, t1) {
+		t.Errorf("cross predicate must fail single-side evaluation")
+	}
+}

@@ -211,7 +211,9 @@ func Less(a, b Value) bool { return Compare(a, b) < 0 }
 
 // Key returns a string that uniquely encodes the value, suitable for use as
 // a map key. Distinct values always produce distinct keys (the kind prefix
-// separates, e.g., the string "1" from the integer 1).
+// separates, e.g., the string "1" from the integer 1), and values the
+// comparison semantics treat as one — the two float zeros — share a key, so
+// hash-based joins and key indexes agree with Equal/Identical.
 func (v Value) Key() string {
 	switch v.kind {
 	case KindNull:
@@ -221,7 +223,11 @@ func (v Value) Key() string {
 	case KindInt:
 		return "i:" + strconv.FormatInt(v.i, 10)
 	case KindFloat:
-		return "f:" + strconv.FormatFloat(v.f, 'b', -1, 64)
+		f := v.f
+		if f == 0 {
+			f = 0 // collapse -0.0 onto +0.0: Identical(−0.0, +0.0) is true
+		}
+		return "f:" + strconv.FormatFloat(f, 'b', -1, 64)
 	case KindBool:
 		return "b:" + strconv.FormatBool(v.b)
 	default:

@@ -301,3 +301,20 @@ func ExampleEqual() {
 	// true
 	// false
 }
+
+// TestKeyAgreesWithIdentical pins Key's hash-consistency contract:
+// values Identical treats as one — notably the two float zeros — must
+// share a key, or hash-based joins and key indexes disagree with the
+// comparison semantics.
+func TestKeyAgreesWithIdentical(t *testing.T) {
+	negZero := Float(math.Copysign(0, -1))
+	if !Identical(negZero, Float(0)) {
+		t.Fatal("-0.0 and +0.0 must be Identical")
+	}
+	if negZero.Key() != Float(0).Key() {
+		t.Errorf("Key(-0.0) = %q, Key(+0.0) = %q; Identical values must share a key", negZero.Key(), Float(0).Key())
+	}
+	if Float(1).Key() == Float(-1).Key() {
+		t.Error("distinct floats must keep distinct keys")
+	}
+}
