@@ -19,6 +19,7 @@ import (
 	"entityid/internal/datagen"
 	"entityid/internal/derive"
 	"entityid/internal/federate"
+	"entityid/internal/hub"
 	"entityid/internal/ilfd"
 	"entityid/internal/integrate"
 	"entityid/internal/match"
@@ -410,6 +411,38 @@ func BenchmarkFederateInsert(b *testing.B) {
 		if _, err := fed.InsertR(t); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkHubIngest is S8: K-source streaming ingest through the hub
+// — every insert is prepared against K-1 pairwise federations, checked
+// for transitive uniqueness and committed under the per-pair locks,
+// sharded across the ingest worker pool. ReportMetric exposes
+// tuples/sec; BENCH_match.json (benchreport -benchjson) tracks the
+// same measurement across PRs.
+func BenchmarkHubIngest(b *testing.B) {
+	for _, k := range []int{2, 4} {
+		b.Run(fmt.Sprintf("sources=%d", k), func(b *testing.B) {
+			w := datagen.MustMultiGenerate(datagen.MultiConfig{
+				Sources: k, Entities: 300, PresenceFrac: 0.6,
+				HomonymRate: 0.1, MissingPhone: 0.1, DirtyPhone: 0.2,
+				Seed: int64(1000 + k),
+			})
+			items := hub.MultiInserts(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h, err := hub.NewFromMulti(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range h.IngestBatch(items, 0) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(items))*float64(b.N)/b.Elapsed().Seconds(), "tuples/sec")
+		})
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"entityid/internal/datagen"
 	"entityid/internal/experiments"
+	"entityid/internal/hub"
 	"entityid/internal/match"
 )
 
@@ -99,6 +100,15 @@ type benchRecord struct {
 	EngineCountsNS int64   `json:"engine_counts_ns"`
 	NaiveCountsNS  int64   `json:"naive_counts_ns"`
 	CountsSpeedup  float64 `json:"counts_speedup"`
+
+	// Hub ingest: K-source concurrent streaming through the federation
+	// hub (BenchmarkHubIngest's workload at fixed scale).
+	HubSources      int     `json:"hub_sources"`
+	HubTuples       int     `json:"hub_tuples"`
+	HubMatches      int     `json:"hub_matches"`
+	HubClusters     int     `json:"hub_clusters"`
+	HubIngestNS     int64   `json:"hub_ingest_ns"`
+	HubTuplesPerSec float64 `json:"hub_tuples_per_sec"`
 }
 
 // runBenchJSON times matching-table construction and the full Figure 3
@@ -169,6 +179,40 @@ func runBenchJSON(path string, w io.Writer) int {
 	rec.BuildSpeedup = float64(rec.NaiveBuildNS) / float64(rec.EngineBuildNS)
 	rec.CountsSpeedup = float64(rec.NaiveCountsNS) / float64(rec.EngineCountsNS)
 
+	// Hub ingest: stream the canonical 4-source workload through the
+	// federation hub's worker pool, best of 3.
+	mw := datagen.MustMultiGenerate(datagen.MultiConfig{
+		Sources: 4, Entities: 600, PresenceFrac: 0.6, HomonymRate: 0.1,
+		MissingPhone: 0.1, DirtyPhone: 0.2, Seed: 2024,
+	})
+	items := hub.MultiInserts(mw)
+	var hubErr error
+	var lastHub *hub.Hub
+	rec.HubIngestNS = best(3, func() {
+		h, err := hub.NewFromMulti(mw)
+		if err != nil {
+			hubErr = err
+			return
+		}
+		for _, res := range h.IngestBatch(items, 0) {
+			if res.Err != nil {
+				hubErr = res.Err
+				return
+			}
+		}
+		lastHub = h
+	})
+	if hubErr != nil {
+		fmt.Fprintf(w, "benchjson: hub ingest: %v\n", hubErr)
+		return 1
+	}
+	hubStats := lastHub.Stats()
+	rec.HubSources = hubStats.Sources
+	rec.HubTuples = hubStats.Tuples
+	rec.HubMatches = hubStats.Matches
+	rec.HubClusters = hubStats.Clusters
+	rec.HubTuplesPerSec = float64(len(items)) / (float64(rec.HubIngestNS) / 1e9)
+
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fmt.Fprintf(w, "benchjson: %v\n", err)
@@ -179,7 +223,8 @@ func runBenchJSON(path string, w io.Writer) int {
 		fmt.Fprintf(w, "benchjson: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(w, "wrote %s: build %.1fx, counts %.1fx (engine vs naive, %d×%d grid, GOMAXPROCS=%d)\n",
-		path, rec.BuildSpeedup, rec.CountsSpeedup, rec.RTuples, rec.STuples, rec.GoMaxProcs)
+	fmt.Fprintf(w, "wrote %s: build %.1fx, counts %.1fx (engine vs naive, %d×%d grid, GOMAXPROCS=%d); hub ingest %.0f tuples/sec (%d sources)\n",
+		path, rec.BuildSpeedup, rec.CountsSpeedup, rec.RTuples, rec.STuples, rec.GoMaxProcs,
+		rec.HubTuplesPerSec, rec.HubSources)
 	return 0
 }

@@ -1,0 +1,181 @@
+// The -demo walkthrough: three autonomous restaurant publishers
+// federated end-to-end through the public Hub API — concurrent
+// streaming ingest, global clusters across pairwise extended keys, a
+// merged cross-source record, and a transitive-uniqueness rejection
+// with rollback.
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"entityid"
+)
+
+// demoILFDs is the speciality→cuisine fragment the walkthrough needs
+// (Table 8's ILFD family).
+var demoILFDs = []string{
+	"speciality=hunan -> cuisine=chinese",
+	"speciality=sichuan -> cuisine=chinese",
+	"speciality=mughalai -> cuisine=indian",
+	"speciality=gyros -> cuisine=greek",
+}
+
+func runDemo(w io.Writer) error {
+	h := entityid.NewHub()
+
+	// Three publishers, no common candidate key anywhere: zagat keys on
+	// (name, street), michelin on (name, city), infatuation on
+	// (name, neighborhood). Only zagat records cuisine directly.
+	mkSource := func(name string, attrs []entityid.Attribute, key []string) error {
+		rel, err := entityid.NewRelation(name, attrs, key)
+		if err != nil {
+			return err
+		}
+		return h.AddSource(name, rel)
+	}
+	str := func(names ...string) []entityid.Attribute {
+		out := make([]entityid.Attribute, len(names))
+		for i, n := range names {
+			out[i] = entityid.Attribute{Name: n}
+		}
+		return out
+	}
+	if err := mkSource("zagat", str("name", "street", "cuisine", "phone"), []string{"name", "street"}); err != nil {
+		return err
+	}
+	if err := mkSource("michelin", str("name", "city", "speciality", "phone"), []string{"name", "city"}); err != nil {
+		return err
+	}
+	if err := mkSource("infatuation", str("name", "neighborhood", "speciality", "phone"), []string{"name", "neighborhood"}); err != nil {
+		return err
+	}
+
+	// Pairwise knowledge, per-pair extended keys (§4.1): the guides
+	// that record speciality derive cuisine through the ILFD family;
+	// michelin↔infatuation trusts shared phone numbers.
+	withILFDs := func(p *entityid.PairSpec) *entityid.PairSpec {
+		for _, line := range demoILFDs {
+			p.AddILFDText(line)
+		}
+		return p
+	}
+	if err := h.Link(withILFDs(entityid.NewPair("zagat", "michelin").
+		MapAttr("name", "name", "name").
+		MapAttr("street", "street", "").
+		MapAttr("city", "", "city").
+		MapAttr("cuisine", "cuisine", "").
+		MapAttr("speciality", "", "speciality").
+		MapAttr("phone", "phone", "phone").
+		SetExtendedKey("name", "cuisine"))); err != nil {
+		return err
+	}
+	if err := h.Link(withILFDs(entityid.NewPair("zagat", "infatuation").
+		MapAttr("name", "name", "name").
+		MapAttr("street", "street", "").
+		MapAttr("hood", "", "neighborhood").
+		MapAttr("cuisine", "cuisine", "").
+		MapAttr("speciality", "", "speciality").
+		MapAttr("phone", "phone", "phone").
+		SetExtendedKey("name", "cuisine"))); err != nil {
+		return err
+	}
+	if err := h.Link(entityid.NewPair("michelin", "infatuation").
+		MapAttr("name", "name", "name").
+		MapAttr("city", "city", "").
+		MapAttr("hood", "", "neighborhood").
+		MapAttr("speciality", "speciality", "speciality").
+		MapAttr("phone", "phone", "phone").
+		SetExtendedKey("phone")); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== 3-source hub: zagat ⋈ michelin ⋈ infatuation ==")
+
+	// Stream the guides concurrently through the ingest worker pool.
+	tup := func(vals ...string) entityid.Tuple {
+		t := make(entityid.Tuple, len(vals))
+		for i, v := range vals {
+			if v == "" {
+				t[i] = entityid.Null
+			} else {
+				t[i] = entityid.String(v)
+			}
+		}
+		return t
+	}
+	batch := []entityid.HubInsert{
+		{Source: "zagat", Tuple: tup("villagewok", "wash ave", "chinese", "612-0001")},
+		{Source: "zagat", Tuple: tup("goldenleaf", "lake st", "chinese", "612-0002")},
+		{Source: "zagat", Tuple: tup("itsgreek", "univ ave", "greek", "612-0003")},
+		{Source: "michelin", Tuple: tup("villagewok", "minneapolis", "hunan", "612-0001")},
+		{Source: "michelin", Tuple: tup("anjuman", "st paul", "mughalai", "612-0004")},
+		{Source: "infatuation", Tuple: tup("itsgreek", "dinkytown", "gyros", "612-9903")},
+		{Source: "infatuation", Tuple: tup("anjuman", "cathedral hill", "mughalai", "612-0004")},
+	}
+	for i, res := range h.IngestBatch(batch, 4) {
+		if res.Err != nil {
+			return fmt.Errorf("insert %d: %w", i, res.Err)
+		}
+	}
+	st := h.Stats()
+	fmt.Fprintf(w, "ingested %d tuples into %d sources over %d links: %d pairwise matches, %d clusters\n\n",
+		st.Tuples, st.Sources, st.Pairs, st.Matches, st.Clusters)
+
+	fmt.Fprintln(w, "-- global clusters --")
+	for _, cl := range h.Clusters() {
+		var members []string
+		for _, m := range cl.Members {
+			members = append(members, fmt.Sprintf("%s[%s]", m.Source, m.Tuple[0]))
+		}
+		fmt.Fprintf(w, "%-14s %s\n", cl.ID, strings.Join(members, " ≡ "))
+	}
+	fmt.Fprintln(w)
+
+	// The merged cross-source record: anjuman is unknown to zagat, but
+	// michelin and infatuation agree through their shared phone.
+	cl, err := h.Lookup("michelin", entityid.String("anjuman"), entityid.String("st paul"))
+	if err != nil {
+		return err
+	}
+	merged, err := h.Merged(cl, entityid.MergeCoalesce)
+	if err != nil {
+		return err
+	}
+	var attrs []string
+	for name := range merged.Values {
+		attrs = append(attrs, name)
+	}
+	sort.Strings(attrs)
+	fmt.Fprintln(w, "-- merged record for michelin[anjuman] --")
+	for _, name := range attrs {
+		fmt.Fprintf(w, "%-12s %s\n", name, merged.Values[name])
+	}
+	fmt.Fprintln(w)
+
+	// A transitive uniqueness violation: this infatuation tuple matches
+	// zagat[goldenleaf] on (name, derived cuisine) and — through a
+	// recycled phone number — michelin[villagewok] on phone. Committing
+	// it would merge villagewok's and goldenleaf's clusters, putting two
+	// zagat rows into one entity; the hub must refuse and roll back.
+	before := h.Stats()
+	_, err = h.Insert("infatuation", tup("goldenleaf", "uptown", "hunan", "612-0001"))
+	if err == nil {
+		return fmt.Errorf("transitive violation was not rejected")
+	}
+	after := h.Stats()
+	fmt.Fprintln(w, "-- transitive uniqueness guard --")
+	fmt.Fprintf(w, "rejected: %v\n", err)
+	fmt.Fprintf(w, "state unchanged: %+v == %+v: %v\n\n", before, after, before == after)
+
+	// With the correct phone the tuple is admitted and clusters with
+	// goldenleaf alone.
+	rec, err := h.Insert("infatuation", tup("goldenleaf", "uptown", "hunan", "612-8802"))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "corrected insert clusters with: %s (cluster size %d)\n",
+		rec.Matched[0].Source, len(rec.Cluster.Members))
+	return nil
+}

@@ -1,0 +1,478 @@
+// Command entityidd serves a multi-source entity-identification hub
+// over HTTP with JSON/NDJSON bodies: register autonomous sources, link
+// source pairs with their correspondences, extended keys, ILFDs and
+// identity rules, stream tuple inserts, and query global entity
+// clusters and merged cross-source records.
+//
+// Usage:
+//
+//	entityidd -addr :8080        # serve
+//	entityidd -demo              # run the 3-source walkthrough and exit
+//
+// API (all bodies JSON; /v1/insert and /v1/clusters stream NDJSON):
+//
+//	POST /v1/sources   {"name":"zagat","attrs":[{"name":"name","kind":"string"},...],"key":["name","street"]}
+//	POST /v1/links     {"left":"zagat","right":"michelin",
+//	                    "attrs":[{"name":"name","left":"name","right":"name"},...],
+//	                    "extkey":["name","cuisine"],
+//	                    "ilfds":["speciality=hunan -> cuisine=chinese"],
+//	                    "identity":[{"name":"name-phone","eq":["name","phone"]}]}
+//	POST /v1/insert    NDJSON stream of {"source":"zagat","tuple":["VillageWok","Wash.Ave.",null,"612-1234"]}
+//	                   → NDJSON per line: {"ok":true,"index":0,"matched":[...],"cluster":{...}}
+//	GET  /v1/cluster?source=zagat&key=VillageWok&key=Wash.Ave.[&merge=coalesce]
+//	GET  /v1/clusters[?merge=coalesce]   NDJSON stream, one cluster per line
+//	GET  /v1/stats
+//	GET  /healthz
+//
+// Attribute kinds are string (default), int, float, bool. Tuple values
+// are JSON scalars matching the declared kind; null means NULL.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+
+	"entityid"
+	"entityid/internal/rules"
+	"entityid/internal/value"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		demo = flag.Bool("demo", false, "run the 3-source walkthrough and exit")
+	)
+	flag.Parse()
+	if *demo {
+		if err := runDemo(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	srv := newServer()
+	log.Printf("entityidd: serving on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// server is the HTTP front-end over one hub. It keeps its own
+// attribute registry (filled on source creation) so tuple parsing
+// needs no hub round-trip.
+type server struct {
+	hub *entityid.Hub
+	mux *http.ServeMux
+
+	mu      sync.RWMutex
+	schemas map[string][]attrInfo
+	// keyKinds holds each source's primary-key attribute kinds in key
+	// order, so /v1/cluster can parse key query parameters typedly.
+	keyKinds map[string][]value.Kind
+}
+
+// attrInfo is one declared attribute of a registered source.
+type attrInfo struct {
+	name string
+	kind value.Kind
+}
+
+func newServer() *server {
+	s := &server{
+		hub:      entityid.NewHub(),
+		mux:      http.NewServeMux(),
+		schemas:  map[string][]attrInfo{},
+		keyKinds: map[string][]value.Kind{},
+	}
+	s.mux.HandleFunc("POST /v1/sources", s.handleSources)
+	s.mux.HandleFunc("POST /v1/links", s.handleLinks)
+	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /v1/clusters", s.handleClusters)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// sourceReq declares one source.
+type sourceReq struct {
+	Name  string `json:"name"`
+	Attrs []struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+	} `json:"attrs"`
+	Key []string `json:"key"`
+}
+
+func (s *server) handleSources(w http.ResponseWriter, r *http.Request) {
+	var req sourceReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	attrs := make([]entityid.Attribute, len(req.Attrs))
+	for i, a := range req.Attrs {
+		k, err := parseKind(a.Kind)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		attrs[i] = entityid.Attribute{Name: a.Name, Kind: k}
+	}
+	var keys [][]string
+	if len(req.Key) > 0 {
+		keys = append(keys, req.Key)
+	}
+	rel, err := entityid.NewRelation(req.Name, attrs, keys...)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.hub.AddSource(req.Name, rel); err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	infos := make([]attrInfo, len(attrs))
+	kindOf := map[string]value.Kind{}
+	for i, a := range attrs {
+		infos[i] = attrInfo{name: a.Name, kind: a.Kind}
+		kindOf[a.Name] = a.Kind
+	}
+	// Primary key in key order; with no declared key the whole
+	// attribute set is the key (the paper's convention, mirrored by
+	// NewRelation).
+	keyAttrs := req.Key
+	if len(keyAttrs) == 0 {
+		for _, a := range req.Attrs {
+			keyAttrs = append(keyAttrs, a.Name)
+		}
+	}
+	kk := make([]value.Kind, len(keyAttrs))
+	for i, a := range keyAttrs {
+		kk[i] = kindOf[a]
+	}
+	s.mu.Lock()
+	s.schemas[req.Name] = infos
+	s.keyKinds[req.Name] = kk
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]string{"source": req.Name})
+}
+
+// linkReq declares one source pair.
+type linkReq struct {
+	Left  string `json:"left"`
+	Right string `json:"right"`
+	Attrs []struct {
+		Name  string `json:"name"`
+		Left  string `json:"left"`
+		Right string `json:"right"`
+	} `json:"attrs"`
+	ExtKey   []string `json:"extkey"`
+	ILFDs    []string `json:"ilfds"`
+	Identity []struct {
+		Name string   `json:"name"`
+		Eq   []string `json:"eq"`
+	} `json:"identity"`
+}
+
+func (s *server) handleLinks(w http.ResponseWriter, r *http.Request) {
+	var req linkReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := entityid.NewPair(req.Left, req.Right)
+	for _, a := range req.Attrs {
+		spec.MapAttr(a.Name, a.Left, a.Right)
+	}
+	spec.SetExtendedKey(req.ExtKey...)
+	for _, line := range req.ILFDs {
+		spec.AddILFDText(line)
+	}
+	for _, id := range req.Identity {
+		// The key-equivalence form covers the serving API: agreement on
+		// every listed attribute implies identity (§2.2 / §4.1).
+		rule, err := rules.KeyEquivalence(id.Name, id.Eq)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		spec.AddIdentityRule(rule)
+	}
+	if err := s.hub.Link(spec); err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"left": req.Left, "right": req.Right})
+}
+
+// insertLine is one NDJSON ingest item.
+type insertLine struct {
+	Source string `json:"source"`
+	Tuple  []any  `json:"tuple"`
+}
+
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	// Read the whole NDJSON batch, ingest it through the hub's worker
+	// pool, stream per-line results back in input order.
+	var items []entityid.HubInsert
+	var parseErrs []error
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var in insertLine
+		if err := json.Unmarshal([]byte(line), &in); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("line %d: %w", len(items)+1, err))
+			return
+		}
+		t, err := s.toTuple(in.Source, in.Tuple)
+		items = append(items, entityid.HubInsert{Source: in.Source, Tuple: t})
+		parseErrs = append(parseErrs, err)
+	}
+	if err := sc.Err(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Pre-filter lines whose tuples failed to parse: they are reported
+	// in place without reaching the hub.
+	valid := make([]entityid.HubInsert, 0, len(items))
+	for i, it := range items {
+		if parseErrs[i] == nil {
+			valid = append(valid, it)
+		}
+	}
+	results := s.hub.IngestBatch(valid, 0)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	vi := 0
+	for i := range items {
+		if parseErrs[i] != nil {
+			enc.Encode(map[string]any{"ok": false, "error": parseErrs[i].Error()})
+			continue
+		}
+		res := results[vi]
+		vi++
+		if res.Err != nil {
+			enc.Encode(map[string]any{"ok": false, "error": res.Err.Error()})
+			continue
+		}
+		enc.Encode(map[string]any{
+			"ok":      true,
+			"index":   res.Receipt.Index,
+			"matched": membersJSON(res.Receipt.Matched),
+			"cluster": s.clusterJSON(res.Receipt.Cluster, ""),
+		})
+	}
+}
+
+func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	source := r.URL.Query().Get("source")
+	keys := r.URL.Query()["key"]
+	if source == "" || len(keys) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("source and key parameters required"))
+		return
+	}
+	s.mu.RLock()
+	kinds, known := s.keyKinds[source]
+	s.mu.RUnlock()
+	if !known {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown source %q", source))
+		return
+	}
+	if len(kinds) != len(keys) {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("source %q: %d key values, primary key has %d attributes", source, len(keys), len(kinds)))
+		return
+	}
+	vals := make([]entityid.Value, len(keys))
+	for i, k := range keys {
+		v, err := value.Parse(k, kinds[i])
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("key %d: %w", i, err))
+			return
+		}
+		vals[i] = v
+	}
+	cl, err := s.hub.Lookup(source, vals...)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.clusterJSON(cl, r.URL.Query().Get("merge")))
+}
+
+func (s *server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	merge := r.URL.Query().Get("merge")
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, cl := range s.hub.Clusters() {
+		enc.Encode(s.clusterJSON(cl, merge))
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.hub.Stats()
+	writeJSON(w, http.StatusOK, map[string]int{
+		"sources":  st.Sources,
+		"pairs":    st.Pairs,
+		"tuples":   st.Tuples,
+		"matches":  st.Matches,
+		"clusters": st.Clusters,
+	})
+}
+
+// toTuple converts JSON scalars into a typed tuple per the source
+// schema.
+func (s *server) toTuple(source string, raw []any) (entityid.Tuple, error) {
+	s.mu.RLock()
+	infos, ok := s.schemas[source]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown source %q", source)
+	}
+	if len(raw) != len(infos) {
+		return nil, fmt.Errorf("source %q: %d values, schema wants %d", source, len(raw), len(infos))
+	}
+	t := make(entityid.Tuple, len(raw))
+	for i, rv := range raw {
+		v, err := jsonToValue(rv, infos[i].kind)
+		if err != nil {
+			return nil, fmt.Errorf("source %q: attribute %q: %w", source, infos[i].name, err)
+		}
+		t[i] = v
+	}
+	return t, nil
+}
+
+func parseKind(k string) (entityid.Kind, error) {
+	switch k {
+	case "", "string":
+		return entityid.KindString, nil
+	case "int":
+		return entityid.KindInt, nil
+	case "float":
+		return entityid.KindFloat, nil
+	case "bool":
+		return entityid.KindBool, nil
+	default:
+		return entityid.KindString, fmt.Errorf("unknown kind %q", k)
+	}
+}
+
+// jsonToValue converts one decoded JSON scalar to a typed value.
+func jsonToValue(raw any, kind value.Kind) (value.Value, error) {
+	if raw == nil {
+		return value.Null, nil
+	}
+	switch v := raw.(type) {
+	case string:
+		return value.Parse(v, kind)
+	case float64:
+		switch kind {
+		case value.KindInt:
+			if v != float64(int64(v)) {
+				return value.Null, fmt.Errorf("non-integer %v for int attribute", v)
+			}
+			return value.Int(int64(v)), nil
+		case value.KindFloat:
+			return value.Float(v), nil
+		default:
+			return value.Null, fmt.Errorf("number %v for %s attribute", v, kind)
+		}
+	case bool:
+		if kind != value.KindBool {
+			return value.Null, fmt.Errorf("bool for %s attribute", kind)
+		}
+		return value.Bool(v), nil
+	default:
+		return value.Null, fmt.Errorf("unsupported JSON value %T", raw)
+	}
+}
+
+// valueToJSON renders a typed value as a JSON scalar.
+func valueToJSON(v value.Value) any {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindInt:
+		return v.IntVal()
+	case value.KindFloat:
+		return v.FloatVal()
+	case value.KindBool:
+		return v.BoolVal()
+	default:
+		return v.Str()
+	}
+}
+
+func membersJSON(ms []entityid.ClusterMember) []map[string]any {
+	out := make([]map[string]any, len(ms))
+	for i, m := range ms {
+		tuple := make([]any, len(m.Tuple))
+		for j, v := range m.Tuple {
+			tuple[j] = valueToJSON(v)
+		}
+		out[i] = map[string]any{"source": m.Source, "index": m.Index, "tuple": tuple}
+	}
+	return out
+}
+
+// clusterJSON renders a cluster, optionally with its merged record.
+func (s *server) clusterJSON(cl entityid.EntityCluster, merge string) map[string]any {
+	out := map[string]any{"id": cl.ID, "members": membersJSON(cl.Members)}
+	if merge == "" {
+		return out
+	}
+	strategy, ok := mergeStrategies[merge]
+	if !ok {
+		out["merge_error"] = fmt.Sprintf("unknown strategy %q", merge)
+		return out
+	}
+	me, err := s.hub.Merged(cl, strategy)
+	if err != nil {
+		out["merge_error"] = err.Error()
+		return out
+	}
+	vals := map[string]any{}
+	for k, v := range me.Values {
+		vals[k] = valueToJSON(v)
+	}
+	out["merged"] = vals
+	if len(me.Conflicts) > 0 {
+		out["conflicts"] = me.Conflicts
+	}
+	return out
+}
+
+var mergeStrategies = map[string]entityid.MergeStrategy{
+	"coalesce": entityid.MergeCoalesce,
+	"left":     entityid.MergePreferR,
+	"right":    entityid.MergePreferS,
+	"strict":   entityid.MergeStrict,
+}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// do runs one request against the server and decodes a JSON object
+// response.
+func do(t *testing.T, srv *server, method, path, body string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rw := httptest.NewRecorder()
+	srv.ServeHTTP(rw, req)
+	out := map[string]any{}
+	if len(bytes.TrimSpace(rw.Body.Bytes())) > 0 && !strings.Contains(rw.Header().Get("Content-Type"), "ndjson") {
+		if err := json.Unmarshal(rw.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, path, rw.Body.String(), err)
+		}
+	}
+	return rw.Code, out
+}
+
+// ndjson runs one request and decodes every NDJSON line.
+func ndjson(t *testing.T, srv *server, method, path, body string) (int, []map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rw := httptest.NewRecorder()
+	srv.ServeHTTP(rw, req)
+	var lines []map[string]any
+	for _, line := range strings.Split(rw.Body.String(), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		m := map[string]any{}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("%s %s: bad NDJSON line %q: %v", method, path, line, err)
+		}
+		lines = append(lines, m)
+	}
+	return rw.Code, lines
+}
+
+// TestServerEndToEnd drives the acceptance scenario over HTTP: three
+// sources, per-pair knowledge with different extended keys, streaming
+// NDJSON ingest, deterministic global clusters, a merged record, and a
+// transitive-uniqueness rejection that leaves state untouched.
+func TestServerEndToEnd(t *testing.T) {
+	srv := newServer()
+
+	for _, src := range []string{
+		`{"name":"zagat","attrs":[{"name":"name"},{"name":"street"},{"name":"cuisine"},{"name":"phone"}],"key":["name","street"]}`,
+		`{"name":"michelin","attrs":[{"name":"name"},{"name":"city"},{"name":"speciality"},{"name":"phone"}],"key":["name","city"]}`,
+		`{"name":"infatuation","attrs":[{"name":"name"},{"name":"neighborhood"},{"name":"speciality"},{"name":"phone"}],"key":["name","neighborhood"]}`,
+	} {
+		if code, out := do(t, srv, "POST", "/v1/sources", src); code != http.StatusCreated {
+			t.Fatalf("source: %d %v", code, out)
+		}
+	}
+	// Duplicate source rejected.
+	if code, _ := do(t, srv, "POST", "/v1/sources", `{"name":"zagat","attrs":[{"name":"name"}]}`); code != http.StatusConflict {
+		t.Fatalf("duplicate source accepted: %d", code)
+	}
+
+	ilfds := `["speciality=hunan -> cuisine=chinese","speciality=gyros -> cuisine=greek","speciality=mughalai -> cuisine=indian"]`
+	links := []string{
+		`{"left":"zagat","right":"michelin","extkey":["name","cuisine"],"ilfds":` + ilfds + `,"attrs":[
+			{"name":"name","left":"name","right":"name"},{"name":"street","left":"street"},
+			{"name":"city","right":"city"},{"name":"cuisine","left":"cuisine"},
+			{"name":"speciality","right":"speciality"},{"name":"phone","left":"phone","right":"phone"}]}`,
+		`{"left":"zagat","right":"infatuation","extkey":["name","cuisine"],"ilfds":` + ilfds + `,"attrs":[
+			{"name":"name","left":"name","right":"name"},{"name":"street","left":"street"},
+			{"name":"hood","right":"neighborhood"},{"name":"cuisine","left":"cuisine"},
+			{"name":"speciality","right":"speciality"},{"name":"phone","left":"phone","right":"phone"}]}`,
+		`{"left":"michelin","right":"infatuation","extkey":["phone"],"attrs":[
+			{"name":"name","left":"name","right":"name"},{"name":"city","left":"city"},
+			{"name":"hood","right":"neighborhood"},{"name":"speciality","left":"speciality","right":"speciality"},
+			{"name":"phone","left":"phone","right":"phone"}]}`,
+	}
+	for _, l := range links {
+		if code, out := do(t, srv, "POST", "/v1/links", l); code != http.StatusCreated {
+			t.Fatalf("link: %d %v", code, out)
+		}
+	}
+
+	// Streaming ingest, including one malformed line (wrong arity)
+	// reported in place without aborting the batch.
+	batch := strings.Join([]string{
+		`{"source":"zagat","tuple":["villagewok","wash ave","chinese","612-0001"]}`,
+		`{"source":"zagat","tuple":["goldenleaf","lake st","chinese","612-0002"]}`,
+		`{"source":"michelin","tuple":["villagewok","minneapolis","hunan","612-0001"]}`,
+		`{"source":"michelin","tuple":["too","short"]}`,
+		`{"source":"infatuation","tuple":["anjuman","cathedral hill","mughalai","612-0004"]}`,
+	}, "\n")
+	code, results := ndjson(t, srv, "POST", "/v1/insert", batch)
+	if code != http.StatusOK || len(results) != 5 {
+		t.Fatalf("insert: %d, %d results", code, len(results))
+	}
+	for i, want := range []bool{true, true, true, false, true} {
+		if results[i]["ok"] != want {
+			t.Fatalf("insert line %d: ok=%v want %v (%v)", i, results[i]["ok"], want, results[i])
+		}
+	}
+	// The michelin villagewok matched the zagat one.
+	if m := results[2]["matched"].([]any); len(m) != 1 {
+		t.Fatalf("villagewok matched %v", results[2]["matched"])
+	}
+
+	// Cluster lookup with merged record.
+	code, cl := do(t, srv, "GET", "/v1/cluster?source=michelin&key=villagewok&key=minneapolis&merge=coalesce", "")
+	if code != http.StatusOK {
+		t.Fatalf("cluster: %d %v", code, cl)
+	}
+	if got := len(cl["members"].([]any)); got != 2 {
+		t.Fatalf("cluster members %d, want 2", got)
+	}
+	merged := cl["merged"].(map[string]any)
+	for attr, want := range map[string]string{
+		"name": "villagewok", "cuisine": "chinese", "speciality": "hunan",
+		"street": "wash ave", "city": "minneapolis", "phone": "612-0001",
+	} {
+		if merged[attr] != want {
+			t.Fatalf("merged[%s] = %v, want %s", attr, merged[attr], want)
+		}
+	}
+
+	// Transitive uniqueness violation over HTTP: matches goldenleaf via
+	// (name, derived cuisine) and villagewok's cluster via phone.
+	code, results = ndjson(t, srv, "POST", "/v1/insert",
+		`{"source":"infatuation","tuple":["goldenleaf","uptown","hunan","612-0001"]}`)
+	if code != http.StatusOK || len(results) != 1 || results[0]["ok"] != false {
+		t.Fatalf("violation not rejected: %d %v", code, results)
+	}
+	if msg := results[0]["error"].(string); !strings.Contains(msg, "transitive uniqueness") {
+		t.Fatalf("unexpected rejection: %s", msg)
+	}
+
+	// State rolled back: stats as before the rejected insert.
+	code, stats := do(t, srv, "GET", "/v1/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats["tuples"].(float64) != 4 || stats["matches"].(float64) != 1 || stats["clusters"].(float64) != 3 {
+		t.Fatalf("stats after rollback: %v", stats)
+	}
+
+	// Cluster enumeration is deterministic and complete.
+	code, clusters := ndjson(t, srv, "GET", "/v1/clusters", "")
+	if code != http.StatusOK || len(clusters) != 3 {
+		t.Fatalf("clusters: %d, %d lines", code, len(clusters))
+	}
+	if clusters[0]["id"] != "zagat/0" {
+		t.Fatalf("first cluster %v", clusters[0]["id"])
+	}
+}
+
+func TestServerIdentityRuleLinks(t *testing.T) {
+	srv := newServer()
+	do(t, srv, "POST", "/v1/sources", `{"name":"a","attrs":[{"name":"id"},{"name":"name"},{"name":"phone"}],"key":["id"]}`)
+	do(t, srv, "POST", "/v1/sources", `{"name":"b","attrs":[{"name":"id"},{"name":"name"},{"name":"phone"}],"key":["id"]}`)
+	code, out := do(t, srv, "POST", "/v1/links", `{"left":"a","right":"b",
+		"attrs":[{"name":"id_a","left":"id"},{"name":"id_b","right":"id"},
+		         {"name":"name","left":"name","right":"name"},{"name":"phone","left":"phone","right":"phone"}],
+		"extkey":["name"],
+		"identity":[{"name":"phone-match","eq":["phone"]}]}`)
+	if code != http.StatusCreated {
+		t.Fatalf("link: %d %v", code, out)
+	}
+	// a0 and b0 share no name but the identity rule pairs them on phone
+	// — through the incremental (streaming) path.
+	_, results := ndjson(t, srv, "POST", "/v1/insert", strings.Join([]string{
+		`{"source":"a","tuple":["a0","alpha","555-1"]}`,
+		`{"source":"b","tuple":["b0","beta","555-1"]}`,
+	}, "\n"))
+	if results[1]["ok"] != true {
+		t.Fatalf("insert: %v", results[1])
+	}
+	if m := results[1]["matched"].([]any); len(m) != 1 {
+		t.Fatalf("identity-rule streaming match missed: %v", results[1])
+	}
+}
+
+func TestServerTypedKeyLookup(t *testing.T) {
+	// Key query parameters must be parsed with the key attributes'
+	// declared kinds: an int-keyed source is unreachable if the server
+	// compares string values against stored ints.
+	srv := newServer()
+	do(t, srv, "POST", "/v1/sources", `{"name":"a","attrs":[{"name":"id","kind":"int"},{"name":"name"}],"key":["id"]}`)
+	do(t, srv, "POST", "/v1/sources", `{"name":"b","attrs":[{"name":"id","kind":"int"},{"name":"name"}],"key":["id"]}`)
+	do(t, srv, "POST", "/v1/links", `{"left":"a","right":"b","extkey":["name"],"attrs":[
+		{"name":"id_a","left":"id"},{"name":"id_b","right":"id"},{"name":"name","left":"name","right":"name"}]}`)
+	_, results := ndjson(t, srv, "POST", "/v1/insert", strings.Join([]string{
+		`{"source":"a","tuple":[5,"alpha"]}`,
+		`{"source":"b","tuple":[7,"alpha"]}`,
+	}, "\n"))
+	if results[1]["ok"] != true {
+		t.Fatalf("insert: %v", results[1])
+	}
+	code, cl := do(t, srv, "GET", "/v1/cluster?source=a&key=5", "")
+	if code != http.StatusOK {
+		t.Fatalf("int-key lookup: %d %v", code, cl)
+	}
+	if got := len(cl["members"].([]any)); got != 2 {
+		t.Fatalf("cluster members %d, want 2", got)
+	}
+	// Wrong arity and unknown source are client errors, not panics.
+	if code, _ := do(t, srv, "GET", "/v1/cluster?source=a&key=5&key=6", ""); code != http.StatusBadRequest {
+		t.Fatalf("arity mismatch: %d", code)
+	}
+	if code, _ := do(t, srv, "GET", "/v1/cluster?source=zzz&key=5", ""); code != http.StatusNotFound {
+		t.Fatalf("unknown source: %d", code)
+	}
+}
+
+func TestDemoRuns(t *testing.T) {
+	var b bytes.Buffer
+	if err := runDemo(&b); err != nil {
+		t.Fatalf("demo: %v\n%s", err, b.String())
+	}
+	for _, want := range []string{
+		"4 clusters",
+		"zagat[villagewok] ≡ michelin[villagewok]",
+		"transitive uniqueness violation",
+		"state unchanged",
+		"corrected insert clusters with: zagat",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("demo output missing %q:\n%s", want, b.String())
+		}
+	}
+}

@@ -25,6 +25,16 @@
 // process is monotonic (§3.3): matches and non-matches only grow,
 // undetermined pairs only shrink.
 //
+// Beyond the paper's two-relation scope, the package federates N
+// autonomous sources: a Hub (see NewHub and hub.go's example) registers
+// named sources, links pairs with per-pair correspondences, extended
+// keys, ILFDs and rules, streams inserts concurrently through one live
+// Federation per link, and folds the pairwise matching tables into
+// global entity clusters — with the §3.2 uniqueness constraint enforced
+// transitively across sources and a merged cross-source record per
+// entity. See examples/hub for a three-source walkthrough and
+// cmd/entityidd for the JSON/NDJSON serving front-end.
+//
 // The underlying machinery lives in internal packages (relation model,
 // relational algebra, ILFD theory with Armstrong-style axioms, rule
 // language, derivation engine, matching, integration, §2.2 baselines,

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHubExample(t *testing.T) {
+	var b bytes.Buffer
+	if err := demo(&b); err != nil {
+		t.Fatalf("demo: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"3 sources, 3 links, 7 tuples, 3 pairwise matches, 4 entities",
+		"guides[villagewok] ≡ stars[villagewok]",
+		"stars[anjuman] ≡ eats[anjuman]",
+		"speciality  hunan",
+		"transitive uniqueness violation",
+		"corrected listing clusters with guides[goldenleaf]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

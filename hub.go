@@ -1,0 +1,184 @@
+package entityid
+
+// The multi-source federation surface: Hub generalizes the pairwise
+// System/Federation workflow to N autonomous sources with globally
+// consistent entity identities. Register sources, link pairs with
+// per-pair knowledge (the same correspondences, extended keys, ILFDs
+// and rules a two-relation System takes), then stream inserts; the hub
+// maintains one live pairwise federation per link and folds the
+// pairwise matching tables into global entity clusters, rejecting — and
+// rolling back — any insert whose matches would transitively merge two
+// tuples of one source.
+//
+//	h := entityid.NewHub()
+//	h.AddSource("zagat", zagat)
+//	h.AddSource("michelin", michelin)
+//	h.AddSource("infatuation", infatuation)
+//	h.Link(entityid.NewPair("zagat", "michelin").
+//	    MapAttr("name", "name", "name").
+//	    MapAttr("cuisine", "cuisine", "").
+//	    MapAttr("speciality", "", "speciality").
+//	    SetExtendedKey("name", "cuisine"))
+//	...
+//	rec, err := h.Insert("zagat", tuple)
+//	cluster, err := h.Lookup("michelin", key...)
+//	merged, err := h.Merged(cluster, entityid.MergeCoalesce)
+
+import (
+	"entityid/internal/hub"
+	"entityid/internal/ilfd"
+	"entityid/internal/match"
+	"entityid/internal/resolve"
+)
+
+// AttrMap places one integrated-world attribute in two relations (the
+// building block of PairSpec.Attrs; System.MapAttr constructs them
+// internally).
+type AttrMap = match.AttrMap
+
+// EntityCluster is one global entity: its member tuples across sources.
+type EntityCluster = hub.Cluster
+
+// ClusterMember is one tuple of one cluster.
+type ClusterMember = hub.Member
+
+// HubReceipt reports a successful hub insert.
+type HubReceipt = hub.Receipt
+
+// HubInsert is one item of Hub.IngestBatch.
+type HubInsert = hub.Insert
+
+// HubInsertResult is one IngestBatch outcome, in input order.
+type HubInsertResult = hub.InsertResult
+
+// HubStats summarises a hub.
+type HubStats = hub.Stats
+
+// MergedEntity is a cluster's merged cross-source record.
+type MergedEntity = hub.MergedEntity
+
+// PairSpec accumulates the identification knowledge for one source
+// pair, in the same fluent style as System. Construct with NewPair.
+type PairSpec struct {
+	inner   hub.PairSpec
+	ilfdErr error
+}
+
+// NewPair starts a link specification between two registered sources.
+// AttrMap entries address Left via their R side and Right via S.
+func NewPair(left, right string) *PairSpec {
+	return &PairSpec{inner: hub.PairSpec{Left: left, Right: right}}
+}
+
+// MapAttr declares an integrated-world attribute and its location in
+// the two sources; pass "" for a side that does not model it.
+func (p *PairSpec) MapAttr(name, leftAttr, rightAttr string) *PairSpec {
+	p.inner.Attrs = append(p.inner.Attrs, match.AttrMap{Name: name, R: leftAttr, S: rightAttr})
+	return p
+}
+
+// SetExtendedKey declares the pair's extended key (§4.1) over
+// integrated attribute names.
+func (p *PairSpec) SetExtendedKey(attrs ...string) *PairSpec {
+	p.inner.ExtKey = append([]string(nil), attrs...)
+	return p
+}
+
+// AddILFD registers an instance-level functional dependency for this
+// pair.
+func (p *PairSpec) AddILFD(f ILFD) *PairSpec {
+	p.inner.ILFDs = append(p.inner.ILFDs, f)
+	return p
+}
+
+// AddILFDText parses and registers an ILFD; a parse error is deferred
+// to Hub.Link so the fluent chain stays unbroken.
+func (p *PairSpec) AddILFDText(line string) *PairSpec {
+	f, err := ilfd.ParseLine(line)
+	if err != nil {
+		if p.ilfdErr == nil {
+			p.ilfdErr = err
+		}
+		return p
+	}
+	p.inner.ILFDs = append(p.inner.ILFDs, f)
+	return p
+}
+
+// AddIdentityRule registers an extra identity rule for this pair.
+func (p *PairSpec) AddIdentityRule(r IdentityRule) *PairSpec {
+	p.inner.Identity = append(p.inner.Identity, r)
+	return p
+}
+
+// AddDistinctnessRule registers an extra distinctness rule.
+func (p *PairSpec) AddDistinctnessRule(d DistinctnessRule) *PairSpec {
+	p.inner.Distinct = append(p.inner.Distinct, d)
+	return p
+}
+
+// Hub is a live N-source federation: global entity clusters maintained
+// over per-pair incremental identification. Safe for concurrent use.
+// Obtain one with NewHub.
+type Hub struct {
+	inner *hub.Hub
+}
+
+// NewHub creates an empty hub.
+func NewHub() *Hub {
+	return &Hub{inner: hub.New()}
+}
+
+// AddSource registers an autonomous source under a unique name; the
+// relation seeds the hub's canonical copy (cloned).
+func (h *Hub) AddSource(name string, rel *Relation) error {
+	return h.inner.AddSource(name, rel)
+}
+
+// Link registers the identification link between two sources. Already
+// present tuples are identified immediately (batch, then verified and
+// folded into the clusters); the hub is unchanged on any failure.
+func (h *Hub) Link(p *PairSpec) error {
+	if p.ilfdErr != nil {
+		return p.ilfdErr
+	}
+	return h.inner.Link(p.inner)
+}
+
+// Insert streams one tuple into a source, identifying it against every
+// linked source. The insert is committed everywhere or rejected
+// everywhere (§3.2 uniqueness — pairwise and transitive — and
+// consistency are insertion guards).
+func (h *Hub) Insert(source string, t Tuple) (*HubReceipt, error) {
+	return h.inner.Insert(source, t)
+}
+
+// IngestBatch streams a batch of inserts through a worker pool
+// (workers <= 0 means GOMAXPROCS), reporting per-item results in input
+// order.
+func (h *Hub) IngestBatch(items []HubInsert, workers int) []HubInsertResult {
+	return h.inner.IngestBatch(items, workers)
+}
+
+// Lookup finds a source tuple by its primary-key values and returns
+// its global cluster.
+func (h *Hub) Lookup(source string, key ...Value) (EntityCluster, error) {
+	return h.inner.Lookup(source, key...)
+}
+
+// Clusters enumerates every global entity cluster, deterministically.
+func (h *Hub) Clusters() []EntityCluster {
+	return h.inner.Clusters()
+}
+
+// Merged resolves a cluster into one record per integrated attribute
+// under the given strategy (the §2 attribute-value-conflict resolution,
+// lifted across N sources).
+func (h *Hub) Merged(c EntityCluster, strategy MergeStrategy) (*MergedEntity, error) {
+	return h.inner.Merged(c, resolve.Strategy(strategy))
+}
+
+// Stats summarises the hub.
+func (h *Hub) Stats() HubStats {
+	return h.inner.Stats()
+}

@@ -1,0 +1,115 @@
+package entityid_test
+
+import (
+	"strings"
+	"testing"
+
+	"entityid"
+	"entityid/internal/rules"
+)
+
+func hubSource(t *testing.T, h *entityid.Hub, name string, attrs []string, key ...string) {
+	t.Helper()
+	as := make([]entityid.Attribute, len(attrs))
+	for i, a := range attrs {
+		as[i] = entityid.Attribute{Name: a}
+	}
+	rel, err := entityid.NewRelation(name, as, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddSource(name, rel); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHubPublicSurface(t *testing.T) {
+	h := entityid.NewHub()
+	hubSource(t, h, "r", []string{"name", "street", "cuisine", "phone"}, "name", "street")
+	hubSource(t, h, "s", []string{"name", "city", "speciality", "phone"}, "name", "city")
+	hubSource(t, h, "u", []string{"name", "hood", "speciality", "phone"}, "name", "hood")
+
+	pair := func(left, right, rLoc, sLoc string) *entityid.PairSpec {
+		return entityid.NewPair(left, right).
+			MapAttr("name", "name", "name").
+			MapAttr("loc_"+left, rLoc, "").
+			MapAttr("loc_"+right, "", sLoc).
+			MapAttr("phone", "phone", "phone")
+	}
+	if err := h.Link(pair("r", "s", "street", "city").
+		MapAttr("cuisine", "cuisine", "").
+		MapAttr("speciality", "", "speciality").
+		SetExtendedKey("name", "cuisine").
+		AddILFDText("speciality=hunan -> cuisine=chinese")); err != nil {
+		t.Fatal(err)
+	}
+	// Identity rule through the public surface: s↔u agree on name+phone.
+	namePhone, err := rules.NewIdentity("name-phone", []rules.Predicate{
+		{Left: rules.Attr1("name"), Op: rules.Eq, Right: rules.Attr2("name")},
+		{Left: rules.Attr1("phone"), Op: rules.Eq, Right: rules.Attr2("phone")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Link(pair("s", "u", "city", "hood").
+		MapAttr("speciality", "speciality", "speciality").
+		SetExtendedKey("name", "speciality").
+		AddIdentityRule(namePhone)); err != nil {
+		t.Fatal(err)
+	}
+
+	str := func(vals ...string) entityid.Tuple {
+		out := make(entityid.Tuple, len(vals))
+		for i, v := range vals {
+			out[i] = entityid.String(v)
+		}
+		return out
+	}
+	results := h.IngestBatch([]entityid.HubInsert{
+		{Source: "r", Tuple: str("villagewok", "wash ave", "chinese", "612-1")},
+		{Source: "s", Tuple: str("villagewok", "mpls", "hunan", "612-1")},
+		// Matches s's row only via the name-phone identity rule (the
+		// speciality differs, so the extended key cannot join them).
+		{Source: "u", Tuple: str("villagewok", "west bank", "sichuan", "612-1")},
+	}, 2)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("insert %d: %v", i, res.Err)
+		}
+	}
+	cl, err := h.Lookup("r", entityid.String("villagewok"), entityid.String("wash ave"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Members) != 3 {
+		t.Fatalf("cluster size %d, want 3 (identity rule must fire on streaming insert)", len(cl.Members))
+	}
+	merged, err := h.Merged(cl, entityid.MergeCoalesce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Values["cuisine"].String(); got != "chinese" {
+		t.Fatalf("merged cuisine %q", got)
+	}
+	// speciality disagrees between s (hunan) and u (sichuan): coalesce
+	// keeps the first and reports the conflict.
+	if len(merged.Conflicts) != 1 || merged.Conflicts[0] != "speciality" {
+		t.Fatalf("conflicts %v, want [speciality]", merged.Conflicts)
+	}
+	if st := h.Stats(); st.Clusters != 1 || st.Tuples != 3 || st.Matches != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestHubLinkReportsDeferredILFDParseError(t *testing.T) {
+	h := entityid.NewHub()
+	hubSource(t, h, "a", []string{"name"}, "name")
+	hubSource(t, h, "b", []string{"name"}, "name")
+	err := h.Link(entityid.NewPair("a", "b").
+		MapAttr("name", "name", "name").
+		SetExtendedKey("name").
+		AddILFDText("not an ilfd"))
+	if err == nil || !strings.Contains(err.Error(), "ilfd") {
+		t.Fatalf("parse error not surfaced: %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package datagen
+
+import (
+	"testing"
+
+	"entityid/internal/match"
+)
+
+func TestMultiGenerateShapesAndDeterminism(t *testing.T) {
+	cfg := MultiConfig{
+		Sources: 4, Entities: 50, PresenceFrac: 0.7, HomonymRate: 0.3,
+		MissingPhone: 0.2, DirtyPhone: 0.2, Seed: 99,
+	}
+	w, err := MultiGenerate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Relations) != 4 || len(w.Names) != 4 || len(w.ToEntity) != 4 {
+		t.Fatalf("want 4 sources, got %d/%d/%d", len(w.Relations), len(w.Names), len(w.ToEntity))
+	}
+	for k, rel := range w.Relations {
+		if rel.Len() != len(w.ToEntity[k]) {
+			t.Fatalf("source %d: %d tuples but %d entity links", k, rel.Len(), len(w.ToEntity[k]))
+		}
+		want := "cuisine"
+		if k%2 == 1 {
+			want = "speciality"
+		}
+		if !rel.Schema().Has(want) {
+			t.Fatalf("source %d missing %q", k, want)
+		}
+	}
+	w2 := MustMultiGenerate(cfg)
+	for k := range w.Relations {
+		if !w.Relations[k].Equal(w2.Relations[k]) {
+			t.Fatalf("source %d not deterministic", k)
+		}
+	}
+	if len(w.ILFDs) == 0 {
+		t.Fatal("no uniform ILFDs generated")
+	}
+}
+
+func TestMultiPairSpecsBuildSoundMatches(t *testing.T) {
+	// Every pair parity combination must assemble into a valid, sound
+	// batch configuration whose matching table is exactly the planted
+	// cross-source truth.
+	w := MustMultiGenerate(MultiConfig{
+		Sources: 4, Entities: 60, PresenceFrac: 0.6, HomonymRate: 0.2, Seed: 5,
+	})
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			mp := w.Pair(i, j)
+			res, err := match.Build(match.Config{
+				R: w.Relations[i], S: w.Relations[j],
+				Attrs: mp.Attrs, ExtKey: mp.ExtKey, ILFDs: mp.ILFDs,
+			})
+			if err != nil {
+				t.Fatalf("pair %d-%d: %v", i, j, err)
+			}
+			if err := res.Verify(); err != nil {
+				t.Fatalf("pair %d-%d unsound: %v", i, j, err)
+			}
+			want := 0
+			byEntity := map[int]bool{}
+			for _, id := range w.ToEntity[i] {
+				byEntity[id] = true
+			}
+			for _, id := range w.ToEntity[j] {
+				if byEntity[id] {
+					want++
+				}
+			}
+			if res.MT.Len() != want {
+				t.Fatalf("pair %d-%d: %d matches, want %d planted", i, j, res.MT.Len(), want)
+			}
+		}
+	}
+}

@@ -13,11 +13,22 @@
 //     §3.2 uniqueness and consistency constraints enforced as insertion
 //     guards (a violating insert is rejected and rolled back, the way a
 //     database rejects a key violation);
+//   - PrepareR / PrepareS + Pending.Commit: the same identification
+//     split into a side-effect-free phase and an infallible apply phase,
+//     so multi-federation coordinators (the hub package) can prepare an
+//     insert against several pairwise states and commit all of them or
+//     none;
 //   - AddILFD: monotone knowledge growth — the state is rebuilt and the
 //     §3.3 monotonicity property is asserted: every previously matched
 //     pair must survive;
 //   - Integrated / Result: the current integrated view for query
 //     processing.
+//
+// Incremental identification probes both sources of matching pairs the
+// batch construction uses: the extended-key index and, per extra
+// identity rule, the same hash blocks the engine's blocked join buckets
+// by (rules without a usable equality predicate scan the opposite
+// side, mirroring the engine's nested-loop fallback).
 //
 // Equivalence with batch identification (match.Build on the final
 // relations) is the package's central invariant, pinned by tests.
@@ -30,6 +41,7 @@ import (
 	"entityid/internal/integrate"
 	"entityid/internal/match"
 	"entityid/internal/relation"
+	"entityid/internal/rules"
 )
 
 // Federation is a live, incrementally maintained identification state.
@@ -48,9 +60,37 @@ type Federation struct {
 	// projection indexes raw tuples instead of calling Schema().Index per
 	// attribute.
 	rKeyPos, sKeyPos []int
+	// idRules holds the incremental evaluation state of the extra
+	// identity rules: compiled forms plus the blocked-join hash buckets
+	// over both extended relations, maintained across inserts.
+	idRules []idRuleState
 	// matchedR / matchedS track current pairings for uniqueness guards.
 	matchedR map[int]int
 	matchedS map[int]int
+	// gen counts state mutations (commits and rebuilds); a Pending
+	// prepared at one generation refuses to commit at another.
+	gen uint64
+}
+
+// idRuleState is one extra identity rule prepared for incremental
+// probing: the same hash-block discipline as the engine's
+// blockedIdentityPairs, maintained tuple by tuple.
+type idRuleState struct {
+	rule rules.IdentityRule
+	// skip marks rules mentioning an equality attribute absent from
+	// either extended schema: the cross equality can never hold.
+	skip bool
+	// fallback marks rules with no usable cross-equality attribute,
+	// which must scan the opposite side (the engine's nested-loop path).
+	fallback bool
+	// rPos / sPos are the equality-attribute offsets in R′/S′.
+	rPos, sPos []int
+	// rBlocks / sBlocks bucket each side's tuples by their non-NULL
+	// equality projection, exactly like the blocked hash join.
+	rBlocks, sBlocks map[string][]int
+	// fwd / rev are the rule compiled in both orientations
+	// (e1 ← R′, e2 ← S′ and the reverse).
+	fwd, rev rules.CompiledIdentityRule
 }
 
 // New builds the initial state from a configuration; the initial
@@ -82,13 +122,65 @@ func (f *Federation) rebuild() error {
 	f.sKeyPos = keyOffsets(res.SPrime, res.ExtKey())
 	f.rIdx = indexByKey(res.RPrime, f.rKeyPos)
 	f.sIdx = indexByKey(res.SPrime, f.sKeyPos)
+	f.idRules = buildIDRules(f.cfg.Identity, res.RPrime, res.SPrime)
 	f.matchedR = make(map[int]int, res.MT.Len())
 	f.matchedS = make(map[int]int, res.MT.Len())
 	for _, p := range res.MT.Pairs {
 		f.matchedR[p.RIndex] = p.SIndex
 		f.matchedS[p.SIndex] = p.RIndex
 	}
+	f.gen++
 	return nil
+}
+
+// buildIDRules compiles the extra identity rules against the extended
+// schemas and buckets both extended relations by each rule's equality
+// projection.
+func buildIDRules(identity []rules.IdentityRule, rp, sp *relation.Relation) []idRuleState {
+	if len(identity) == 0 {
+		return nil
+	}
+	rs, ss := rp.Schema(), sp.Schema()
+	states := make([]idRuleState, len(identity))
+	for n, rule := range identity {
+		st := idRuleState{
+			rule: rule,
+			fwd:  rule.Compile(rs, ss),
+			rev:  rule.Compile(ss, rs),
+		}
+		eq := rule.EqualityAttrs()
+		for _, a := range eq {
+			if !rs.Has(a) || !ss.Has(a) {
+				st.skip = true
+			}
+		}
+		switch {
+		case st.skip:
+		case len(eq) == 0:
+			st.fallback = true
+		default:
+			st.rPos = make([]int, len(eq))
+			st.sPos = make([]int, len(eq))
+			for i, a := range eq {
+				st.rPos[i] = rs.Index(a)
+				st.sPos[i] = ss.Index(a)
+			}
+			st.rBlocks = make(map[string][]int)
+			st.sBlocks = make(map[string][]int)
+			for i, t := range rp.Tuples() {
+				if k, ok := match.ProjectionKey(t, st.rPos); ok {
+					st.rBlocks[k] = append(st.rBlocks[k], i)
+				}
+			}
+			for j, t := range sp.Tuples() {
+				if k, ok := match.ProjectionKey(t, st.sPos); ok {
+					st.sBlocks[k] = append(st.sBlocks[k], j)
+				}
+			}
+		}
+		states[n] = st
+	}
+	return states
 }
 
 // keyOffsets resolves the extended-key attributes to column offsets in
@@ -131,15 +223,63 @@ func (f *Federation) Integrated() (*integrate.Table, error) {
 // would make the matching table unsound (uniqueness or consistency
 // violation) or violate R's candidate keys.
 func (f *Federation) InsertR(t relation.Tuple) ([]match.Pair, error) {
-	return f.insert(t, true)
+	p, err := f.prepare(t, true)
+	if err != nil {
+		return nil, err
+	}
+	return p.Commit()
 }
 
 // InsertS is InsertR for relation S.
 func (f *Federation) InsertS(t relation.Tuple) ([]match.Pair, error) {
-	return f.insert(t, false)
+	p, err := f.prepare(t, false)
+	if err != nil {
+		return nil, err
+	}
+	return p.Commit()
 }
 
-func (f *Federation) insert(t relation.Tuple, left bool) ([]match.Pair, error) {
+// Pending is a prepared, not yet applied insert: the new tuple has been
+// validated, extended and identified against the current state without
+// mutating anything. Commit applies it. A Pending is invalidated by any
+// intervening mutation of the federation; coordinators must serialise
+// prepare→commit windows per federation (Commit re-checks and fails on
+// a stale Pending rather than corrupting state).
+type Pending struct {
+	f    *Federation
+	left bool
+	src  relation.Tuple
+	ext  relation.Tuple
+	// pairs are the matching pairs the commit will add; the new tuple's
+	// index is its side's pre-commit length. atGen is the federation
+	// generation the prepare ran against.
+	pairs []match.Pair
+	atGen uint64
+	done  bool
+}
+
+// PrepareR validates and identifies a tuple destined for relation R
+// without mutating the federation. The returned Pending reports the
+// pairs the insert will produce and commits the insert on demand.
+func (f *Federation) PrepareR(t relation.Tuple) (*Pending, error) {
+	return f.prepare(t, true)
+}
+
+// PrepareS is PrepareR for relation S.
+func (f *Federation) PrepareS(t relation.Tuple) (*Pending, error) {
+	return f.prepare(t, false)
+}
+
+// Pairs returns the matching pairs the commit will add (the new
+// tuple's index is the side's pre-commit length).
+func (p *Pending) Pairs() []match.Pair {
+	return append([]match.Pair(nil), p.pairs...)
+}
+
+// Left reports which side the pending insert targets.
+func (p *Pending) Left() bool { return p.left }
+
+func (f *Federation) prepare(t relation.Tuple, left bool) (*Pending, error) {
 	base := f.cfg.S
 	if left {
 		base = f.cfg.R
@@ -167,29 +307,46 @@ func (f *Federation) insert(t relation.Tuple, left bool) ([]match.Pair, error) {
 	if left {
 		keyPos = f.rKeyPos
 	}
-	var newPairs []match.Pair
+	var partners []int
+	seen := map[int]bool{}
 	if k, ok := match.ProjectionKey(extTuple, keyPos); ok {
-		var partners []int
+		var hits []int
 		if left {
-			partners = f.sIdx[k]
+			hits = f.sIdx[k]
 		} else {
-			partners = f.rIdx[k]
+			hits = f.rIdx[k]
 		}
-		if len(partners) > 1 {
-			return nil, fmt.Errorf("federate: insert would match %d tuples at once (unsound)", len(partners))
-		}
-		for _, j := range partners {
-			if left {
-				if prev, taken := f.matchedS[j]; taken {
-					return nil, fmt.Errorf("federate: uniqueness violation: S tuple %d already matched to R tuple %d", j, prev)
-				}
-				newPairs = append(newPairs, match.Pair{RIndex: f.res.RPrime.Len(), SIndex: j})
-			} else {
-				if prev, taken := f.matchedR[j]; taken {
-					return nil, fmt.Errorf("federate: uniqueness violation: R tuple %d already matched to S tuple %d", j, prev)
-				}
-				newPairs = append(newPairs, match.Pair{RIndex: j, SIndex: f.res.SPrime.Len()})
+		for _, j := range hits {
+			if !seen[j] {
+				seen[j] = true
+				partners = append(partners, j)
 			}
+		}
+	}
+	// Probe the identity-rule hash blocks too: a tuple that matches
+	// solely via an extra identity rule must be caught on insert, or the
+	// batch ≡ incremental invariant breaks.
+	for _, j := range f.identityPartners(extTuple, left) {
+		if !seen[j] {
+			seen[j] = true
+			partners = append(partners, j)
+		}
+	}
+	if len(partners) > 1 {
+		return nil, fmt.Errorf("federate: insert would match %d tuples at once (unsound)", len(partners))
+	}
+	var newPairs []match.Pair
+	for _, j := range partners {
+		if left {
+			if prev, taken := f.matchedS[j]; taken {
+				return nil, fmt.Errorf("federate: uniqueness violation: S tuple %d already matched to R tuple %d", j, prev)
+			}
+			newPairs = append(newPairs, match.Pair{RIndex: f.res.RPrime.Len(), SIndex: j})
+		} else {
+			if prev, taken := f.matchedR[j]; taken {
+				return nil, fmt.Errorf("federate: uniqueness violation: R tuple %d already matched to S tuple %d", j, prev)
+			}
+			newPairs = append(newPairs, match.Pair{RIndex: j, SIndex: f.res.SPrime.Len()})
 		}
 	}
 	// Consistency guard: a new pair must not be declared distinct. The
@@ -206,42 +363,115 @@ func (f *Federation) insert(t relation.Tuple, left bool) ([]match.Pair, error) {
 			return nil, fmt.Errorf("federate: consistency violation: new tuple matches a pair distinctness rule %q forbids", name)
 		}
 	}
+	return &Pending{f: f, left: left, src: t, ext: extTuple, pairs: newPairs, atGen: f.gen}, nil
+}
 
-	// Commit: mutate base relation, extended relation, indexes, pairs.
-	if left {
-		if err := f.cfg.R.Insert(t); err != nil {
-			return nil, fmt.Errorf("federate: %w", err)
+// identityPartners returns the opposite-side tuple positions some extra
+// identity rule pairs the candidate extended tuple with: hash-block
+// probing for rules with cross-equality attributes, a scan of the
+// opposite side for fallback rules.
+func (f *Federation) identityPartners(extTuple relation.Tuple, left bool) []int {
+	var out []int
+	for i := range f.idRules {
+		st := &f.idRules[i]
+		if st.skip {
+			continue
 		}
-		if err := f.res.RPrime.Insert(extTuple); err != nil {
-			return nil, fmt.Errorf("federate: extended insert: %w", err)
+		holds := func(j int) bool {
+			var rt, stup relation.Tuple
+			if left {
+				rt, stup = extTuple, f.res.SPrime.Tuple(j)
+			} else {
+				rt, stup = f.res.RPrime.Tuple(j), extTuple
+			}
+			return st.fwd.Holds(rt, stup) || st.rev.Holds(stup, rt)
 		}
-		i := f.res.RPrime.Len() - 1
-		if k, ok := match.ProjectionKey(extTuple, f.rKeyPos); ok {
-			f.rIdx[k] = append(f.rIdx[k], i)
+		if st.fallback {
+			n := f.res.RPrime.Len()
+			if left {
+				n = f.res.SPrime.Len()
+			}
+			for j := 0; j < n; j++ {
+				if holds(j) {
+					out = append(out, j)
+				}
+			}
+			continue
 		}
-		for _, p := range newPairs {
-			f.res.MT.Add(p)
-			f.matchedR[p.RIndex] = p.SIndex
-			f.matchedS[p.SIndex] = p.RIndex
+		pos, blocks := st.rPos, st.sBlocks
+		if !left {
+			pos, blocks = st.sPos, st.rBlocks
 		}
-	} else {
-		if err := f.cfg.S.Insert(t); err != nil {
-			return nil, fmt.Errorf("federate: %w", err)
+		k, ok := match.ProjectionKey(extTuple, pos)
+		if !ok {
+			continue
 		}
-		if err := f.res.SPrime.Insert(extTuple); err != nil {
-			return nil, fmt.Errorf("federate: extended insert: %w", err)
-		}
-		j := f.res.SPrime.Len() - 1
-		if k, ok := match.ProjectionKey(extTuple, f.sKeyPos); ok {
-			f.sIdx[k] = append(f.sIdx[k], j)
-		}
-		for _, p := range newPairs {
-			f.res.MT.Add(p)
-			f.matchedR[p.RIndex] = p.SIndex
-			f.matchedS[p.SIndex] = p.RIndex
+		for _, j := range blocks[k] {
+			if holds(j) {
+				out = append(out, j)
+			}
 		}
 	}
-	return newPairs, nil
+	return out
+}
+
+// Commit applies a prepared insert: base relation, extended relation,
+// probe indexes, identity-rule blocks, matching pairs. It fails — with
+// the state untouched — only on a stale Pending (any federation
+// mutation since prepare: an insert on either side, or an AddILFD
+// rebuild) or a base-relation race; under the documented
+// serialise-per-federation discipline it cannot fail.
+func (p *Pending) Commit() ([]match.Pair, error) {
+	f := p.f
+	if p.done {
+		return nil, fmt.Errorf("federate: commit of an already committed insert")
+	}
+	side := f.res.SPrime
+	base := f.cfg.S
+	if p.left {
+		side = f.res.RPrime
+		base = f.cfg.R
+	}
+	if f.gen != p.atGen {
+		return nil, fmt.Errorf("federate: stale prepared insert: federation mutated since prepare (generation %d, now %d)", p.atGen, f.gen)
+	}
+	if err := base.Insert(p.src); err != nil {
+		return nil, fmt.Errorf("federate: %w", err)
+	}
+	if err := side.Insert(p.ext); err != nil {
+		return nil, fmt.Errorf("federate: extended insert: %w", err)
+	}
+	p.done = true
+	pos := side.Len() - 1
+	if p.left {
+		if k, ok := match.ProjectionKey(p.ext, f.rKeyPos); ok {
+			f.rIdx[k] = append(f.rIdx[k], pos)
+		}
+	} else {
+		if k, ok := match.ProjectionKey(p.ext, f.sKeyPos); ok {
+			f.sIdx[k] = append(f.sIdx[k], pos)
+		}
+	}
+	for i := range f.idRules {
+		st := &f.idRules[i]
+		if st.skip || st.fallback {
+			continue
+		}
+		blockPos, blocks := st.sPos, st.sBlocks
+		if p.left {
+			blockPos, blocks = st.rPos, st.rBlocks
+		}
+		if k, ok := match.ProjectionKey(p.ext, blockPos); ok {
+			blocks[k] = append(blocks[k], pos)
+		}
+	}
+	for _, pr := range p.pairs {
+		f.res.MT.Add(pr)
+		f.matchedR[pr.RIndex] = pr.SIndex
+		f.matchedS[pr.SIndex] = pr.RIndex
+	}
+	f.gen++
+	return append([]match.Pair(nil), p.pairs...), nil
 }
 
 // extendOne runs the cached per-side rename + derivation pipeline on a

@@ -296,3 +296,65 @@ func mustILFD(t *testing.T, line string) ilfd.ILFD {
 	}
 	return parsed
 }
+
+func TestPrepareCommitTwoPhase(t *testing.T) {
+	f, err := New(example3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f.MT().Len()
+	p, err := f.PrepareR(relation.Tuple{s("NewPlace"), s("Elm St."), s("Greek")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prepare mutated nothing.
+	if f.MT().Len() != before || f.Result().RPrime.Len() != 5 {
+		t.Fatalf("prepare mutated state: %d pairs, %d R' tuples", f.MT().Len(), f.Result().RPrime.Len())
+	}
+	pairs, err := p.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 || f.Result().RPrime.Len() != 6 {
+		t.Fatalf("commit: %d pairs, %d R' tuples", len(pairs), f.Result().RPrime.Len())
+	}
+	if _, err := p.Commit(); err == nil {
+		t.Fatal("double commit accepted")
+	}
+}
+
+func TestCommitFailsOnAnyInterveningMutation(t *testing.T) {
+	// Any federation mutation between prepare and commit — even on the
+	// OPPOSITE side, which leaves the pending's own side's length
+	// untouched — must invalidate the Pending: the prepared pairs were
+	// computed against state that no longer exists.
+	f, err := New(example3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.PrepareR(relation.Tuple{s("NewPlace"), s("Elm St."), s("Greek")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.InsertS(relation.Tuple{s("OtherPlace"), s("Hennepin"), s("Gyros")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Commit(); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("stale commit accepted after opposite-side insert: %v", err)
+	}
+	// An AddILFD rebuild (lengths unchanged) invalidates too.
+	p2, err := f.PrepareR(relation.Tuple{s("NewPlace"), s("Elm St."), s("Greek")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := ilfd.ParseLine("speciality=Gyros -> cuisine=Greek")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddILFD(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Commit(); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("stale commit accepted after AddILFD rebuild: %v", err)
+	}
+}

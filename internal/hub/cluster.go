@@ -1,0 +1,154 @@
+// Global entity clusters: the union-find structure that folds the
+// pairwise matching tables into hub-wide entity identities. A node is
+// one tuple of one source; an edge is one pairwise matching-table
+// entry; a cluster is a connected component — the set of tuples, across
+// all sources, identified as modeling the same real-world entity.
+//
+// The §3.2 uniqueness constraint lifts transitively: within one
+// cluster, each source may contribute at most one tuple (two tuples of
+// the same autonomous source in one cluster would assert that the
+// source models the same entity twice, the cross-source analogue of a
+// matching-table uniqueness violation). The check runs before any
+// union, so a violating merge is rejected with the structure untouched.
+package hub
+
+import (
+	"fmt"
+	"sort"
+)
+
+// node identifies one tuple: source ordinal and tuple position.
+type node struct {
+	src, idx int
+}
+
+// clusterSet is a union-find over nodes with per-root member lists.
+// Nodes absent from parent are implicit singletons, so the structure
+// never needs to be pre-populated with every tuple. Not safe for
+// concurrent use; the Hub guards it with its cluster lock.
+type clusterSet struct {
+	parent  map[node]node
+	size    map[node]int
+	members map[node][]node
+}
+
+func newClusterSet() *clusterSet {
+	return &clusterSet{
+		parent:  map[node]node{},
+		size:    map[node]int{},
+		members: map[node][]node{},
+	}
+}
+
+// find returns the root of n's cluster, with path compression.
+func (c *clusterSet) find(n node) node {
+	p, ok := c.parent[n]
+	if !ok || p == n {
+		return n
+	}
+	root := c.find(p)
+	c.parent[n] = root
+	return root
+}
+
+// membersOf returns the members of the cluster rooted at root (shared;
+// do not mutate). Implicit singletons return themselves.
+func (c *clusterSet) membersOf(root node) []node {
+	if m, ok := c.members[root]; ok {
+		return m
+	}
+	return []node{root}
+}
+
+// sizeOf returns the cluster size of a root.
+func (c *clusterSet) sizeOf(root node) int {
+	if s, ok := c.size[root]; ok {
+		return s
+	}
+	return 1
+}
+
+// checkMerge verifies that merging node n with the clusters of all
+// partners preserves transitive uniqueness: the combined cluster must
+// not hold two tuples of one source (srcName renders source ordinals
+// for the violation message). n's own current cluster counts — n may
+// already be clustered when links fold seeded matching tables. It
+// mutates nothing; a nil return guarantees the subsequent unions are
+// sound.
+func (c *clusterSet) checkMerge(n node, partners []node, srcName func(int) string) error {
+	nRoot := c.find(n)
+	bySrc := map[int]node{}
+	for _, m := range c.membersOf(nRoot) {
+		bySrc[m.src] = m
+	}
+	seen := map[node]bool{nRoot: true}
+	for _, p := range partners {
+		root := c.find(p)
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		for _, m := range c.membersOf(root) {
+			if prev, dup := bySrc[m.src]; dup {
+				return fmt.Errorf("transitive uniqueness violation: tuples %d and %d of source %q would join one cluster",
+					prev.idx, m.idx, srcName(m.src))
+			}
+			bySrc[m.src] = m
+		}
+	}
+	return nil
+}
+
+// union merges the clusters of a and b (union by size).
+func (c *clusterSet) union(a, b node) {
+	ra, rb := c.find(a), c.find(b)
+	if ra == rb {
+		return
+	}
+	if c.sizeOf(ra) < c.sizeOf(rb) {
+		ra, rb = rb, ra
+	}
+	c.parent[rb] = ra
+	if _, ok := c.parent[ra]; !ok {
+		c.parent[ra] = ra
+	}
+	merged := append(append([]node(nil), c.membersOf(ra)...), c.membersOf(rb)...)
+	c.size[ra] = len(merged)
+	c.members[ra] = merged
+	delete(c.members, rb)
+	delete(c.size, rb)
+}
+
+// merge applies the checked merge: union n with every partner.
+func (c *clusterSet) merge(n node, partners []node) {
+	for _, p := range partners {
+		c.union(n, p)
+	}
+}
+
+// clone deep-copies the structure, for speculative application
+// (link-time folding of an initial matching table checks on a clone and
+// swaps it in only on success).
+func (c *clusterSet) clone() *clusterSet {
+	out := newClusterSet()
+	for k, v := range c.parent {
+		out.parent[k] = v
+	}
+	for k, v := range c.size {
+		out.size[k] = v
+	}
+	for k, v := range c.members {
+		out.members[k] = append([]node(nil), v...)
+	}
+	return out
+}
+
+// sortNodes orders nodes by (source, index).
+func sortNodes(ns []node) {
+	sort.Slice(ns, func(a, b int) bool {
+		if ns[a].src != ns[b].src {
+			return ns[a].src < ns[b].src
+		}
+		return ns[a].idx < ns[b].idx
+	})
+}

@@ -1,0 +1,664 @@
+// Package hub generalizes the pairwise federation (federate) to N
+// autonomous sources: the multi-database integration the paper frames
+// in §1, where "a federated system" integrates "a number of autonomous
+// databases" and entity identification is the prerequisite for every
+// cross-database operation.
+//
+// A Hub registers named sources and links source pairs, each link
+// carrying its own attribute correspondences, extended key, ILFDs and
+// rules — pairwise knowledge stays pairwise, exactly as autonomous
+// administration implies. Every link owns a live federate.Federation;
+// the hub folds the pairwise matching tables into global entity
+// clusters with a union-find (cluster.go), lifting the §3.2 uniqueness
+// constraint transitively: a cluster may hold at most one tuple per
+// source, and an insert whose pairwise matches would merge two tuples
+// of one source is rejected with every pairwise state rolled back
+// (nothing was committed), preserving §3.3 monotonicity — clusters
+// only ever grow or merge.
+//
+// Ingest is concurrent: Insert prepares the new tuple against every
+// pairwise federation of its source (federate's side-effect-free
+// Prepare), checks the transitive constraint, and only then commits
+// everywhere. Locking is per source, per pair and per cluster store,
+// acquired in a fixed order (source → pairs by ordinal → clusters), so
+// inserts into disjoint regions of the topology proceed in parallel
+// and IngestBatch shards a batch across a worker pool.
+package hub
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"entityid/internal/derive"
+	"entityid/internal/federate"
+	"entityid/internal/ilfd"
+	"entityid/internal/match"
+	"entityid/internal/relation"
+	"entityid/internal/resolve"
+	"entityid/internal/rules"
+	"entityid/internal/schema"
+	"entityid/internal/value"
+)
+
+// PairSpec configures the identification link between two registered
+// sources: the per-pair knowledge a DBA supplies. Attrs maps integrated
+// attribute names onto the two sources (AttrMap.R addresses Left,
+// AttrMap.S addresses Right).
+type PairSpec struct {
+	Left, Right  string
+	Attrs        []match.AttrMap
+	ExtKey       []string
+	ILFDs        ilfd.Set
+	Identity     []rules.IdentityRule
+	Distinct     []rules.DistinctnessRule
+	DeriveMode   derive.Mode
+	DisableProp1 bool
+}
+
+// sourceState is one registered source: the hub-owned canonical
+// relation plus the links that involve it.
+type sourceState struct {
+	id   int
+	name string
+	rel  *relation.Relation
+	// mu serialises inserts into this source, which keeps tuple
+	// positions identical across the canonical relation and every
+	// pairwise federation the source participates in.
+	mu    sync.Mutex
+	pairs []*pairState
+	// attrOf maps integrated attribute names (from the pair specs) to
+	// this source's attribute names, for the merged cross-source view.
+	attrOf map[string]string
+}
+
+// pairState is one link: the live pairwise federation and its lock.
+type pairState struct {
+	id          int
+	left, right int
+	mu          sync.Mutex
+	fed         *federate.Federation
+}
+
+// Hub is the multi-source federation coordinator.
+type Hub struct {
+	// mu guards the topology (source and pair registration). Inserts and
+	// queries hold it shared; AddSource and Link hold it exclusively.
+	mu      sync.RWMutex
+	sources []*sourceState
+	byName  map[string]int
+	pairs   []*pairState
+	// clusterMu guards clusters and every canonical-relation mutation,
+	// so cluster queries see a consistent tuple store.
+	clusterMu sync.Mutex
+	clusters  *clusterSet
+}
+
+// New creates an empty hub.
+func New() *Hub {
+	return &Hub{byName: map[string]int{}, clusters: newClusterSet()}
+}
+
+// AddSource registers an autonomous source under a unique name. The
+// relation seeds the hub's canonical copy (cloned — later hub inserts
+// do not touch the original); pass an empty relation to start blank.
+func (h *Hub) AddSource(name string, rel *relation.Relation) error {
+	if name == "" {
+		return fmt.Errorf("hub: empty source name")
+	}
+	if rel == nil {
+		return fmt.Errorf("hub: source %q: nil relation", name)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.byName[name]; dup {
+		return fmt.Errorf("hub: source %q already registered", name)
+	}
+	id := len(h.sources)
+	h.sources = append(h.sources, &sourceState{
+		id:     id,
+		name:   name,
+		rel:    rel.Clone(),
+		attrOf: map[string]string{},
+	})
+	h.byName[name] = id
+	return nil
+}
+
+// Link registers the identification link between two sources and
+// builds its pairwise federation from the sources' current contents.
+// The initial matching table must verify pairwise (federate.New fails
+// closed) and fold into the global clusters without a transitive
+// uniqueness violation; on any failure the hub is unchanged.
+func (h *Hub) Link(spec PairSpec) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	li, ok := h.byName[spec.Left]
+	if !ok {
+		return fmt.Errorf("hub: link: unknown source %q", spec.Left)
+	}
+	ri, ok := h.byName[spec.Right]
+	if !ok {
+		return fmt.Errorf("hub: link: unknown source %q", spec.Right)
+	}
+	if li == ri {
+		return fmt.Errorf("hub: link: source %q linked to itself", spec.Left)
+	}
+	for _, p := range h.pairs {
+		if (p.left == li && p.right == ri) || (p.left == ri && p.right == li) {
+			return fmt.Errorf("hub: link: sources %q and %q already linked", spec.Left, spec.Right)
+		}
+	}
+	// The merged view needs a consistent integrated-name -> source-attr
+	// mapping across all links of a source; validate before mutating.
+	left, right := h.sources[li], h.sources[ri]
+	if err := checkAttrNames(left, right, spec.Attrs); err != nil {
+		return err
+	}
+	fed, err := federate.New(match.Config{
+		R:            left.rel,
+		S:            right.rel,
+		Attrs:        spec.Attrs,
+		ExtKey:       spec.ExtKey,
+		ILFDs:        spec.ILFDs,
+		Identity:     spec.Identity,
+		Distinct:     spec.Distinct,
+		DeriveMode:   spec.DeriveMode,
+		DisableProp1: spec.DisableProp1,
+	})
+	if err != nil {
+		return fmt.Errorf("hub: link %q-%q: %w", spec.Left, spec.Right, err)
+	}
+	// Fold the initial matching table into the clusters speculatively:
+	// check-and-apply on a clone, swap in only if every pair is sound.
+	h.clusterMu.Lock()
+	defer h.clusterMu.Unlock()
+	next := h.clusters.clone()
+	for _, pr := range fed.MT().Pairs {
+		a, b := node{src: li, idx: pr.RIndex}, node{src: ri, idx: pr.SIndex}
+		if err := next.checkMerge(a, []node{b}, h.sourceName); err != nil {
+			return fmt.Errorf("hub: link %q-%q: initial pair (%d,%d): %w",
+				spec.Left, spec.Right, pr.RIndex, pr.SIndex, err)
+		}
+		next.union(a, b)
+	}
+	p := &pairState{id: len(h.pairs), left: li, right: ri, fed: fed}
+	h.pairs = append(h.pairs, p)
+	left.pairs = append(left.pairs, p)
+	right.pairs = append(right.pairs, p)
+	recordAttrNames(left, right, spec.Attrs)
+	h.clusters = next
+	return nil
+}
+
+// checkAttrNames verifies a link's attribute map agrees with the
+// integrated names already established by the sources' other links.
+func checkAttrNames(left, right *sourceState, attrs []match.AttrMap) error {
+	for _, am := range attrs {
+		if am.R != "" {
+			if prev, ok := left.attrOf[am.Name]; ok && prev != am.R {
+				return fmt.Errorf("hub: link: integrated attribute %q maps to both %q and %q in source %q",
+					am.Name, prev, am.R, left.name)
+			}
+		}
+		if am.S != "" {
+			if prev, ok := right.attrOf[am.Name]; ok && prev != am.S {
+				return fmt.Errorf("hub: link: integrated attribute %q maps to both %q and %q in source %q",
+					am.Name, prev, am.S, right.name)
+			}
+		}
+	}
+	return nil
+}
+
+// recordAttrNames commits a validated link's integrated-name mapping.
+func recordAttrNames(left, right *sourceState, attrs []match.AttrMap) {
+	for _, am := range attrs {
+		if am.R != "" {
+			left.attrOf[am.Name] = am.R
+		}
+		if am.S != "" {
+			right.attrOf[am.Name] = am.S
+		}
+	}
+}
+
+// Member is one tuple of one cluster.
+type Member struct {
+	Source string
+	Index  int
+	Tuple  relation.Tuple
+}
+
+// Cluster is one global entity: its members across sources, sorted by
+// (source registration order, tuple position). ID is derived from the
+// smallest member, so it is stable under any insert order producing the
+// same partition.
+type Cluster struct {
+	ID      string
+	Members []Member
+}
+
+// Receipt reports a successful insert: the tuple's position in its
+// source, the pairwise matches it produced, and its cluster after the
+// insert.
+type Receipt struct {
+	Source  string
+	Index   int
+	Matched []Member
+	Cluster Cluster
+}
+
+// Insert streams one tuple into a source: it is identified against
+// every linked source concurrently-safely, and either committed
+// everywhere — canonical relation, every pairwise federation, global
+// clusters — or rejected everywhere. Rejections (source key violation,
+// pairwise §3.2 uniqueness or consistency violation, transitive
+// cluster-uniqueness violation) leave the hub exactly as it was.
+func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	si, ok := h.byName[source]
+	if !ok {
+		return nil, fmt.Errorf("hub: unknown source %q", source)
+	}
+	src := h.sources[si]
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	// Pair locks in ordinal order (source.pairs is ordinal-sorted by
+	// construction): fixed acquisition order across all inserts.
+	for _, p := range src.pairs {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+	if err := src.rel.CanInsert(t); err != nil {
+		return nil, fmt.Errorf("hub: source %q: %w", source, err)
+	}
+	// Phase 1: prepare against every pairwise federation, mutating
+	// nothing, collecting the partner tuples the insert would match.
+	pendings := make([]*federate.Pending, 0, len(src.pairs))
+	var partners []node
+	for _, p := range src.pairs {
+		var pd *federate.Pending
+		var err error
+		if p.left == si {
+			pd, err = p.fed.PrepareR(t)
+		} else {
+			pd, err = p.fed.PrepareS(t)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hub: source %q vs %q: %w", source, h.sources[p.other(si)].name, err)
+		}
+		for _, pr := range pd.Pairs() {
+			if p.left == si {
+				partners = append(partners, node{src: p.right, idx: pr.SIndex})
+			} else {
+				partners = append(partners, node{src: p.left, idx: pr.RIndex})
+			}
+		}
+		pendings = append(pendings, pd)
+	}
+	n := node{src: si, idx: src.rel.Len()}
+	// Phase 2: transitive uniqueness, then commit everywhere. The check
+	// precedes every mutation, so rejection needs no undo; commits
+	// cannot fail under the locks held here.
+	h.clusterMu.Lock()
+	defer h.clusterMu.Unlock()
+	if err := h.clusters.checkMerge(n, partners, h.sourceName); err != nil {
+		return nil, fmt.Errorf("hub: source %q: %w", source, err)
+	}
+	for i, pd := range pendings {
+		if _, err := pd.Commit(); err != nil {
+			// Unreachable under the locking discipline; surface loudly
+			// rather than continue with a torn multi-pair state.
+			panic(fmt.Sprintf("hub: pair %d commit after successful prepare: %v", src.pairs[i].id, err))
+		}
+	}
+	if err := src.rel.Insert(t); err != nil {
+		panic(fmt.Sprintf("hub: canonical insert after CanInsert: %v", err))
+	}
+	h.clusters.merge(n, partners)
+	rec := &Receipt{Source: source, Index: n.idx}
+	for _, p := range partners {
+		rec.Matched = append(rec.Matched, h.member(p))
+	}
+	rec.Cluster = h.clusterLocked(n)
+	return rec, nil
+}
+
+// sourceName renders a source ordinal. Callers hold at least h.mu
+// shared.
+func (h *Hub) sourceName(si int) string { return h.sources[si].name }
+
+// other returns the pair's counterpart of source ordinal si.
+func (p *pairState) other(si int) int {
+	if p.left == si {
+		return p.right
+	}
+	return p.left
+}
+
+// member materialises a node. Callers hold clusterMu.
+func (h *Hub) member(n node) Member {
+	s := h.sources[n.src]
+	return Member{Source: s.name, Index: n.idx, Tuple: s.rel.Tuple(n.idx)}
+}
+
+// clusterLocked builds the Cluster of a node. Callers hold clusterMu.
+func (h *Hub) clusterLocked(n node) Cluster {
+	ns := append([]node(nil), h.clusters.membersOf(h.clusters.find(n))...)
+	sortNodes(ns)
+	c := Cluster{ID: fmt.Sprintf("%s/%d", h.sources[ns[0].src].name, ns[0].idx)}
+	for _, m := range ns {
+		c.Members = append(c.Members, h.member(m))
+	}
+	return c
+}
+
+// Insert is the unit of IngestBatch.
+type Insert struct {
+	Source string
+	Tuple  relation.Tuple
+}
+
+// InsertResult is one IngestBatch outcome, in input order.
+type InsertResult struct {
+	Receipt *Receipt
+	Err     error
+}
+
+// IngestBatch streams a batch of inserts through a worker pool
+// (workers <= 0 means GOMAXPROCS): items are claimed atomically and
+// identified concurrently, with the per-source/per-pair locks keeping
+// pairwise states consistent — inserts touching disjoint pairs proceed
+// in parallel. Results are reported per item, in input order; a
+// rejected item leaves the hub unchanged and does not stop the batch.
+func (h *Hub) IngestBatch(items []Insert, workers int) []InsertResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]InsertResult, len(items))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				rec, err := h.Insert(items[i].Source, items[i].Tuple)
+				out[i] = InsertResult{Receipt: rec, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// SourceNames lists the registered sources in registration order.
+func (h *Hub) SourceNames() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]string, len(h.sources))
+	for i, s := range h.sources {
+		out[i] = s.name
+	}
+	return out
+}
+
+// SourceSchema returns a source's schema.
+func (h *Hub) SourceSchema(source string) (*schema.Schema, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	si, ok := h.byName[source]
+	if !ok {
+		return nil, fmt.Errorf("hub: unknown source %q", source)
+	}
+	return h.sources[si].rel.Schema(), nil
+}
+
+// SourceRelation returns a clone of a source's current canonical
+// relation, for inspection and differential testing.
+func (h *Hub) SourceRelation(source string) (*relation.Relation, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	si, ok := h.byName[source]
+	if !ok {
+		return nil, fmt.Errorf("hub: unknown source %q", source)
+	}
+	h.clusterMu.Lock()
+	defer h.clusterMu.Unlock()
+	return h.sources[si].rel.Clone(), nil
+}
+
+// SourceLen returns a source's current tuple count.
+func (h *Hub) SourceLen(source string) (int, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	si, ok := h.byName[source]
+	if !ok {
+		return 0, fmt.Errorf("hub: unknown source %q", source)
+	}
+	h.clusterMu.Lock()
+	defer h.clusterMu.Unlock()
+	return h.sources[si].rel.Len(), nil
+}
+
+// Lookup finds a source tuple by its primary-key values and returns its
+// cluster.
+func (h *Hub) Lookup(source string, key ...value.Value) (Cluster, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	si, ok := h.byName[source]
+	if !ok {
+		return Cluster{}, fmt.Errorf("hub: unknown source %q", source)
+	}
+	h.clusterMu.Lock()
+	defer h.clusterMu.Unlock()
+	idx := h.sources[si].rel.LookupKey(key...)
+	if idx < 0 {
+		return Cluster{}, fmt.Errorf("hub: source %q: no tuple with key %v", source, key)
+	}
+	return h.clusterLocked(node{src: si, idx: idx}), nil
+}
+
+// ClusterAt returns the cluster of the tuple at a source position.
+func (h *Hub) ClusterAt(source string, idx int) (Cluster, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	si, ok := h.byName[source]
+	if !ok {
+		return Cluster{}, fmt.Errorf("hub: unknown source %q", source)
+	}
+	h.clusterMu.Lock()
+	defer h.clusterMu.Unlock()
+	if idx < 0 || idx >= h.sources[si].rel.Len() {
+		return Cluster{}, fmt.Errorf("hub: source %q: no tuple %d", source, idx)
+	}
+	return h.clusterLocked(node{src: si, idx: idx}), nil
+}
+
+// Clusters enumerates every global entity cluster — including
+// singletons for tuples matched nowhere — ordered by their smallest
+// member, so the enumeration is deterministic for a given partition
+// regardless of insert order.
+func (h *Hub) Clusters() []Cluster {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	h.clusterMu.Lock()
+	defer h.clusterMu.Unlock()
+	byRoot := map[node][]node{}
+	for si, s := range h.sources {
+		for i := 0; i < s.rel.Len(); i++ {
+			n := node{src: si, idx: i}
+			root := h.clusters.find(n)
+			byRoot[root] = append(byRoot[root], n)
+		}
+	}
+	roots := make([]node, 0, len(byRoot))
+	for root, ns := range byRoot {
+		sortNodes(ns)
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(a, b int) bool {
+		na, nb := byRoot[roots[a]][0], byRoot[roots[b]][0]
+		if na.src != nb.src {
+			return na.src < nb.src
+		}
+		return na.idx < nb.idx
+	})
+	out := make([]Cluster, 0, len(roots))
+	for _, root := range roots {
+		ns := byRoot[root]
+		c := Cluster{ID: fmt.Sprintf("%s/%d", h.sources[ns[0].src].name, ns[0].idx)}
+		for _, m := range ns {
+			c.Members = append(c.Members, h.member(m))
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// MergedEntity is a cluster's single merged record: one value per
+// integrated attribute, resolved across the member tuples.
+type MergedEntity struct {
+	Cluster Cluster
+	// Values maps integrated attribute names to the merged value.
+	Values map[string]value.Value
+	// Conflicts lists the integrated attributes whose member values
+	// disagreed (empty under resolve.Strict, which fails instead).
+	Conflicts []string
+}
+
+// Merged resolves a cluster into one record per integrated attribute
+// (§2's attribute-value-conflict resolution, lifted from two sides to N
+// members via resolve.Reduce). Member values are folded in member
+// order; attributes no member models stay NULL and are omitted.
+func (h *Hub) Merged(c Cluster, strategy resolve.Strategy) (*MergedEntity, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := &MergedEntity{Cluster: c, Values: map[string]value.Value{}}
+	attrs := map[string]bool{}
+	for _, m := range c.Members {
+		si, ok := h.byName[m.Source]
+		if !ok {
+			return nil, fmt.Errorf("hub: unknown source %q", m.Source)
+		}
+		for name := range h.sources[si].attrOf {
+			attrs[name] = true
+		}
+	}
+	names := make([]string, 0, len(attrs))
+	for name := range attrs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		vals := make([]value.Value, 0, len(c.Members))
+		for _, m := range c.Members {
+			s := h.sources[h.byName[m.Source]]
+			attr, ok := s.attrOf[name]
+			if !ok {
+				continue
+			}
+			vals = append(vals, m.Tuple[s.rel.Schema().Index(attr)])
+		}
+		v, conflicted, err := resolve.Reduce(strategy, vals...)
+		if err != nil {
+			return nil, fmt.Errorf("hub: merge %q: %w", name, err)
+		}
+		if conflicted {
+			out.Conflicts = append(out.Conflicts, name)
+		}
+		if !v.IsNull() {
+			out.Values[name] = v
+		}
+	}
+	return out, nil
+}
+
+// Stats summarises the hub for serving and monitoring.
+type Stats struct {
+	Sources  int
+	Pairs    int
+	Tuples   int
+	Matches  int
+	Clusters int
+}
+
+// Stats counts sources, links, tuples, pairwise matches and clusters.
+func (h *Hub) Stats() Stats {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	st := Stats{Sources: len(h.sources), Pairs: len(h.pairs)}
+	for _, p := range h.pairs {
+		p.mu.Lock()
+		st.Matches += p.fed.MT().Len()
+		p.mu.Unlock()
+	}
+	h.clusterMu.Lock()
+	defer h.clusterMu.Unlock()
+	seen := map[node]bool{}
+	for si, s := range h.sources {
+		st.Tuples += s.rel.Len()
+		for i := 0; i < s.rel.Len(); i++ {
+			seen[h.clusters.find(node{src: si, idx: i})] = true
+		}
+	}
+	st.Clusters = len(seen)
+	return st
+}
+
+// Pairs returns, per link, the two source names and the current
+// pairwise matching-pair count, in link order.
+type PairInfo struct {
+	Left, Right string
+	Matches     int
+}
+
+// PairInfos lists the registered links.
+func (h *Hub) PairInfos() []PairInfo {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]PairInfo, len(h.pairs))
+	for i, p := range h.pairs {
+		p.mu.Lock()
+		out[i] = PairInfo{
+			Left:    h.sources[p.left].name,
+			Right:   h.sources[p.right].name,
+			Matches: p.fed.MT().Len(),
+		}
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// PairResult exposes one link's current match result for differential
+// testing against batch construction (shared state; hold no reference
+// across hub mutations).
+func (h *Hub) PairResult(left, right string) (*match.Result, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	li, ok := h.byName[left]
+	if !ok {
+		return nil, fmt.Errorf("hub: unknown source %q", left)
+	}
+	ri, ok := h.byName[right]
+	if !ok {
+		return nil, fmt.Errorf("hub: unknown source %q", right)
+	}
+	for _, p := range h.pairs {
+		if p.left == li && p.right == ri {
+			return p.fed.Result(), nil
+		}
+	}
+	return nil, fmt.Errorf("hub: sources %q and %q not linked", left, right)
+}

@@ -1,0 +1,52 @@
+// Assembly of hubs over datagen's K-source synthetic workloads, shared
+// by the property tests, the ingest benchmarks and benchreport's perf
+// record. Lives on the hub side of the package graph because datagen is
+// imported by lower layers' tests and must stay hub-free.
+package hub
+
+import (
+	"entityid/internal/datagen"
+	"entityid/internal/relation"
+)
+
+// SpecFromMultiPair lifts a datagen pair description into a link spec.
+func SpecFromMultiPair(mp datagen.MultiPair) PairSpec {
+	return PairSpec{
+		Left:   mp.Left,
+		Right:  mp.Right,
+		Attrs:  mp.Attrs,
+		ExtKey: mp.ExtKey,
+		ILFDs:  mp.ILFDs,
+	}
+}
+
+// NewFromMulti assembles a hub over empty copies of the workload's
+// sources with every pair linked — the streaming-ingest starting state.
+func NewFromMulti(w *datagen.MultiWorkload) (*Hub, error) {
+	h := New()
+	for k, name := range w.Names {
+		if err := h.AddSource(name, relation.New(w.Relations[k].Schema())); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < len(w.Names); i++ {
+		for j := i + 1; j < len(w.Names); j++ {
+			if err := h.Link(SpecFromMultiPair(w.Pair(i, j))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return h, nil
+}
+
+// MultiInserts flattens the workload into ingest items, in source-major
+// order; callers shuffle for streaming experiments.
+func MultiInserts(w *datagen.MultiWorkload) []Insert {
+	var out []Insert
+	for k, rel := range w.Relations {
+		for _, t := range rel.Tuples() {
+			out = append(out, Insert{Source: w.Names[k], Tuple: t.Clone()})
+		}
+	}
+	return out
+}

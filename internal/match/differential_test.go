@@ -9,10 +9,13 @@ package match_test
 import (
 	"fmt"
 	"reflect"
+	"sort"
 	"testing"
 
 	"entityid/internal/datagen"
+	"entityid/internal/federate"
 	"entityid/internal/match"
+	"entityid/internal/relation"
 	"entityid/internal/rules"
 	"entityid/internal/value"
 )
@@ -150,4 +153,101 @@ func errString(err error) string {
 		return ""
 	}
 	return err.Error()
+}
+
+// TestFederationStreamingEqualsBatchWithIdentityRules pins the
+// batch ≡ incremental invariant for workloads whose matches come
+// through an extra identity rule: a federation seeded with half of each
+// relation and streamed the rest must end bit-for-bit at match.Build on
+// the final relations. Before incremental inserts probed the
+// identity-rule hash blocks, a tuple matching solely via the rule (its
+// extended-key projection NULL because no ILFD covers it) was silently
+// missed here.
+func TestFederationStreamingEqualsBatchWithIdentityRules(t *testing.T) {
+	w := datagen.MustGenerate(datagen.Config{
+		Entities: 100, OverlapFrac: 0.6, HomonymRate: 0.15,
+		// Low coverage on purpose: uncovered overlap entities match only
+		// via the name-phone identity rule.
+		ILFDCoverage: 0.3, Seed: 42,
+	})
+	cfg := w.MatchConfig()
+	cfg.Identity = []rules.IdentityRule{namePhoneRule(t)}
+
+	batch, err := match.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scenario must actually exercise the identity-rule path: some
+	// final pairs exist that the extended-key join alone does not find.
+	noIDCfg := cfg
+	noIDCfg.Identity = nil
+	noID, err := match.Build(noIDCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.MT.Len() <= noID.MT.Len() {
+		t.Fatalf("workload has no identity-rule-only matches (%d vs %d)", batch.MT.Len(), noID.MT.Len())
+	}
+
+	// Seed the federation with the first half of each relation.
+	half := func(rel *relation.Relation, n int) *relation.Relation {
+		out := relation.New(rel.Schema())
+		for i := 0; i < n; i++ {
+			if err := out.Insert(rel.Tuple(i).Clone()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+	rHalf, sHalf := w.R.Len()/2, w.S.Len()/2
+	fedCfg := cfg
+	fedCfg.R = half(w.R, rHalf)
+	fedCfg.S = half(w.S, sHalf)
+	fed, err := federate.New(fedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep once now so the cached sweep plan must extend, not rebuild,
+	// across the inserts below.
+	fed.Result().Counts()
+
+	// Stream the remainder, interleaved.
+	for i, j := rHalf, sHalf; i < w.R.Len() || j < w.S.Len(); {
+		if i < w.R.Len() {
+			if _, err := fed.InsertR(w.R.Tuple(i).Clone()); err != nil {
+				t.Fatalf("InsertR %d: %v", i, err)
+			}
+			i++
+		}
+		if j < w.S.Len() {
+			if _, err := fed.InsertS(w.S.Tuple(j).Clone()); err != nil {
+				t.Fatalf("InsertS %d: %v", j, err)
+			}
+			j++
+		}
+	}
+
+	got := append([]match.Pair(nil), fed.MT().Pairs...)
+	want := append([]match.Pair(nil), batch.MT.Pairs...)
+	byPos := func(ps []match.Pair) {
+		sort.Slice(ps, func(a, b int) bool {
+			if ps[a].RIndex != ps[b].RIndex {
+				return ps[a].RIndex < ps[b].RIndex
+			}
+			return ps[a].SIndex < ps[b].SIndex
+		})
+	}
+	byPos(got)
+	byPos(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed MT != batch MT:\nstreamed %v\nbatch    %v", got, want)
+	}
+	if err := fed.Result().Verify(); err != nil {
+		t.Fatalf("streamed state unsound: %v", err)
+	}
+	fm, fn, fu := fed.Result().Counts()
+	bm, bn, bu := batch.Counts()
+	if fm != bm || fn != bn || fu != bu {
+		t.Fatalf("Counts mismatch: streamed (%d,%d,%d), batch (%d,%d,%d)", fm, fn, fu, bm, bn, bu)
+	}
 }

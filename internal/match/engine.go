@@ -170,62 +170,93 @@ rule:
 	return out
 }
 
-// sweepPlan is the per-sweep evaluation plan for the distinctness rules
-// over the current R′×S′ grid. Each rule contributes two virtual rules
-// (one per orientation: bit 2r forward, bit 2r+1 reverse); a virtual
-// rule's single-side predicates are evaluated once per row and once per
-// column into survival bitsets, so the per-cell test collapses to a
-// bitset AND, with the (rare) cross predicates evaluated only for
-// virtual rules surviving on both axes. Built per sweep because the
-// relations can grow between sweeps (federate inserts).
+// sweepPlan is the evaluation plan for the distinctness rules over the
+// R′×S′ grid. Each rule contributes two virtual rules (one per
+// orientation: bit 2r forward, bit 2r+1 reverse); a virtual rule's
+// single-side predicates are evaluated once per row and once per column
+// into survival bitsets, so the per-cell test collapses to a bitset
+// AND, with the (rare) cross predicates evaluated only for virtual
+// rules surviving on both axes.
+//
+// The plan is cached on the Result and extended incrementally: the
+// rule-level structure (words, axis predicates, cross predicates) is
+// fixed per Result, and only the per-tuple survival bitsets grow as the
+// relations grow between sweeps (federate inserts). Extension appends
+// bitsets for the new tuples under Result.planMu; sweeps work on a
+// value snapshot of the plan, so a concurrent later extension cannot
+// touch the rows a running sweep reads.
 type sweepPlan struct {
 	words   int
-	rowBits [][]uint64 // [row][word]
-	colBits [][]uint64 // [col][word]
+	row     []axisPreds // per virtual rule: predicates reading the R′ tuple
+	col     []axisPreds // per virtual rule: predicates reading the S′ tuple
+	rowBits [][]uint64  // [row][word]
+	colBits [][]uint64  // [col][word]
 	cross   [][]rules.CompiledPredicate
 }
 
-func (res *Result) buildSweepPlan() *sweepPlan {
+// axisPreds is the single-side predicate set of one virtual rule on one
+// grid axis.
+type axisPreds struct {
+	preds []rules.CompiledPredicate
+	side  rules.Side
+}
+
+// newSweepPlan builds the rule-level plan structure with empty bitsets.
+func (res *Result) newSweepPlan() *sweepPlan {
 	eng := res.engine()
 	n := len(eng.fwd)
 	nv := 2 * n
-	p := &sweepPlan{words: (nv + 63) / 64, cross: make([][]rules.CompiledPredicate, nv)}
-	type axisPreds struct {
-		preds []rules.CompiledPredicate
-		side  rules.Side
+	p := &sweepPlan{
+		words: (nv + 63) / 64,
+		row:   make([]axisPreds, nv),
+		col:   make([]axisPreds, nv),
+		cross: make([][]rules.CompiledPredicate, nv),
 	}
-	row := make([]axisPreds, nv) // predicates reading the R′ tuple
-	col := make([]axisPreds, nv) // predicates reading the S′ tuple
 	for r := 0; r < n; r++ {
 		// Forward orientation: e1 ← R′ tuple (row), e2 ← S′ tuple (col).
 		f1, f2, fc := eng.fwd[r].SidePredicates()
-		row[2*r], col[2*r], p.cross[2*r] = axisPreds{f1, rules.E1}, axisPreds{f2, rules.E2}, fc
+		p.row[2*r], p.col[2*r], p.cross[2*r] = axisPreds{f1, rules.E1}, axisPreds{f2, rules.E2}, fc
 		// Reverse orientation: e1 ← S′ tuple (col), e2 ← R′ tuple (row).
 		r1, r2, rc := eng.rev[r].SidePredicates()
-		row[2*r+1], col[2*r+1], p.cross[2*r+1] = axisPreds{r2, rules.E2}, axisPreds{r1, rules.E1}, rc
-	}
-	bitsFor := func(t relation.Tuple, axis []axisPreds) []uint64 {
-		bits := make([]uint64, p.words)
-	vrule:
-		for k, a := range axis {
-			for _, pr := range a.preds {
-				if !pr.HoldsSingle(a.side, t) {
-					continue vrule
-				}
-			}
-			bits[k/64] |= 1 << (k % 64)
-		}
-		return bits
-	}
-	p.rowBits = make([][]uint64, res.RPrime.Len())
-	for i := range p.rowBits {
-		p.rowBits[i] = bitsFor(res.RPrime.Tuple(i), row)
-	}
-	p.colBits = make([][]uint64, res.SPrime.Len())
-	for j := range p.colBits {
-		p.colBits[j] = bitsFor(res.SPrime.Tuple(j), col)
+		p.row[2*r+1], p.col[2*r+1], p.cross[2*r+1] = axisPreds{r2, rules.E2}, axisPreds{r1, rules.E1}, rc
 	}
 	return p
+}
+
+// bitsFor evaluates one tuple's single-side survival bitset.
+func (p *sweepPlan) bitsFor(t relation.Tuple, axis []axisPreds) []uint64 {
+	bits := make([]uint64, p.words)
+vrule:
+	for k, a := range axis {
+		for _, pr := range a.preds {
+			if !pr.HoldsSingle(a.side, t) {
+				continue vrule
+			}
+		}
+		bits[k/64] |= 1 << (k % 64)
+	}
+	return bits
+}
+
+// sweepPlanSnapshot returns the cached plan extended to cover every
+// tuple currently in the extended relations. The returned value's
+// bitset slice headers are private to the caller: later extensions
+// append under planMu and never mutate entries below the snapshot's
+// length.
+func (res *Result) sweepPlanSnapshot() sweepPlan {
+	res.planMu.Lock()
+	defer res.planMu.Unlock()
+	if res.plan == nil {
+		res.plan = res.newSweepPlan()
+	}
+	p := res.plan
+	for i := len(p.rowBits); i < res.RPrime.Len(); i++ {
+		p.rowBits = append(p.rowBits, p.bitsFor(res.RPrime.Tuple(i), p.row))
+	}
+	for j := len(p.colBits); j < res.SPrime.Len(); j++ {
+		p.colBits = append(p.colBits, p.bitsFor(res.SPrime.Tuple(j), p.col))
+	}
+	return *p
 }
 
 // fires reports whether some distinctness rule declares cell (i, j)
@@ -323,7 +354,7 @@ func (res *Result) parallelCounts() (matching, notMatching, undetermined int) {
 	if rows == 0 || cols == 0 {
 		return 0, 0, 0
 	}
-	plan := res.buildSweepPlan()
+	plan := res.sweepPlanSnapshot()
 	workers := workerCount(rows)
 	type tally struct{ m, n, u int }
 	tallies := make([]tally, workers)
@@ -340,7 +371,7 @@ func (res *Result) parallelCounts() (matching, notMatching, undetermined int) {
 					break
 				}
 				for i := lo; i < min(lo+sweepGrain, rows); i++ {
-					res.sweepRow(plan, i, cols, func(_ int, v Verdict) bool {
+					res.sweepRow(&plan, i, cols, func(_ int, v Verdict) bool {
 						switch v {
 						case Matching:
 							t.m++
@@ -378,11 +409,11 @@ func (res *Result) parallelSweep(want Verdict, limit int) []Pair {
 	if rows == 0 || cols == 0 {
 		return nil
 	}
-	plan := res.buildSweepPlan()
+	plan := res.sweepPlanSnapshot()
 	if limit > 0 {
 		var out []Pair
 		for i := 0; i < rows && len(out) < limit; i++ {
-			res.sweepRow(plan, i, cols, func(j int, v Verdict) bool {
+			res.sweepRow(&plan, i, cols, func(j int, v Verdict) bool {
 				if v == want {
 					out = append(out, Pair{RIndex: i, SIndex: j})
 				}
@@ -408,7 +439,7 @@ func (res *Result) parallelSweep(want Verdict, limit int) []Pair {
 				lo, hi := b*sweepGrain, min((b+1)*sweepGrain, rows)
 				var out []Pair
 				for i := lo; i < hi; i++ {
-					res.sweepRow(plan, i, cols, func(j int, v Verdict) bool {
+					res.sweepRow(&plan, i, cols, func(j int, v Verdict) bool {
 						if v == want {
 							out = append(out, Pair{RIndex: i, SIndex: j})
 						}

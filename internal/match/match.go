@@ -216,6 +216,11 @@ type Result struct {
 	// eng is the lazily built compiled-rule engine (engine.go).
 	eng     *engine
 	engOnce sync.Once
+	// plan is the cached sweep plan (engine.go): built once, its
+	// per-tuple survival bitsets extended under planMu as the extended
+	// relations grow (federate inserts), instead of rebuilt per sweep.
+	plan   *sweepPlan
+	planMu sync.Mutex
 }
 
 // Build runs the §4.2 matching-table construction. It fails if the

@@ -190,6 +190,30 @@ func resolveOne(st Strategy, rv, sv value.Value) (value.Value, bool) {
 	}
 }
 
+// Reduce folds any number of attribute values into one under a
+// strategy: the n-ary generalisation of the pairwise merge, defined as
+// the left fold of the two-sided resolution (earlier values take the R
+// role, later values the S role). Coalesce keeps the first non-NULL
+// value, PreferR the first non-NULL, PreferS the last non-NULL;
+// conflicted reports whether any two non-NULL values disagreed along
+// the way. Strict fails on the first disagreement instead.
+// Cross-source views (the hub package) use it to merge one integrated
+// attribute across N matched tuples.
+func Reduce(st Strategy, vals ...value.Value) (merged value.Value, conflicted bool, err error) {
+	merged = value.Null
+	for _, v := range vals {
+		next, conflict := resolveOne(st, merged, v)
+		if conflict {
+			if st == Strict {
+				return value.Null, true, fmt.Errorf("resolve: strict merge: %s vs %s", merged, v)
+			}
+			conflicted = true
+		}
+		merged = next
+	}
+	return merged, conflicted, nil
+}
+
 // AutoSpecs builds a Spec list from an integrated table's column
 // naming convention: columns r_X and s_X pair into X (Coalesce);
 // one-sided columns keep their suffix as the merged name. This covers

@@ -202,3 +202,40 @@ func TestResolveOneTable(t *testing.T) {
 		}
 	}
 }
+
+func TestReduce(t *testing.T) {
+	v := func(s string) value.Value { return value.String(s) }
+	cases := []struct {
+		name       string
+		st         Strategy
+		vals       []value.Value
+		want       value.Value
+		conflicted bool
+		wantErr    bool
+	}{
+		{name: "coalesce-first-non-null", st: Coalesce, vals: []value.Value{value.Null, v("a"), value.Null}, want: v("a")},
+		{name: "coalesce-agreement", st: Coalesce, vals: []value.Value{v("a"), v("a")}, want: v("a")},
+		{name: "coalesce-conflict-keeps-first", st: Coalesce, vals: []value.Value{v("a"), v("b"), v("c")}, want: v("a"), conflicted: true},
+		{name: "prefer-r-first", st: PreferR, vals: []value.Value{value.Null, v("a"), v("b")}, want: v("a")},
+		{name: "prefer-s-last", st: PreferS, vals: []value.Value{v("a"), v("b"), value.Null}, want: v("b")},
+		{name: "strict-fails", st: Strict, vals: []value.Value{v("a"), v("b")}, wantErr: true},
+		{name: "empty", st: Coalesce, vals: nil, want: value.Null},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, conflicted, err := Reduce(tc.st, tc.vals...)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("no error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !value.Identical(got, tc.want) || conflicted != tc.conflicted {
+				t.Fatalf("Reduce = %v (conflicted %v), want %v (%v)", got, conflicted, tc.want, tc.conflicted)
+			}
+		})
+	}
+}
