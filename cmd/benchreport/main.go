@@ -29,6 +29,7 @@ import (
 	"entityid/internal/experiments"
 	"entityid/internal/hub"
 	"entityid/internal/match"
+	"entityid/internal/relation"
 )
 
 func main() {
@@ -109,6 +110,13 @@ type benchRecord struct {
 	HubClusters     int     `json:"hub_clusters"`
 	HubIngestNS     int64   `json:"hub_ingest_ns"`
 	HubTuplesPerSec float64 `json:"hub_tuples_per_sec"`
+
+	// WAL replay: recovery of the same hub workload from its
+	// write-ahead log alone (no snapshot), i.e. cold-start cost per
+	// logged record.
+	ReplayRecords    int     `json:"replay_records"`
+	ReplayNS         int64   `json:"replay_ns"`
+	ReplayRecsPerSec float64 `json:"replay_recs_per_sec"`
 }
 
 // runBenchJSON times matching-table construction and the full Figure 3
@@ -213,6 +221,62 @@ func runBenchJSON(path string, w io.Writer) int {
 	rec.HubClusters = hubStats.Clusters
 	rec.HubTuplesPerSec = float64(len(items)) / (float64(rec.HubIngestNS) / 1e9)
 
+	// WAL replay: write the canonical workload through a durable hub
+	// (snapshots off, so recovery replays every record), then time
+	// recovery, best of 3.
+	walDir, err := os.MkdirTemp("", "entityid-benchreplay")
+	if err != nil {
+		fmt.Fprintf(w, "benchjson: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(walDir)
+	dh, _, err := hub.Open(walDir, hub.Options{})
+	if err != nil {
+		fmt.Fprintf(w, "benchjson: durable hub: %v\n", err)
+		return 1
+	}
+	for k, name := range mw.Names {
+		if err := dh.AddSource(name, relation.New(mw.Relations[k].Schema())); err != nil {
+			fmt.Fprintf(w, "benchjson: durable hub: %v\n", err)
+			return 1
+		}
+	}
+	for i := 0; i < len(mw.Names); i++ {
+		for j := i + 1; j < len(mw.Names); j++ {
+			if err := dh.Link(hub.SpecFromMultiPair(mw.Pair(i, j))); err != nil {
+				fmt.Fprintf(w, "benchjson: durable hub: %v\n", err)
+				return 1
+			}
+		}
+	}
+	for _, res := range dh.IngestBatch(items, 0) {
+		if res.Err != nil {
+			fmt.Fprintf(w, "benchjson: durable ingest: %v\n", res.Err)
+			return 1
+		}
+	}
+	if err := dh.Close(); err != nil {
+		fmt.Fprintf(w, "benchjson: durable hub: %v\n", err)
+		return 1
+	}
+	var replayErr error
+	rec.ReplayNS = best(3, func() {
+		rh, info, err := hub.Open(walDir, hub.Options{})
+		if err != nil {
+			replayErr = err
+			return
+		}
+		rec.ReplayRecords = info.Replayed
+		if err := rh.Close(); err != nil {
+			replayErr = err
+		}
+	})
+	if replayErr != nil {
+		fmt.Fprintf(w, "benchjson: replay: %v\n", replayErr)
+		return 1
+	}
+	rec.ReplayRecsPerSec = float64(rec.ReplayRecords) / (float64(rec.ReplayNS) / 1e9)
+
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fmt.Fprintf(w, "benchjson: %v\n", err)
@@ -223,8 +287,8 @@ func runBenchJSON(path string, w io.Writer) int {
 		fmt.Fprintf(w, "benchjson: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(w, "wrote %s: build %.1fx, counts %.1fx (engine vs naive, %d×%d grid, GOMAXPROCS=%d); hub ingest %.0f tuples/sec (%d sources)\n",
+	fmt.Fprintf(w, "wrote %s: build %.1fx, counts %.1fx (engine vs naive, %d×%d grid, GOMAXPROCS=%d); hub ingest %.0f tuples/sec (%d sources); WAL replay %.0f records/sec (%d records)\n",
 		path, rec.BuildSpeedup, rec.CountsSpeedup, rec.RTuples, rec.STuples, rec.GoMaxProcs,
-		rec.HubTuplesPerSec, rec.HubSources)
+		rec.HubTuplesPerSec, rec.HubSources, rec.ReplayRecsPerSec, rec.ReplayRecords)
 	return 0
 }

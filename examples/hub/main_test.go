@@ -19,6 +19,7 @@ func TestHubExample(t *testing.T) {
 		"speciality  hunan",
 		"transitive uniqueness violation",
 		"corrected listing clusters with guides[goldenleaf]",
+		"recovered across restart: 4 tuples in 3 clusters replayed from the write-ahead log",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)

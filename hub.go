@@ -23,6 +23,11 @@ package entityid
 //	rec, err := h.Insert("zagat", tuple)
 //	cluster, err := h.Lookup("michelin", key...)
 //	merged, err := h.Merged(cluster, entityid.MergeCoalesce)
+//
+// OpenHub returns a durable hub instead: mutations are written ahead
+// to a CRC-guarded log under a data directory, background snapshots
+// bound the log, and re-opening the directory recovers the exact
+// pre-crash state (see Checkpoint and Close).
 
 import (
 	"entityid/internal/hub"
@@ -121,12 +126,62 @@ func (p *PairSpec) AddDistinctnessRule(d DistinctnessRule) *PairSpec {
 // over per-pair incremental identification. Safe for concurrent use.
 // Obtain one with NewHub.
 type Hub struct {
-	inner *hub.Hub
+	inner    *hub.Hub
+	recovery *HubRecovery
 }
 
-// NewHub creates an empty hub.
+// HubRecovery reports what OpenHub reconstructed: snapshot use, the
+// replayed log tail, and — critically — whether a torn or corrupt log
+// tail was detected and dropped (TailDamage). Operators should surface
+// TailDamage: it means the last unacknowledged write(s) before a crash
+// were discarded.
+type HubRecovery = hub.RecoveryInfo
+
+// NewHub creates an empty, memory-only hub. Use OpenHub for a hub
+// whose state survives process restarts.
 func NewHub() *Hub {
 	return &Hub{inner: hub.New()}
+}
+
+// HubOption configures OpenHub.
+type HubOption func(*hubOptions)
+
+type hubOptions struct {
+	snapshotEvery int
+}
+
+// WithSnapshotEvery sets how many committed inserts elapse between
+// background snapshots (each snapshot truncates the write-ahead log it
+// covers). 0 disables automatic snapshots: the log grows until
+// Checkpoint is called. The default is 1024.
+func WithSnapshotEvery(n int) HubOption {
+	return func(o *hubOptions) { o.snapshotEvery = n }
+}
+
+// OpenHub opens (or creates) a durable hub rooted at dir. Every
+// committed mutation — source registration, pair link, tuple insert —
+// is appended to a CRC-guarded write-ahead log before it is applied,
+// and background snapshots bound the log; on open, the latest snapshot
+// is loaded and the log tail replayed, reproducing the pre-crash
+// clusters, matching tables and relations exactly. A torn or corrupt
+// log tail (a crash mid-write) is detected and dropped: recovery stops
+// at the last fully committed mutation. The hub must be Closed.
+func OpenHub(dir string, opts ...HubOption) (*Hub, error) {
+	o := hubOptions{snapshotEvery: 1024}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	inner, info, err := hub.Open(dir, hub.Options{SnapshotEvery: o.snapshotEvery})
+	if err != nil {
+		return nil, err
+	}
+	return &Hub{inner: inner, recovery: info}, nil
+}
+
+// Recovery returns what OpenHub reconstructed (nil for a memory-only
+// hub created with NewHub).
+func (h *Hub) Recovery() *HubRecovery {
+	return h.recovery
 }
 
 // AddSource registers an autonomous source under a unique name; the
@@ -181,4 +236,27 @@ func (h *Hub) Merged(c EntityCluster, strategy MergeStrategy) (*MergedEntity, er
 // Stats summarises the hub.
 func (h *Hub) Stats() HubStats {
 	return h.inner.Stats()
+}
+
+// SourceNames lists the registered sources in registration order.
+func (h *Hub) SourceNames() []string {
+	return h.inner.SourceNames()
+}
+
+// SourceSchema returns a registered source's schema.
+func (h *Hub) SourceSchema(source string) (*Schema, error) {
+	return h.inner.SourceSchema(source)
+}
+
+// Checkpoint forces a synchronous snapshot — capture, atomic write,
+// log truncation — so the next OpenHub replays nothing. It fails on a
+// memory-only hub.
+func (h *Hub) Checkpoint() error {
+	return h.inner.SnapshotNow()
+}
+
+// Close quiesces background snapshotting and closes the write-ahead
+// log. It is a no-op on a memory-only hub.
+func (h *Hub) Close() error {
+	return h.inner.Close()
 }

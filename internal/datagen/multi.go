@@ -24,9 +24,12 @@ import (
 
 // MultiConfig parameterises K-source workload generation.
 type MultiConfig struct {
-	// Sources is K, the number of autonomous sources (>= 2).
+	// Sources is K, the number of autonomous sources (>= 1; K=1 is the
+	// degenerate federation with no links, every tuple its own entity).
 	Sources int
-	// Entities is the size of the real-world universe.
+	// Entities is the size of the real-world universe (>= 0; 0 plants
+	// an empty universe — every source is empty and the ground truth is
+	// the empty partition).
 	Entities int
 	// PresenceFrac is the per-source probability that an entity is
 	// modeled by the source (presence is independent per source, so
@@ -43,13 +46,18 @@ type MultiConfig struct {
 	Seed int64
 }
 
-// Validate checks the configuration ranges.
+// Validate checks the configuration ranges. The degenerate corners are
+// legal: a single source yields a linkless hub with singleton ground
+// truth, and an empty universe (or PresenceFrac 0) yields empty
+// sources with empty ground truth — both must produce trivially valid
+// workloads, not degenerate specs (crash-recovery harnesses sweep
+// these corners).
 func (c MultiConfig) Validate() error {
-	if c.Sources < 2 {
-		return fmt.Errorf("datagen: Sources = %d, want >= 2", c.Sources)
+	if c.Sources < 1 {
+		return fmt.Errorf("datagen: Sources = %d, want >= 1", c.Sources)
 	}
-	if c.Entities <= 0 {
-		return fmt.Errorf("datagen: Entities = %d, want > 0", c.Entities)
+	if c.Entities < 0 {
+		return fmt.Errorf("datagen: Entities = %d, want >= 0", c.Entities)
 	}
 	for _, f := range []struct {
 		name string

@@ -77,3 +77,86 @@ func TestMultiPairSpecsBuildSoundMatches(t *testing.T) {
 		}
 	}
 }
+
+// TestMultiGenerateEdgeCases pins the degenerate corners the
+// crash-recovery harness sweeps: K=1 (a linkless federation), an empty
+// universe, and sources emptied by presence 0 must all produce valid,
+// trivial ground truth — not errors or malformed specs.
+func TestMultiGenerateEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  MultiConfig
+		// wantErr marks configurations Validate must reject.
+		wantErr bool
+	}{
+		{"single-source", MultiConfig{Sources: 1, Entities: 12, PresenceFrac: 1, Seed: 1}, false},
+		{"empty-universe", MultiConfig{Sources: 3, Entities: 0, PresenceFrac: 0.5, Seed: 2}, false},
+		{"absent-everywhere", MultiConfig{Sources: 3, Entities: 10, PresenceFrac: 0, Seed: 3}, false},
+		{"single-source-empty", MultiConfig{Sources: 1, Entities: 0, Seed: 4}, false},
+		{"single-entity-homonyms", MultiConfig{Sources: 2, Entities: 1, PresenceFrac: 1, HomonymRate: 1, Seed: 5}, false},
+		{"zero-sources", MultiConfig{Sources: 0, Entities: 5}, true},
+		{"negative-entities", MultiConfig{Sources: 2, Entities: -1}, true},
+		{"bad-fraction", MultiConfig{Sources: 2, Entities: 5, PresenceFrac: 1.5}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := MultiGenerate(tc.cfg)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("config %+v accepted", tc.cfg)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			if len(w.Names) != tc.cfg.Sources || len(w.Relations) != tc.cfg.Sources || len(w.ToEntity) != tc.cfg.Sources {
+				t.Fatalf("workload shape: %d names, %d relations, %d maps",
+					len(w.Names), len(w.Relations), len(w.ToEntity))
+			}
+			total := 0
+			for k, rel := range w.Relations {
+				if rel.Schema() == nil || rel.Schema().Arity() != 4 {
+					t.Fatalf("source %d schema malformed", k)
+				}
+				if len(w.ToEntity[k]) != rel.Len() {
+					t.Fatalf("source %d: %d ground-truth entries for %d tuples", k, len(w.ToEntity[k]), rel.Len())
+				}
+				total += rel.Len()
+			}
+			truth := w.TruthClusters()
+			members := 0
+			for _, c := range truth {
+				if len(c) == 0 {
+					t.Fatal("empty truth cluster")
+				}
+				members += len(c)
+			}
+			if members != total {
+				t.Fatalf("truth covers %d members, workload has %d tuples", members, total)
+			}
+			if tc.cfg.Entities == 0 || tc.cfg.PresenceFrac == 0 {
+				if total != 0 || len(truth) != 0 {
+					t.Fatalf("empty workload has %d tuples, %d clusters", total, len(truth))
+				}
+			}
+			if tc.cfg.Sources == 1 {
+				// No pairs exist; every tuple is its own entity.
+				for _, c := range truth {
+					if len(c) != 1 {
+						t.Fatalf("single-source truth cluster of size %d", len(c))
+					}
+				}
+			}
+			// Pair specs stay well-formed on every linkable pair.
+			for i := 0; i < tc.cfg.Sources; i++ {
+				for j := i + 1; j < tc.cfg.Sources; j++ {
+					p := w.Pair(i, j)
+					if p.Left != w.Names[i] || p.Right != w.Names[j] || len(p.ExtKey) == 0 || len(p.Attrs) < 4 {
+						t.Fatalf("pair (%d,%d) spec malformed: %+v", i, j, p)
+					}
+				}
+			}
+		})
+	}
+}

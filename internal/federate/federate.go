@@ -36,6 +36,7 @@ package federate
 
 import (
 	"fmt"
+	"sort"
 
 	"entityid/internal/ilfd"
 	"entityid/internal/integrate"
@@ -523,4 +524,67 @@ func (f *Federation) AddILFD(fd ilfd.ILFD) error {
 // Pairs returns the current matching pairs.
 func (f *Federation) Pairs() []match.Pair {
 	return append([]match.Pair(nil), f.res.MT.Pairs...)
+}
+
+// State is a federation's exported mutable state — the matching table
+// plus the side lengths it was computed over — in the canonical order
+// (sorted pairs). Snapshots store it so recovery can verify that a
+// rebuilt federation reproduces exactly the state that was saved.
+type State struct {
+	Pairs      []match.Pair
+	RLen, SLen int
+}
+
+// sortedPairs returns a (RIndex, SIndex)-sorted copy.
+func sortedPairs(ps []match.Pair) []match.Pair {
+	out := append([]match.Pair(nil), ps...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].RIndex != out[b].RIndex {
+			return out[a].RIndex < out[b].RIndex
+		}
+		return out[a].SIndex < out[b].SIndex
+	})
+	return out
+}
+
+// Export captures the federation's mutable state for a snapshot.
+func (f *Federation) Export() State {
+	return State{
+		Pairs: sortedPairs(f.res.MT.Pairs),
+		RLen:  f.cfg.R.Len(),
+		SLen:  f.cfg.S.Len(),
+	}
+}
+
+// Restore rebuilds a federation from a configuration (whose relations
+// hold the snapshot-time tuples) and verifies it reproduces the
+// exported state bit-for-bit: same side lengths, same matching pairs.
+// Batch identification over the final relations is equivalent to the
+// incremental inserts that produced the state (the package invariant),
+// so any mismatch means the snapshot does not describe these relations
+// — recovery fails closed instead of serving a silently different
+// matching table.
+func Restore(cfg match.Config, st State) (*Federation, error) {
+	f, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if got, want := f.cfg.R.Len(), st.RLen; got != want {
+		return nil, fmt.Errorf("federate: restore: R has %d tuples, state expects %d", got, want)
+	}
+	if got, want := f.cfg.S.Len(), st.SLen; got != want {
+		return nil, fmt.Errorf("federate: restore: S has %d tuples, state expects %d", got, want)
+	}
+	got := sortedPairs(f.res.MT.Pairs)
+	want := sortedPairs(st.Pairs)
+	if len(got) != len(want) {
+		return nil, fmt.Errorf("federate: restore: rebuilt matching table has %d pairs, state expects %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return nil, fmt.Errorf("federate: restore: matching table diverges at pair %d: rebuilt (%d,%d), state (%d,%d)",
+				i, got[i].RIndex, got[i].SIndex, want[i].RIndex, want[i].SIndex)
+		}
+	}
+	return f, nil
 }

@@ -358,3 +358,62 @@ func TestCommitFailsOnAnyInterveningMutation(t *testing.T) {
 		t.Fatalf("stale commit accepted after AddILFD rebuild: %v", err)
 	}
 }
+
+func TestExportRestoreRoundTrip(t *testing.T) {
+	f, err := New(example3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow the state incrementally so Export captures more than the
+	// initial batch build.
+	if _, err := f.InsertS(relation.Tuple{s("dragon inn"), s("hunan"), s("hennepin")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.InsertR(relation.Tuple{s("dragon inn"), s("chinese"), s("lake st")}); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Export()
+	if st.RLen != f.cfg.R.Len() || st.SLen != f.cfg.S.Len() {
+		t.Fatalf("export lens (%d,%d)", st.RLen, st.SLen)
+	}
+	for i := 1; i < len(st.Pairs); i++ {
+		if st.Pairs[i-1].RIndex > st.Pairs[i].RIndex {
+			t.Fatal("export pairs not sorted")
+		}
+	}
+
+	// Restore over the same relations reproduces the matching table.
+	cfg := example3Config()
+	cfg.R, cfg.S = f.cfg.R.Clone(), f.cfg.S.Clone()
+	g, err := Restore(cfg, st)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	got := g.Export()
+	if len(got.Pairs) != len(st.Pairs) {
+		t.Fatalf("restored %d pairs, want %d", len(got.Pairs), len(st.Pairs))
+	}
+	for i := range got.Pairs {
+		if got.Pairs[i] != st.Pairs[i] {
+			t.Fatalf("restored pair %d = %v, want %v", i, got.Pairs[i], st.Pairs[i])
+		}
+	}
+
+	// A state that does not describe these relations fails closed.
+	bad := st
+	bad.Pairs = st.Pairs[:len(st.Pairs)-1]
+	if _, err := Restore(cfg, bad); err == nil {
+		t.Fatal("missing-pair state restored")
+	}
+	bad = st
+	bad.RLen++
+	if _, err := Restore(cfg, bad); err == nil {
+		t.Fatal("wrong-length state restored")
+	}
+	bad = st
+	bad.Pairs = append([]match.Pair(nil), st.Pairs...)
+	bad.Pairs[0].SIndex = (bad.Pairs[0].SIndex + 1) % cfg.S.Len()
+	if _, err := Restore(cfg, bad); err == nil {
+		t.Fatal("doctored-pair state restored")
+	}
+}

@@ -75,11 +75,13 @@ type sourceState struct {
 }
 
 // pairState is one link: the live pairwise federation and its lock.
+// The spec is retained for snapshots and the WAL.
 type pairState struct {
 	id          int
 	left, right int
 	mu          sync.Mutex
 	fed         *federate.Federation
+	spec        PairSpec
 }
 
 // Hub is the multi-source federation coordinator.
@@ -94,6 +96,11 @@ type Hub struct {
 	// so cluster queries see a consistent tuple store.
 	clusterMu sync.Mutex
 	clusters  *clusterSet
+	// per is the durability layer (persist.go); nil for a memory-only
+	// hub. Mutators append to the write-ahead log before committing, so
+	// a crash can lose an unacknowledged insert but never resurrect a
+	// rejected one or tear a committed one.
+	per *walLogger
 }
 
 // New creates an empty hub.
@@ -116,6 +123,11 @@ func (h *Hub) AddSource(name string, rel *relation.Relation) error {
 	if _, dup := h.byName[name]; dup {
 		return fmt.Errorf("hub: source %q already registered", name)
 	}
+	if h.per != nil {
+		if err := h.per.appendAddSource(name, rel); err != nil {
+			return fmt.Errorf("hub: source %q: %w", name, err)
+		}
+	}
 	id := len(h.sources)
 	h.sources = append(h.sources, &sourceState{
 		id:     id,
@@ -135,6 +147,14 @@ func (h *Hub) AddSource(name string, rel *relation.Relation) error {
 func (h *Hub) Link(spec PairSpec) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.linkLocked(spec, nil)
+}
+
+// linkLocked implements Link. With a non-nil restore state (snapshot
+// recovery), the federation is rebuilt through federate.Restore, which
+// verifies the rebuilt matching table against the saved one. Callers
+// hold h.mu exclusively.
+func (h *Hub) linkLocked(spec PairSpec, restore *federate.State) error {
 	li, ok := h.byName[spec.Left]
 	if !ok {
 		return fmt.Errorf("hub: link: unknown source %q", spec.Left)
@@ -157,7 +177,7 @@ func (h *Hub) Link(spec PairSpec) error {
 	if err := checkAttrNames(left, right, spec.Attrs); err != nil {
 		return err
 	}
-	fed, err := federate.New(match.Config{
+	cfg := match.Config{
 		R:            left.rel,
 		S:            right.rel,
 		Attrs:        spec.Attrs,
@@ -167,7 +187,14 @@ func (h *Hub) Link(spec PairSpec) error {
 		Distinct:     spec.Distinct,
 		DeriveMode:   spec.DeriveMode,
 		DisableProp1: spec.DisableProp1,
-	})
+	}
+	var fed *federate.Federation
+	var err error
+	if restore != nil {
+		fed, err = federate.Restore(cfg, *restore)
+	} else {
+		fed, err = federate.New(cfg)
+	}
 	if err != nil {
 		return fmt.Errorf("hub: link %q-%q: %w", spec.Left, spec.Right, err)
 	}
@@ -184,7 +211,12 @@ func (h *Hub) Link(spec PairSpec) error {
 		}
 		next.union(a, b)
 	}
-	p := &pairState{id: len(h.pairs), left: li, right: ri, fed: fed}
+	if h.per != nil {
+		if err := h.per.appendLink(spec); err != nil {
+			return fmt.Errorf("hub: link %q-%q: %w", spec.Left, spec.Right, err)
+		}
+	}
+	p := &pairState{id: len(h.pairs), left: li, right: ri, fed: fed, spec: spec}
 	h.pairs = append(h.pairs, p)
 	left.pairs = append(left.pairs, p)
 	right.pairs = append(right.pairs, p)
@@ -309,6 +341,16 @@ func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
 	if err := h.clusters.checkMerge(n, partners, h.sourceName); err != nil {
 		return nil, fmt.Errorf("hub: source %q: %w", source, err)
 	}
+	// Write-ahead: the insert reaches the log before any in-memory
+	// commit. A failed append rejects the insert with the hub unchanged
+	// (at worst a torn, unacknowledged record reaches disk — recovery's
+	// CRC check drops it), so replaying the log can never resurrect a
+	// rejected insert or observe a torn commit.
+	if h.per != nil {
+		if err := h.per.appendInsert(source, t); err != nil {
+			return nil, fmt.Errorf("hub: source %q: %w", source, err)
+		}
+	}
 	for i, pd := range pendings {
 		if _, err := pd.Commit(); err != nil {
 			// Unreachable under the locking discipline; surface loudly
@@ -320,6 +362,9 @@ func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
 		panic(fmt.Sprintf("hub: canonical insert after CanInsert: %v", err))
 	}
 	h.clusters.merge(n, partners)
+	if h.per != nil {
+		h.per.noteCommit(h)
+	}
 	rec := &Receipt{Source: source, Index: n.idx}
 	for _, p := range partners {
 		rec.Matched = append(rec.Matched, h.member(p))

@@ -1,0 +1,371 @@
+// Hub durability: the write-ahead log and snapshot machinery behind
+// Open. Every committed mutation — AddSource, Link, Insert — is
+// appended to a wal.Log before it is applied (hub.go calls the
+// append* helpers at its commit points), so the on-disk log is always
+// a prefix-exact account of the in-memory state: recovery loads the
+// latest snapshot and replays the log tail past the snapshot
+// watermark, reproducing clusters, matching tables and canonical
+// relations bit-for-bit.
+//
+// Snapshotting is incremental-friendly: every SnapshotEvery committed
+// inserts, the inserting goroutine captures the state and watermark in
+// memory (it already holds the commit locks; the capture is a plain
+// copy) and hands them to a background goroutine that rotates the log
+// onto a fresh segment, encodes the capture, writes it to a temp file,
+// fsyncs, renames it over the snapshot atomically, and only then
+// deletes the log segments the snapshot covers. Ingest never waits on
+// snapshot I/O — not even the rotation fsync — and a crash at any
+// point leaves either the old snapshot with a longer log or the new
+// snapshot with a shorter one; both recover to the same state.
+package hub
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"entityid/internal/relation"
+	"entityid/internal/wal"
+)
+
+const (
+	snapshotFile = "snapshot.ei"
+	snapshotTmp  = "snapshot.ei.tmp"
+)
+
+// Options configures a durable hub.
+type Options struct {
+	// SnapshotEvery is the number of committed inserts between
+	// background snapshots (and the accompanying log truncation);
+	// 0 disables automatic snapshots — the log grows until SnapshotNow.
+	SnapshotEvery int
+}
+
+// RecoveryInfo reports what Open reconstructed.
+type RecoveryInfo struct {
+	// FromSnapshot reports whether a snapshot file was loaded.
+	FromSnapshot bool
+	// Watermark is the snapshot's last covered sequence number.
+	Watermark uint64
+	// LastSeq is the last good WAL record.
+	LastSeq uint64
+	// Replayed counts the log records applied after the watermark.
+	Replayed int
+	// TailDamage is non-empty when a torn or corrupt log tail was
+	// detected (CRC/length/sequence check) and recovery stopped at the
+	// last good record.
+	TailDamage string
+}
+
+// Open opens (or creates) a durable hub rooted at dir: it loads the
+// snapshot if one exists, replays the write-ahead log tail past the
+// snapshot watermark, and attaches the logger so subsequent mutations
+// are persisted. The returned hub must be Closed.
+func Open(dir string, opts Options) (*Hub, *RecoveryInfo, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
+	}
+	// The flock comes first: until it is held, a live writer may own
+	// this directory and every file in it — including an in-flight
+	// snapshot temp — so nothing may be read or removed yet.
+	l, err := wal.Open(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
+	}
+	// A leftover temp file is an interrupted snapshot write by a now
+	// dead writer (we hold the lock); the real snapshot (if any) is
+	// intact, so the temp is garbage.
+	os.Remove(filepath.Join(dir, snapshotTmp))
+
+	info := &RecoveryInfo{}
+	var h *Hub
+	data, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	switch {
+	case err == nil:
+		h, info.Watermark, err = LoadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			l.Close()
+			return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
+		}
+		info.FromSnapshot = true
+	case os.IsNotExist(err):
+		h = New()
+	default:
+		l.Close()
+		return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
+	}
+
+	if d := l.Damage(); d != nil {
+		info.TailDamage = d.Error()
+	}
+	// Cross-check the log against the snapshot before trusting either: a
+	// partially restored directory (lost segments, lost snapshot) would
+	// otherwise replay around a hole — or log new commits at sequence
+	// numbers a later replay skips. Fail closed instead.
+	switch {
+	case info.FromSnapshot && l.LastSeq() < info.Watermark:
+		l.Close()
+		return nil, nil, fmt.Errorf("hub: open %s: write-ahead log ends at record %d but the snapshot covers through %d: log records are missing",
+			dir, l.LastSeq(), info.Watermark)
+	case info.FromSnapshot && l.OldestSeq() > info.Watermark+1:
+		l.Close()
+		return nil, nil, fmt.Errorf("hub: open %s: write-ahead log starts at record %d but the snapshot covers only through %d: log records are missing",
+			dir, l.OldestSeq(), info.Watermark)
+	case !info.FromSnapshot && l.LastSeq() > 0 && l.OldestSeq() > 1:
+		l.Close()
+		return nil, nil, fmt.Errorf("hub: open %s: write-ahead log starts at record %d with no snapshot covering the truncated prefix",
+			dir, l.OldestSeq())
+	}
+	n, err := h.Replay(l, info.Watermark)
+	if err != nil {
+		l.Close()
+		return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
+	}
+	info.Replayed = n
+	info.LastSeq = l.LastSeq()
+	h.per = &walLogger{log: l, dir: dir, every: opts.SnapshotEvery}
+	return h, info, nil
+}
+
+// Replay re-applies the log tail after the snapshot watermark: every
+// record with a later sequence number is decoded and re-applied through
+// the normal mutation paths (records the snapshot already covers are
+// skipped). It returns the number of records applied. Replay must run
+// before the logger is attached, so replayed mutations are not
+// re-logged.
+func (h *Hub) Replay(l *wal.Log, after uint64) (int, error) {
+	if h.per != nil {
+		return 0, fmt.Errorf("hub: replay into a hub that is already logging")
+	}
+	n := 0
+	err := l.Replay(after, func(rec wal.Record) error {
+		env, err := wal.DecodeEnvelope(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", rec.Seq, err)
+		}
+		if err := h.applyRecord(env); err != nil {
+			return fmt.Errorf("record %d: %w", rec.Seq, err)
+		}
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// applyRecord re-applies one decoded WAL record.
+func (h *Hub) applyRecord(env wal.Envelope) error {
+	switch env.Type {
+	case wal.TypeAddSource:
+		sch, err := wal.DecodeSchema(env.AddSource.Schema)
+		if err != nil {
+			return err
+		}
+		rel := relation.New(sch)
+		for i, tr := range env.AddSource.Tuples {
+			t, err := wal.DecodeTuple(tr)
+			if err != nil {
+				return fmt.Errorf("seed tuple %d: %w", i, err)
+			}
+			if err := rel.Insert(t); err != nil {
+				return fmt.Errorf("seed tuple %d: %w", i, err)
+			}
+		}
+		return h.AddSource(env.AddSource.Name, rel)
+	case wal.TypeLink:
+		spec, err := specFromLinkRec(*env.Link)
+		if err != nil {
+			return err
+		}
+		return h.Link(spec)
+	case wal.TypeInsert:
+		t, err := wal.DecodeTuple(env.Insert.Tuple)
+		if err != nil {
+			return err
+		}
+		_, err = h.Insert(env.Insert.Source, t)
+		return err
+	default:
+		return fmt.Errorf("hub: unknown record type %q", env.Type)
+	}
+}
+
+// Close quiesces any in-flight background snapshot and closes the
+// write-ahead log. It is a no-op on a memory-only hub. It returns the
+// first background snapshot error, if any.
+func (h *Hub) Close() error {
+	if h.per == nil {
+		return nil
+	}
+	return h.per.close()
+}
+
+// SnapshotNow forces a synchronous snapshot: capture, write, fsync,
+// atomic rename, log truncation. It fails on a memory-only hub.
+func (h *Hub) SnapshotNow() error {
+	p := h.per
+	if p == nil {
+		return fmt.Errorf("hub: snapshot of a memory-only hub (use Open)")
+	}
+	p.snapMu.Lock()
+	defer p.snapMu.Unlock()
+	h.mu.RLock()
+	h.clusterMu.Lock()
+	snap := h.captureLocked()
+	watermark := p.log.LastSeq()
+	h.clusterMu.Unlock()
+	h.mu.RUnlock()
+	if _, err := p.log.Rotate(); err != nil {
+		return err
+	}
+	return p.writeSnapshot(snap, watermark)
+}
+
+// walLogger couples a hub to its write-ahead log and drives background
+// snapshotting.
+type walLogger struct {
+	log   *wal.Log
+	dir   string
+	every int
+	// sinceSnap counts committed inserts since the last snapshot
+	// trigger.
+	sinceSnap atomic.Int64
+	// snapMu serialises snapshot production (capture → write →
+	// truncate); the trigger uses TryLock so ingest never queues behind
+	// a snapshot in flight.
+	snapMu sync.Mutex
+	// wg tracks the background writer, so close can quiesce it.
+	wg sync.WaitGroup
+	// errMu/bgErr hold the first background snapshot failure, surfaced
+	// by close. Failures do NOT suppress later snapshot attempts: a
+	// transient error (disk briefly full) must not leave the log
+	// growing unboundedly for the rest of the process lifetime.
+	errMu sync.Mutex
+	bgErr error
+}
+
+func (p *walLogger) append(env wal.Envelope) error {
+	payload, err := env.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = p.log.Append(payload)
+	return err
+}
+
+func (p *walLogger) appendAddSource(name string, rel *relation.Relation) error {
+	return p.append(wal.Envelope{Type: wal.TypeAddSource, AddSource: &wal.AddSourceRec{
+		Name:   name,
+		Schema: wal.EncodeSchema(rel.Schema()),
+		Tuples: wal.EncodeTuples(rel.Tuples()),
+	}})
+}
+
+func (p *walLogger) appendLink(spec PairSpec) error {
+	rec := linkRecFromSpec(spec)
+	return p.append(wal.Envelope{Type: wal.TypeLink, Link: &rec})
+}
+
+func (p *walLogger) appendInsert(source string, t relation.Tuple) error {
+	return p.append(wal.Envelope{Type: wal.TypeInsert, Insert: &wal.InsertRec{
+		Source: source,
+		Tuple:  wal.EncodeTuple(t),
+	}})
+}
+
+func (p *walLogger) fail(err error) {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	if p.bgErr == nil {
+		p.bgErr = err
+	}
+}
+
+func (p *walLogger) failed() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.bgErr
+}
+
+// noteCommit is called by Insert at its commit point, with the commit
+// locks held. When the snapshot interval elapses it captures the state
+// and the watermark in memory — the only work done under the lock —
+// and hands everything slow (log rotation with its fsync, encoding,
+// writing, truncation) to a background goroutine, so ingest never
+// waits on snapshot I/O. Because rotation happens off-lock, the
+// segment boundary may land past the watermark; that only means the
+// boundary segment survives until a later snapshot covers it —
+// RemoveThrough removes exactly the segments wholly ≤ watermark.
+func (p *walLogger) noteCommit(h *Hub) {
+	if p.every <= 0 || p.sinceSnap.Add(1) < int64(p.every) {
+		return
+	}
+	if !p.snapMu.TryLock() {
+		return // a snapshot is already in flight; never block ingest
+	}
+	p.sinceSnap.Store(0)
+	snap := h.captureLocked()
+	watermark := p.log.LastSeq()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer p.snapMu.Unlock()
+		if _, err := p.log.Rotate(); err != nil {
+			p.fail(err)
+			return
+		}
+		if err := p.writeSnapshot(snap, watermark); err != nil {
+			p.fail(err)
+		}
+	}()
+}
+
+// writeSnapshot persists a captured snapshot at the given watermark and
+// truncates the log segments it covers.
+func (p *walLogger) writeSnapshot(snap *hubSnap, watermark uint64) error {
+	frame, err := encodeSnapshot(snap, watermark)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(p.dir, snapshotTmp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("hub: snapshot: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("hub: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("hub: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("hub: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(p.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("hub: snapshot: %w", err)
+	}
+	return p.log.RemoveThrough(watermark)
+}
+
+func (p *walLogger) close() error {
+	p.wg.Wait()
+	err := p.failed()
+	if cerr := p.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// quiesce simulates the tail end of a process death for crash-recovery
+// tests: it waits out any in-flight background snapshot (a real crash
+// kills that goroutine; in-process it must drain before the directory
+// is reopened) and releases the directory lock the way the kernel
+// releases a dead process's flock. The hub must not be used afterwards.
+func (p *walLogger) quiesce() {
+	p.wg.Wait()
+	p.log.DropLock()
+}

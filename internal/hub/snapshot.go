@@ -1,0 +1,285 @@
+// Hub snapshots: a point-in-time capture of the entire federation —
+// sources (schema + canonical tuples), per-pair federation state (link
+// spec + exported matching table), and the global cluster store — as a
+// single CRC-framed JSON record (the same frame the WAL uses, so a
+// torn or bit-rotted snapshot is detected, not loaded).
+//
+// Loading fails closed three ways: every schema, ILFD and rule is
+// re-validated by its domain constructor; every pairwise federation is
+// rebuilt through federate.Restore, which verifies the rebuilt
+// matching table equals the saved one; and the cluster partition
+// refolded from the pairwise tables must equal the saved partition.
+// A snapshot that loads is therefore guaranteed to reproduce exactly
+// the state that was captured.
+package hub
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"entityid/internal/derive"
+	"entityid/internal/federate"
+	"entityid/internal/match"
+	"entityid/internal/relation"
+	"entityid/internal/wal"
+)
+
+// matchPair converts the snapshot's compact pair form.
+func matchPair(p [2]int) match.Pair { return match.Pair{RIndex: p[0], SIndex: p[1]} }
+
+// hubSnap is the snapshot payload.
+type hubSnap struct {
+	// Watermark is the last WAL sequence number the snapshot covers;
+	// replay resumes after it.
+	Watermark uint64       `json:"watermark"`
+	Sources   []sourceSnap `json:"sources"`
+	Pairs     []pairSnap   `json:"pairs"`
+	// Clusters is the canonical non-singleton cluster partition, each
+	// cluster a sorted list of (source ordinal, tuple index) pairs,
+	// clusters sorted by first member. Singletons are implicit.
+	Clusters [][][2]int `json:"clusters,omitempty"`
+}
+
+// sourceSnap is one source: schema plus canonical tuples.
+type sourceSnap struct {
+	Name   string           `json:"name"`
+	Schema wal.SchemaRec    `json:"schema"`
+	Tuples [][]wal.ValueRec `json:"tuples,omitempty"`
+}
+
+// pairSnap is one link: its spec and the exported federation state.
+type pairSnap struct {
+	Link wal.LinkRec `json:"link"`
+	MT   [][2]int    `json:"mt,omitempty"`
+	RLen int         `json:"rlen"`
+	SLen int         `json:"slen"`
+}
+
+// captureLocked copies the hub state into a snapshot payload. Callers
+// hold h.mu (at least shared) and h.clusterMu — under those locks no
+// commit can run, so the copy is consistent; it is pure memory work,
+// the slow encode/write happens off-lock.
+func (h *Hub) captureLocked() *hubSnap {
+	snap := &hubSnap{}
+	for _, s := range h.sources {
+		ss := sourceSnap{
+			Name:   s.name,
+			Schema: wal.EncodeSchema(s.rel.Schema()),
+			Tuples: wal.EncodeTuples(s.rel.Tuples()),
+		}
+		snap.Sources = append(snap.Sources, ss)
+	}
+	for _, p := range h.pairs {
+		st := p.fed.Export()
+		ps := pairSnap{Link: linkRecFromSpec(p.spec), RLen: st.RLen, SLen: st.SLen}
+		for _, pr := range st.Pairs {
+			ps.MT = append(ps.MT, [2]int{pr.RIndex, pr.SIndex})
+		}
+		snap.Pairs = append(snap.Pairs, ps)
+	}
+	snap.Clusters = h.partitionLocked()
+	return snap
+}
+
+// partitionLocked returns the canonical non-singleton cluster
+// partition. Callers hold h.clusterMu.
+func (h *Hub) partitionLocked() [][][2]int {
+	byRoot := map[node][]node{}
+	for si, s := range h.sources {
+		for i := 0; i < s.rel.Len(); i++ {
+			n := node{src: si, idx: i}
+			root := h.clusters.find(n)
+			byRoot[root] = append(byRoot[root], n)
+		}
+	}
+	var out [][][2]int
+	for _, ns := range byRoot {
+		if len(ns) < 2 {
+			continue
+		}
+		sortNodes(ns)
+		c := make([][2]int, len(ns))
+		for i, n := range ns {
+			c[i] = [2]int{n.src, n.idx}
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0][0] != out[b][0][0] {
+			return out[a][0][0] < out[b][0][0]
+		}
+		return out[a][0][1] < out[b][0][1]
+	})
+	return out
+}
+
+// encodeSnapshot frames a snapshot payload. The frame sequence number
+// is watermark+1 so the zero watermark (no WAL yet) still frames
+// validly; the authoritative watermark lives in the payload.
+func encodeSnapshot(snap *hubSnap, watermark uint64) ([]byte, error) {
+	snap.Watermark = watermark
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("hub: snapshot: %w", err)
+	}
+	frame, err := wal.EncodeRecord(watermark+1, payload)
+	if err != nil {
+		return nil, fmt.Errorf("hub: snapshot: %w", err)
+	}
+	return frame, nil
+}
+
+// SaveSnapshot captures the hub's current state — sources, per-pair
+// federation state, cluster store — and writes it to w as one framed,
+// CRC-guarded record. It returns the WAL watermark the snapshot covers
+// (0 for a memory-only hub). Safe for concurrent use with ingest.
+func (h *Hub) SaveSnapshot(w io.Writer) (uint64, error) {
+	h.mu.RLock()
+	h.clusterMu.Lock()
+	snap := h.captureLocked()
+	var watermark uint64
+	if h.per != nil {
+		watermark = h.per.log.LastSeq()
+	}
+	h.clusterMu.Unlock()
+	h.mu.RUnlock()
+	frame, err := encodeSnapshot(snap, watermark)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(frame); err != nil {
+		return 0, fmt.Errorf("hub: snapshot: %w", err)
+	}
+	return watermark, nil
+}
+
+// LoadSnapshot rebuilds a hub from a snapshot written by SaveSnapshot
+// and returns it with the snapshot's watermark. The frame CRC, every
+// domain constructor, every pairwise matching table and the cluster
+// partition are re-verified; any mismatch fails the load.
+func LoadSnapshot(r io.Reader) (*Hub, uint64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("hub: load snapshot: %w", err)
+	}
+	rec, err := wal.DecodeRecord(data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("hub: load snapshot: %w", err)
+	}
+	var snap hubSnap
+	if err := json.Unmarshal(rec.Payload, &snap); err != nil {
+		return nil, 0, fmt.Errorf("hub: load snapshot: %w", err)
+	}
+	if rec.Seq != snap.Watermark+1 {
+		return nil, 0, fmt.Errorf("hub: load snapshot: frame sequence %d does not match watermark %d", rec.Seq, snap.Watermark)
+	}
+	h := New()
+	for _, ss := range snap.Sources {
+		sch, err := wal.DecodeSchema(ss.Schema)
+		if err != nil {
+			return nil, 0, fmt.Errorf("hub: load snapshot: source %q: %w", ss.Name, err)
+		}
+		rel := relation.New(sch)
+		for i, tr := range ss.Tuples {
+			t, err := wal.DecodeTuple(tr)
+			if err != nil {
+				return nil, 0, fmt.Errorf("hub: load snapshot: source %q tuple %d: %w", ss.Name, i, err)
+			}
+			if err := rel.Insert(t); err != nil {
+				return nil, 0, fmt.Errorf("hub: load snapshot: source %q tuple %d: %w", ss.Name, i, err)
+			}
+		}
+		if err := h.AddSource(ss.Name, rel); err != nil {
+			return nil, 0, fmt.Errorf("hub: load snapshot: %w", err)
+		}
+	}
+	for _, ps := range snap.Pairs {
+		spec, err := specFromLinkRec(ps.Link)
+		if err != nil {
+			return nil, 0, fmt.Errorf("hub: load snapshot: link %q-%q: %w", ps.Link.Left, ps.Link.Right, err)
+		}
+		st := federate.State{RLen: ps.RLen, SLen: ps.SLen}
+		for _, pr := range ps.MT {
+			st.Pairs = append(st.Pairs, matchPair(pr))
+		}
+		h.mu.Lock()
+		err = h.linkLocked(spec, &st)
+		h.mu.Unlock()
+		if err != nil {
+			return nil, 0, fmt.Errorf("hub: load snapshot: %w", err)
+		}
+	}
+	h.mu.RLock()
+	h.clusterMu.Lock()
+	refolded := h.partitionLocked()
+	h.clusterMu.Unlock()
+	h.mu.RUnlock()
+	if !partitionsEqual(refolded, snap.Clusters) {
+		return nil, 0, fmt.Errorf("hub: load snapshot: cluster store does not match the refolded pairwise matching tables")
+	}
+	return h, snap.Watermark, nil
+}
+
+func partitionsEqual(a, b [][][2]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// linkRecFromSpec converts a pair spec into its WAL/snapshot record.
+func linkRecFromSpec(spec PairSpec) wal.LinkRec {
+	return wal.LinkRec{
+		Left:         spec.Left,
+		Right:        spec.Right,
+		Attrs:        wal.EncodeAttrMaps(spec.Attrs),
+		ExtKey:       spec.ExtKey,
+		ILFDs:        wal.EncodeILFDs(spec.ILFDs),
+		Identity:     wal.EncodeIdentityRules(spec.Identity),
+		Distinct:     wal.EncodeDistinctnessRules(spec.Distinct),
+		DeriveMode:   int(spec.DeriveMode),
+		DisableProp1: spec.DisableProp1,
+	}
+}
+
+// specFromLinkRec restores a pair spec, re-validating ILFDs and rules.
+func specFromLinkRec(r wal.LinkRec) (PairSpec, error) {
+	ilfds, err := wal.DecodeILFDs(r.ILFDs)
+	if err != nil {
+		return PairSpec{}, err
+	}
+	identity, err := wal.DecodeIdentityRules(r.Identity)
+	if err != nil {
+		return PairSpec{}, err
+	}
+	distinct, err := wal.DecodeDistinctnessRules(r.Distinct)
+	if err != nil {
+		return PairSpec{}, err
+	}
+	if r.DeriveMode != int(derive.FirstMatch) && r.DeriveMode != int(derive.Fixpoint) {
+		return PairSpec{}, fmt.Errorf("hub: unknown derive mode %d", r.DeriveMode)
+	}
+	return PairSpec{
+		Left:         r.Left,
+		Right:        r.Right,
+		Attrs:        wal.DecodeAttrMaps(r.Attrs),
+		ExtKey:       r.ExtKey,
+		ILFDs:        ilfds,
+		Identity:     identity,
+		Distinct:     distinct,
+		DeriveMode:   derive.Mode(r.DeriveMode),
+		DisableProp1: r.DisableProp1,
+	}, nil
+}

@@ -1,0 +1,40 @@
+package ilfd
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzILFDParse throws arbitrary lines at the ILFD text parser. The
+// properties: parsing never panics, and every accepted rule survives a
+// format→parse round trip unchanged — so rule files written by
+// FormatSet always reload to the same knowledge base.
+func FuzzILFDParse(f *testing.F) {
+	for _, seed := range []string{
+		"speciality=Hunan -> cuisine=Chinese",
+		"name=TwinCities & street=Co.B2 -> speciality=Hunan",
+		`a="x & y" -> b="null"`,
+		`a="" -> b=c & d=e`,
+		"a=1 -> b=2 -> c=3",
+		`spaced = v alue -> q="#quoted"`,
+		"->",
+		`broken="unterminated -> x=y`,
+		"a=b",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		fd, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		text := strings.TrimSuffix(FormatSet(Set{fd}), "\n")
+		again, err := ParseLine(text)
+		if err != nil {
+			t.Fatalf("formatted rule does not reparse: %q -> %q: %v", line, text, err)
+		}
+		if !again.Antecedent.Equal(fd.Antecedent) || !again.Consequent.Equal(fd.Consequent) {
+			t.Fatalf("round trip changed the rule: %q -> %q: %v vs %v", line, text, fd, again)
+		}
+	})
+}

@@ -20,8 +20,9 @@ import (
 //
 // Each line is antecedent -> consequent; conjuncts are joined with '&'.
 // Values may be double-quoted to include '&', '=', '#' or leading/
-// trailing spaces. Without a schema, values parse as strings; with a
-// schema, each value parses according to the attribute's declared kind.
+// trailing spaces; inside quotes, '\"' and '\\' escape a quote and a
+// backslash. Without a schema, values parse as strings; with a schema,
+// each value parses according to the attribute's declared kind.
 
 // ParseLine parses one ILFD in the text format with string-typed values.
 func ParseLine(line string) (ILFD, error) {
@@ -94,17 +95,22 @@ func parseConjunction(text string, sch *schema.Schema) (Conditions, error) {
 	return out, nil
 }
 
-// splitTop splits on sep outside double quotes.
+// splitTop splits on sep outside double quotes (backslash escapes are
+// honoured inside quotes).
 func splitTop(s string, sep byte) []string {
 	var out []string
-	depth := false
+	quoted := false
 	start := 0
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
+		case '\\':
+			if quoted && i+1 < len(s) {
+				i++
+			}
 		case '"':
-			depth = !depth
+			quoted = !quoted
 		case sep:
-			if !depth {
+			if !quoted {
 				out = append(out, s[start:i])
 				start = i + 1
 			}
@@ -119,6 +125,10 @@ func indexTop(s string, sep byte) int {
 	quoted := false
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
+		case '\\':
+			if quoted && i+1 < len(s) {
+				i++
+			}
 		case '"':
 			quoted = !quoted
 		case sep:
@@ -134,10 +144,39 @@ func unquote(s string) (text string, quoted bool, err error) {
 	if !strings.HasPrefix(s, `"`) {
 		return s, false, nil
 	}
-	if len(s) < 2 || !strings.HasSuffix(s, `"`) {
-		return "", false, fmt.Errorf("unterminated quote in %q", s)
+	var b strings.Builder
+	for i := 1; i < len(s); {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", false, fmt.Errorf("dangling escape in %q", s)
+			}
+			if n := s[i+1]; n == '"' || n == '\\' {
+				b.WriteByte(n)
+			} else {
+				// Tolerate rule files written before escaping existed:
+				// a backslash before any other character is literal.
+				// The formatter always escapes backslashes, so its own
+				// output never takes this branch. The one legacy shape
+				// this cannot recover is a quoted value ENDING in a
+				// backslash (`"a\"`): the trailing `\"` is inherently
+				// ambiguous with an escaped quote, and such lines now
+				// fail to parse — rewrite them with `\\`.
+				b.WriteByte('\\')
+				b.WriteByte(n)
+			}
+			i += 2
+		case '"':
+			if i != len(s)-1 {
+				return "", false, fmt.Errorf("data after closing quote in %q", s)
+			}
+			return b.String(), true, nil
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
 	}
-	return s[1 : len(s)-1], true, nil
+	return "", false, fmt.Errorf("unterminated quote in %q", s)
 }
 
 // ParseSet reads a rule file: one ILFD per line, blank lines and
@@ -197,12 +236,14 @@ func formatConj(cs Conditions) string {
 	return strings.Join(parts, " & ")
 }
 
+var quoteEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`)
+
 func quoteIfNeeded(v value.Value) string {
 	s := v.String()
 	if v.Kind() == value.KindString &&
-		(strings.ContainsAny(s, `&="#`) || strings.TrimSpace(s) != s || s == "" ||
+		(strings.ContainsAny(s, `&="#\`) || strings.TrimSpace(s) != s || s == "" ||
 			strings.EqualFold(s, "null")) {
-		return `"` + s + `"`
+		return `"` + quoteEscaper.Replace(s) + `"`
 	}
 	return s
 }

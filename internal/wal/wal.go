@@ -1,0 +1,631 @@
+// Package wal is the hub's write-ahead log: the durability substrate
+// that lets `cmd/entityidd` survive a process crash with its global
+// entity clusters intact. Every committed hub mutation — source
+// registration, pair link, tuple insert — is appended as one
+// length-delimited, CRC-guarded NDJSON record with a monotonically
+// increasing sequence number, and recovery replays the log tail on top
+// of the latest snapshot.
+//
+// # Frame format
+//
+// A record occupies exactly one line:
+//
+//	w1 <seq> <crc32c-hex> <len> <payload>\n
+//
+// where seq is decimal, crc32c is the 8-hex-digit Castagnoli checksum
+// of the payload bytes, len is the decimal payload length, and the
+// payload is JSON (which never contains a raw newline). The redundant
+// length and checksum make torn tails detectable: a crashed writer
+// leaves at most one half-written final line, which fails the length or
+// CRC check, and recovery stops at the last good record instead of
+// propagating garbage.
+//
+// # Segments
+//
+// A Log is a directory of segment files named wal-<firstseq>.log.
+// Appends go to the newest segment; Rotate starts a fresh segment so a
+// snapshot at watermark W can later delete every segment whose records
+// are all ≤ W (RemoveThrough) without copying the live tail. Sequence
+// numbers are contiguous across segments, so replay detects lost
+// records as sequence jumps.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"syscall"
+)
+
+const (
+	magic = "w1"
+	// maxPayload bounds a single record; a declared length beyond it is
+	// treated as corruption rather than an allocation request. It must
+	// accommodate the two jumbo record shapes — an AddSource seed
+	// relation and a whole-hub snapshot frame — not just per-insert
+	// records; hubs whose state outgrows it need the chunked/incremental
+	// snapshot encoding tracked in the roadmap.
+	maxPayload = 256 << 20
+
+	segPrefix = "wal-"
+	segSuffix = ".log"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one decoded log entry.
+type Record struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// CorruptError reports a damaged log region: everything before Offset
+// decoded cleanly, nothing after it is trusted.
+type CorruptError struct {
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt record at offset %d: %s", e.Offset, e.Reason)
+}
+
+// EncodeRecord frames a payload. It fails on oversized payloads and on
+// payloads containing a raw newline (JSON encoders never emit one).
+func EncodeRecord(seq uint64, payload []byte) ([]byte, error) {
+	if len(payload) > maxPayload {
+		return nil, fmt.Errorf("wal: payload of %d bytes exceeds the %d-byte record limit", len(payload), maxPayload)
+	}
+	if bytes.IndexByte(payload, '\n') >= 0 {
+		return nil, fmt.Errorf("wal: payload contains a raw newline")
+	}
+	crc := crc32.Checksum(payload, castagnoli)
+	return fmt.Appendf(nil, "%s %d %08x %d %s\n", magic, seq, crc, len(payload), payload), nil
+}
+
+// DecodeRecord decodes data holding exactly one framed record (the
+// snapshot file reuses the WAL frame for its checksum).
+func DecodeRecord(data []byte) (Record, error) {
+	d := NewDecoder(bytes.NewReader(data))
+	rec, err := d.Next()
+	if err != nil {
+		return Record{}, err
+	}
+	if _, err := d.Next(); err != io.EOF {
+		return Record{}, fmt.Errorf("wal: trailing data after single-record frame")
+	}
+	return rec, nil
+}
+
+// Decoder reads framed records from a stream, verifying length, CRC and
+// sequence contiguity. Next returns io.EOF at a clean end and a
+// *CorruptError when the remaining bytes are not a valid record — the
+// caller keeps everything decoded so far (stop at the last good
+// record).
+type Decoder struct {
+	r    *bufio.Reader
+	off  int64 // end of the last good record
+	seq  uint64
+	have bool
+}
+
+// NewDecoder wraps a reader.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Offset returns the byte offset just past the last good record.
+func (d *Decoder) Offset() int64 { return d.off }
+
+// LastSeq returns the last good sequence number (0 if none yet).
+func (d *Decoder) LastSeq() uint64 { return d.seq }
+
+func (d *Decoder) corrupt(reason string) *CorruptError {
+	return &CorruptError{Offset: d.off, Reason: reason}
+}
+
+// Next decodes the next record.
+func (d *Decoder) Next() (Record, error) {
+	line, err := d.r.ReadBytes('\n')
+	if err == io.EOF {
+		if len(line) == 0 {
+			return Record{}, io.EOF
+		}
+		return Record{}, d.corrupt("truncated record (no trailing newline)")
+	}
+	if err != nil {
+		return Record{}, err
+	}
+	rec, perr := parseFrame(line[:len(line)-1])
+	if perr != "" {
+		return Record{}, d.corrupt(perr)
+	}
+	if d.have && rec.Seq != d.seq+1 {
+		return Record{}, d.corrupt(fmt.Sprintf("sequence jump: %d after %d", rec.Seq, d.seq))
+	}
+	d.have, d.seq = true, rec.Seq
+	d.off += int64(len(line))
+	return rec, nil
+}
+
+// parseFrame parses one line (without its newline); a non-empty return
+// string is the corruption reason.
+func parseFrame(line []byte) (Record, string) {
+	mg, rest, ok := bytes.Cut(line, []byte{' '})
+	if !ok || string(mg) != magic {
+		return Record{}, "bad magic"
+	}
+	seqF, rest, ok := bytes.Cut(rest, []byte{' '})
+	if !ok {
+		return Record{}, "missing checksum field"
+	}
+	seq, err := strconv.ParseUint(string(seqF), 10, 64)
+	if err != nil || seq == 0 {
+		return Record{}, "bad sequence number"
+	}
+	crcF, rest, ok := bytes.Cut(rest, []byte{' '})
+	if !ok || len(crcF) != 8 {
+		return Record{}, "bad checksum field"
+	}
+	wantCRC, err := strconv.ParseUint(string(crcF), 16, 32)
+	if err != nil {
+		return Record{}, "bad checksum field"
+	}
+	lenF, payload, ok := bytes.Cut(rest, []byte{' '})
+	n, err := strconv.ParseUint(string(lenF), 10, 63)
+	if err != nil || n > maxPayload {
+		return Record{}, "bad length field"
+	}
+	if n > 0 && !ok {
+		return Record{}, "missing payload"
+	}
+	if uint64(len(payload)) != n {
+		return Record{}, fmt.Sprintf("payload length %d, frame declares %d", len(payload), n)
+	}
+	if crc32.Checksum(payload, castagnoli) != uint32(wantCRC) {
+		return Record{}, "checksum mismatch"
+	}
+	// Only canonical frames are valid: a frame that parses but was not
+	// byte-for-byte produced by EncodeRecord (upper-case hex, leading
+	// zeros) is treated as corruption, so decoding and re-encoding is
+	// always the identity on accepted bytes.
+	canonical, err := EncodeRecord(seq, payload)
+	if err != nil || !bytes.Equal(canonical[:len(canonical)-1], line) {
+		return Record{}, "non-canonical frame"
+	}
+	return Record{Seq: seq, Payload: append([]byte(nil), payload...)}, ""
+}
+
+// ErrTornWrite is returned by Append after an injected torn write (see
+// InjectTornAppends); the log refuses further appends, exactly like a
+// process that died mid-write.
+var ErrTornWrite = fmt.Errorf("wal: injected torn write (log crashed)")
+
+// Log is a segmented on-disk record log. All methods are safe for
+// concurrent use; Replay must run before the first Append of a session.
+// A Log holds an exclusive flock on the directory for its lifetime, so
+// two writers can never interleave frames in one log.
+type Log struct {
+	mu     sync.Mutex
+	dir    string
+	f      *os.File // active segment
+	lock   *os.File // flock'd wal.lock
+	seq    uint64   // last durable sequence number
+	oldest uint64   // first sequence number still present in segments
+	off    int64    // byte length of the active segment's good prefix
+	damage *CorruptError
+	closed bool
+	// fail is the sticky fatal error set when a failed append leaves
+	// the segment in a state that could not be rolled back; every later
+	// append returns it rather than stranding acknowledged records
+	// behind garbage bytes.
+	fail error
+	// torn is the test hook armed by InjectTornAppends: -1 disabled,
+	// n>=0 counts successful appends left before a torn failure, -2
+	// means the log already failed.
+	torn int
+}
+
+// lockDir takes the exclusive advisory lock. flock locks belong to the
+// open file description, so they exclude a second opener in the same
+// process as well as in another one, and the kernel releases them when
+// the process dies — a crashed writer never wedges its directory.
+func lockDir(dir string) (*os.File, error) {
+	lf, err := os.OpenFile(filepath.Join(dir, "wal.lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := syscall.Flock(int(lf.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lf.Close()
+		return nil, fmt.Errorf("wal: %s is locked by another live writer: %w", dir, err)
+	}
+	return lf, nil
+}
+
+func segName(first uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, first, segSuffix)
+}
+
+// parseSegName extracts the first-sequence ordinal from a segment file
+// name.
+func parseSegName(name string) (uint64, bool) {
+	if len(name) != len(segPrefix)+20+len(segSuffix) ||
+		name[:len(segPrefix)] != segPrefix || name[len(name)-len(segSuffix):] != segSuffix {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(segPrefix):len(name)-len(segSuffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// segments lists the segment first-sequence ordinals in dir, sorted.
+func segments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var firsts []uint64
+	for _, e := range ents {
+		if first, ok := parseSegName(e.Name()); ok {
+			firsts = append(firsts, first)
+		}
+	}
+	sort.Slice(firsts, func(a, b int) bool { return firsts[a] < firsts[b] })
+	return firsts, nil
+}
+
+// Open opens (creating if necessary) the log in dir. It scans the
+// segments in order, verifying every record; on the first sign of
+// damage it truncates that segment to its last good record, renames any
+// later segments out of the way (suffix ".dead" — unreachable records
+// are preserved for forensics, never silently deleted), and records the
+// damage for Damage(). The writer resumes after the last good record.
+func Open(dir string) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, lock: lock, torn: -1}
+	firsts, err := segments(dir)
+	if err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			lock.Close()
+		}
+	}()
+	active := uint64(1)
+	var truncateTo int64 = -1
+	for i, first := range firsts {
+		// Only the FIRST remaining segment pins the sequence floor via
+		// its name (its predecessors were legitimately truncated away by
+		// a snapshot). A later segment that does not continue the
+		// previous one's last sequence number means committed records
+		// were lost — that is damage, never silently absorbed.
+		if i == 0 {
+			if first > 0 && first-1 > l.seq {
+				l.seq = first - 1
+			}
+		} else if first != l.seq+1 {
+			l.damage = &CorruptError{Reason: fmt.Sprintf(
+				"%s: segment starts at sequence %d, expected %d (lost records)",
+				segName(first), first, l.seq+1)}
+			for _, later := range firsts[i:] {
+				dead := filepath.Join(dir, segName(later))
+				if err := os.Rename(dead, dead+".dead"); err != nil {
+					return nil, fmt.Errorf("wal: %w", err)
+				}
+			}
+			break
+		}
+		active = first
+		path := filepath.Join(dir, segName(first))
+		last, off, dmg, err := scanSegment(path, l.seq)
+		if err != nil {
+			return nil, err
+		}
+		l.seq = last
+		if dmg != nil {
+			l.damage = dmg
+			truncateTo = off
+			for _, later := range firsts[i+1:] {
+				dead := filepath.Join(dir, segName(later))
+				if err := os.Rename(dead, dead+".dead"); err != nil {
+					return nil, fmt.Errorf("wal: %w", err)
+				}
+			}
+			break
+		}
+	}
+	l.oldest = active
+	if len(firsts) > 0 {
+		l.oldest = firsts[0]
+	}
+	path := filepath.Join(dir, segName(active))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if truncateTo >= 0 {
+		if err := f.Truncate(truncateTo); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.off = fi.Size()
+	l.f = f
+	ok = true
+	return l, nil
+}
+
+// scanSegment decodes one segment. prevSeq is the last sequence number
+// of the preceding segment; a first record that does not continue it is
+// damage (lost records). It returns the last good seq, the byte offset
+// past the last good record, and any damage found.
+func scanSegment(path string, prevSeq uint64) (uint64, int64, *CorruptError, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	d := NewDecoder(f)
+	last := prevSeq
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			return last, d.Offset(), nil, nil
+		}
+		if ce, ok := err.(*CorruptError); ok {
+			ce.Reason = fmt.Sprintf("%s: %s", filepath.Base(path), ce.Reason)
+			return last, d.Offset(), ce, nil
+		}
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("wal: read %s: %w", path, err)
+		}
+		if rec.Seq != last+1 {
+			return last, d.Offset(), &CorruptError{Offset: d.Offset(),
+				Reason: fmt.Sprintf("%s: sequence jump: %d after %d", filepath.Base(path), rec.Seq, last)}, nil
+		}
+		last = rec.Seq
+	}
+}
+
+// Damage reports the torn/corrupt tail dropped during Open, if any.
+func (l *Log) Damage() *CorruptError {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.damage
+}
+
+// LastSeq returns the last durable sequence number.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// OldestSeq returns the first sequence number the log's segments can
+// still replay (the name of the oldest segment found at Open). A
+// recovery coordinator must check it against its snapshot watermark: a
+// floor beyond watermark+1 means records were lost with the segments
+// that held them.
+func (l *Log) OldestSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.oldest
+}
+
+// Replay streams every record with sequence number > after to fn, in
+// order, across all segments. Call it before the session's first
+// Append. A fn error aborts the replay and is returned.
+func (l *Log) Replay(after uint64, fn func(Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	firsts, err := segments(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for _, first := range firsts {
+		f, err := os.Open(filepath.Join(l.dir, segName(first)))
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		d := NewDecoder(f)
+		for {
+			rec, err := d.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("wal: replay %s: %w", segName(first), err)
+			}
+			if rec.Seq <= after {
+				continue
+			}
+			if err := fn(rec); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// Append frames the payload under the next sequence number and writes
+// it to the active segment. The record is durable in the file-system
+// cache when Append returns; call Sync to force it to stable storage.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: append to closed log")
+	}
+	if l.fail != nil {
+		return 0, l.fail
+	}
+	frame, err := EncodeRecord(l.seq+1, payload)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case l.torn == -2:
+		return 0, ErrTornWrite
+	case l.torn == 0:
+		// Simulate the process dying mid-write: half a frame reaches the
+		// file, the append is never acknowledged, and the log is dead.
+		l.f.Write(frame[:len(frame)/2])
+		l.torn = -2
+		return 0, ErrTornWrite
+	case l.torn > 0:
+		l.torn--
+	}
+	if n, err := l.f.Write(frame); err != nil {
+		// A short write (disk full, I/O error) may have landed partial
+		// frame bytes. Roll the segment back to the last good record so
+		// a later successful append cannot strand acknowledged records
+		// behind garbage that recovery would truncate away. If the
+		// rollback itself fails, the log is poisoned: all further
+		// appends are refused.
+		if n > 0 {
+			if terr := l.f.Truncate(l.off); terr != nil {
+				l.fail = fmt.Errorf("wal: append failed (%v) and rollback failed (%v): log is unusable", err, terr)
+				return 0, l.fail
+			}
+		}
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	l.off += int64(len(frame))
+	l.seq++
+	return l.seq, nil
+}
+
+// Rotate syncs and closes the active segment and starts a fresh one, so
+// the snapshot covering everything up to the returned watermark can
+// truncate the old segments. The watermark is the last sequence number
+// of the closed segment.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: rotate closed log")
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.seq+1)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.off = 0
+	return l.seq, nil
+}
+
+// RemoveThrough deletes every segment whose records all have sequence
+// numbers ≤ seq. The active segment is never removed.
+func (l *Log) RemoveThrough(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	firsts, err := segments(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	keep := 0
+	for i := 0; i+1 < len(firsts); i++ {
+		// Segment i ends where segment i+1 begins.
+		if firsts[i+1]-1 > seq {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(firsts[i]))); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		keep = i + 1
+	}
+	if len(firsts) > 0 {
+		l.oldest = firsts[keep]
+	}
+	return nil
+}
+
+// Sync forces the active segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the log and releases the directory lock.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.lock != nil {
+		defer l.lock.Close()
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// DropLock releases the directory lock while leaving the log handle
+// open — a test hook for crash harnesses, simulating what the kernel
+// does when a writer process dies: the lock vanishes, the torn state
+// stays. A new Open can then take over the directory; this handle must
+// not be used for further appends.
+func (l *Log) DropLock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.lock != nil {
+		l.lock.Close()
+		l.lock = nil
+	}
+}
+
+// InjectTornAppends is a test hook for crash harnesses: after n more
+// successful appends, the next append writes only a torn frame prefix
+// and fails with ErrTornWrite, and the log refuses all further appends
+// — the observable behaviour of a process killed mid-write.
+func (l *Log) InjectTornAppends(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.torn = n
+}

@@ -1,0 +1,492 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// collect replays the whole log into memory.
+func collect(t *testing.T, l *Log, after uint64) []Record {
+	t.Helper()
+	var out []Record
+	if err := l.Replay(after, func(r Record) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 25; i++ {
+		p := fmt.Sprintf(`{"n":%d,"pad":"%s"}`, i, strings.Repeat("x", i*7))
+		seq, err := l.Append([]byte(p))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d: seq %d", i, seq)
+		}
+		want = append(want, p)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Damage() != nil {
+		t.Fatalf("unexpected damage: %v", l2.Damage())
+	}
+	if l2.LastSeq() != 25 {
+		t.Fatalf("LastSeq = %d, want 25", l2.LastSeq())
+	}
+	recs := collect(t, l2, 0)
+	if len(recs) != 25 {
+		t.Fatalf("replayed %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) || string(r.Payload) != want[i] {
+			t.Fatalf("record %d: seq %d payload %q", i, r.Seq, r.Payload)
+		}
+	}
+	// Replay after a watermark skips the covered prefix.
+	tail := collect(t, l2, 20)
+	if len(tail) != 5 || tail[0].Seq != 21 {
+		t.Fatalf("tail replay: %d records, first seq %d", len(tail), tail[0].Seq)
+	}
+	// Appends continue the sequence.
+	seq, err := l2.Append([]byte(`{"more":true}`))
+	if err != nil || seq != 26 {
+		t.Fatalf("append after reopen: seq %d err %v", seq, err)
+	}
+}
+
+func TestRotateAndRemoveThrough(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf(`{"n":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wm, err := l.Rotate()
+	if err != nil || wm != 10 {
+		t.Fatalf("rotate: wm %d err %v", wm, err)
+	}
+	for i := 10; i < 15; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf(`{"n":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(collect(t, l, 0)); n != 15 {
+		t.Fatalf("replay across segments: %d records", n)
+	}
+	if err := l.RemoveThrough(wm); err != nil {
+		t.Fatal(err)
+	}
+	// The first segment is gone; the tail survives.
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); !os.IsNotExist(err) {
+		t.Fatalf("segment 1 not removed: %v", err)
+	}
+	recs := collect(t, l, wm)
+	if len(recs) != 5 || recs[0].Seq != 11 {
+		t.Fatalf("post-truncation replay: %d records, first %d", len(recs), recs[0].Seq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen after truncation: the sequence floor comes from the segment
+	// name even though earlier records are gone.
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != 15 {
+		t.Fatalf("LastSeq after truncation = %d, want 15", l2.LastSeq())
+	}
+}
+
+func TestEmptyRotatedSegmentKeepsSequenceFloor(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append([]byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RemoveThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the empty rotated segment remains; a fresh Open must not
+	// restart sequence numbers below the truncated history.
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != 4 {
+		t.Fatalf("LastSeq = %d, want 4", l2.LastSeq())
+	}
+	if seq, err := l2.Append([]byte(`{}`)); err != nil || seq != 5 {
+		t.Fatalf("append: seq %d err %v", seq, err)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf(`{"n":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn final write: append half a frame.
+	path := filepath.Join(dir, segName(1))
+	frame, err := EncodeRecord(9, []byte(`{"n":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(frame[:len(frame)/2])
+	f.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Damage() == nil {
+		t.Fatal("torn tail not reported")
+	}
+	if l2.LastSeq() != 8 {
+		t.Fatalf("LastSeq = %d, want 8 (stop at last good record)", l2.LastSeq())
+	}
+	if n := len(collect(t, l2, 0)); n != 8 {
+		t.Fatalf("replay: %d records", n)
+	}
+	// The torn bytes are gone; appends continue cleanly.
+	if seq, err := l2.Append([]byte(`{"n":"recovered"}`)); err != nil || seq != 9 {
+		t.Fatalf("append after truncation: seq %d err %v", seq, err)
+	}
+}
+
+func TestCorruptMiddleStopsAtLastGoodRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf(`{"n":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i < 9; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf(`{"n":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside record 4 of the first segment.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	target := lines[3]
+	target[len(target)-3] ^= 0xff
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Damage() == nil {
+		t.Fatal("corruption not reported")
+	}
+	// Recovery stops at the last good record (seq 3); the unreachable
+	// later segment is preserved as .dead, not replayed.
+	if l2.LastSeq() != 3 {
+		t.Fatalf("LastSeq = %d, want 3", l2.LastSeq())
+	}
+	if n := len(collect(t, l2, 0)); n != 3 {
+		t.Fatalf("replay: %d records", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(7)+".dead")); err != nil {
+		t.Fatalf("later segment not preserved as .dead: %v", err)
+	}
+	if seq, err := l2.Append([]byte(`{}`)); err != nil || seq != 4 {
+		t.Fatalf("append: seq %d err %v", seq, err)
+	}
+}
+
+func TestInjectTornAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.InjectTornAppends(3)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte(`{"ok":true}`)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if _, err := l.Append([]byte(`{"doomed":true}`)); err != ErrTornWrite {
+		t.Fatalf("torn append: %v", err)
+	}
+	if _, err := l.Append([]byte(`{"after":true}`)); err != ErrTornWrite {
+		t.Fatalf("post-torn append: %v", err)
+	}
+	// The dead writer's directory lock evaporates with the "process".
+	l.DropLock()
+	// Reopen: the half-frame is dropped, the three good records survive.
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Damage() == nil {
+		t.Fatal("torn write left no detectable damage")
+	}
+	if l2.LastSeq() != 3 {
+		t.Fatalf("LastSeq = %d, want 3", l2.LastSeq())
+	}
+}
+
+func TestEncodeRecordRejectsNewlinePayload(t *testing.T) {
+	if _, err := EncodeRecord(1, []byte("a\nb")); err == nil {
+		t.Fatal("newline payload accepted")
+	}
+}
+
+func TestDecoderDetectsSequenceJump(t *testing.T) {
+	var buf bytes.Buffer
+	for _, seq := range []uint64{1, 2, 5} {
+		frame, err := EncodeRecord(seq, []byte(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame)
+	}
+	d := NewDecoder(&buf)
+	for i := 0; i < 2; i++ {
+		if _, err := d.Next(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if _, err := d.Next(); err == nil {
+		t.Fatal("sequence jump accepted")
+	} else if _, ok := err.(*CorruptError); !ok {
+		t.Fatalf("sequence jump error type: %v", err)
+	}
+}
+
+func TestDecodeRecordSingleFrame(t *testing.T) {
+	frame, err := EncodeRecord(42, []byte(`{"snapshot":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := DecodeRecord(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 42 || string(rec.Payload) != `{"snapshot":true}` {
+		t.Fatalf("round trip: %+v", rec)
+	}
+	if _, err := DecodeRecord(append(frame, frame...)); err == nil {
+		t.Fatal("two frames accepted as one")
+	}
+	if _, err := DecodeRecord(frame[:len(frame)-2]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	flipped := append([]byte(nil), frame...)
+	flipped[len(flipped)-2] ^= 1
+	if _, err := DecodeRecord(flipped); err == nil {
+		t.Fatal("corrupt frame accepted")
+	}
+}
+
+func TestReplayEmptyAndMissingDir(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(filepath.Join(dir, "nested", "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if n := len(collect(t, l, 0)); n != 0 {
+		t.Fatalf("fresh log replayed %d records", n)
+	}
+	if l.LastSeq() != 0 {
+		t.Fatalf("fresh LastSeq = %d", l.LastSeq())
+	}
+}
+
+func TestReplayCallbackErrorAborts(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := fmt.Errorf("boom")
+	n := 0
+	err = l.Replay(0, func(Record) error {
+		n++
+		if n == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom || n != 2 {
+		t.Fatalf("abort: err %v after %d records", err, n)
+	}
+}
+
+func TestDecoderCleanEOF(t *testing.T) {
+	d := NewDecoder(bytes.NewReader(nil))
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("empty stream: %v", err)
+	}
+}
+
+func TestLostSegmentTailIsDamageNotSilence(t *testing.T) {
+	// A middle segment truncated at a record boundary leaves no CRC
+	// damage inside any file — only the cross-segment sequence gap
+	// betrays the lost records. Recovery must stop at the last good
+	// record and report damage, never replay around the hole.
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf(`{"n":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 6; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf(`{"n":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Drop record 3 (the last of segment 1) at an exact frame boundary.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if err := os.WriteFile(path, bytes.Join(lines[:2], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Damage() == nil {
+		t.Fatal("cross-segment sequence gap not reported as damage")
+	}
+	if l2.LastSeq() != 2 {
+		t.Fatalf("LastSeq = %d, want 2 (stop at last good record)", l2.LastSeq())
+	}
+	recs := collect(t, l2, 0)
+	if len(recs) != 2 || recs[len(recs)-1].Seq != 2 {
+		t.Fatalf("replayed %d records, last seq %d", len(recs), recs[len(recs)-1].Seq)
+	}
+	// The unreachable later segment is preserved, not replayed.
+	if _, err := os.Stat(filepath.Join(dir, segName(4)+".dead")); err != nil {
+		t.Fatalf("later segment not preserved as .dead: %v", err)
+	}
+	// Appends continue from the last good record.
+	if seq, err := l2.Append([]byte(`{}`)); err != nil || seq != 3 {
+		t.Fatalf("append: seq %d err %v", seq, err)
+	}
+}
+
+func TestDirectoryLockExcludesSecondWriter(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("second writer acquired a locked directory")
+	}
+	// Close releases the lock; DropLock simulates a writer death.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	l2.DropLock()
+	l3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after dropped lock: %v", err)
+	}
+	if err := l3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
