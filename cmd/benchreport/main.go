@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -117,6 +118,18 @@ type benchRecord struct {
 	ReplayRecords    int     `json:"replay_records"`
 	ReplayNS         int64   `json:"replay_ns"`
 	ReplayRecsPerSec float64 `json:"replay_recs_per_sec"`
+
+	// Chunked snapshots (PR 4): bytes a snapshot writes when the whole
+	// hub changed vs when ~1% of one source changed (unchanged sections
+	// carry forward by reference), and recovery wall time from the
+	// chunked snapshot (sections decoded in parallel) vs the PR 3
+	// single-frame encoding of the same state.
+	SnapFullBytes      int64   `json:"snap_full_bytes"`
+	SnapIncrBytes      int64   `json:"snap_incr_bytes"`
+	SnapIncrRatio      float64 `json:"snap_incr_ratio"`
+	SnapSectionsReused int     `json:"snap_sections_reused"`
+	RecoverChunkedNS   int64   `json:"recover_chunked_ns"`
+	RecoverV1FrameNS   int64   `json:"recover_v1_frame_ns"`
 }
 
 // runBenchJSON times matching-table construction and the full Figure 3
@@ -277,6 +290,87 @@ func runBenchJSON(path string, w io.Writer) int {
 	}
 	rec.ReplayRecsPerSec = float64(rec.ReplayRecords) / (float64(rec.ReplayNS) / 1e9)
 
+	// Chunked snapshots: write a full snapshot, mutate ~1% of one
+	// source, write an incremental one, and compare the bytes each put
+	// on disk; then time recovery from the chunked snapshot against the
+	// single-frame (PR 3) encoding of the same state.
+	sh, _, err := hub.Open(walDir, hub.Options{})
+	if err != nil {
+		fmt.Fprintf(w, "benchjson: snapshot hub: %v\n", err)
+		return 1
+	}
+	if err := sh.SnapshotNow(); err != nil {
+		fmt.Fprintf(w, "benchjson: full snapshot: %v\n", err)
+		return 1
+	}
+	full := sh.LastSnapshot()
+	rec.SnapFullBytes = full.BytesWritten
+	onePct := datagen.MustMultiGenerate(datagen.MultiConfig{
+		Sources: 1, Entities: rec.HubTuples / 100, PresenceFrac: 1, Seed: 2025,
+	})
+	changed := 0
+	for _, tup := range onePct.Relations[0].Tuples() {
+		if _, err := sh.Insert(mw.Names[0], tup.Clone()); err == nil {
+			changed++
+		}
+	}
+	if changed == 0 {
+		fmt.Fprintf(w, "benchjson: no incremental inserts landed\n")
+		return 1
+	}
+	if err := sh.SnapshotNow(); err != nil {
+		fmt.Fprintf(w, "benchjson: incremental snapshot: %v\n", err)
+		return 1
+	}
+	incr := sh.LastSnapshot()
+	rec.SnapIncrBytes = incr.BytesWritten
+	rec.SnapSectionsReused = incr.SectionsReused
+	rec.SnapIncrRatio = float64(rec.SnapIncrBytes) / float64(rec.SnapFullBytes)
+	v1Frame, err := sh.EncodeLegacySnapshot()
+	if err != nil {
+		fmt.Fprintf(w, "benchjson: legacy snapshot encode: %v\n", err)
+		return 1
+	}
+	v1Path := filepath.Join(walDir, "bench-v1-snapshot.ei")
+	if err := os.WriteFile(v1Path, v1Frame, 0o644); err != nil {
+		fmt.Fprintf(w, "benchjson: %v\n", err)
+		return 1
+	}
+	if err := sh.Close(); err != nil {
+		fmt.Fprintf(w, "benchjson: %v\n", err)
+		return 1
+	}
+	var snapErr error
+	rec.RecoverChunkedNS = best(3, func() {
+		rh, info, err := hub.Open(walDir, hub.Options{})
+		if err != nil {
+			snapErr = err
+			return
+		}
+		if !info.FromSnapshot {
+			snapErr = fmt.Errorf("chunked recovery ignored the snapshot")
+		}
+		if err := rh.Close(); err != nil && snapErr == nil {
+			snapErr = err
+		}
+	})
+	rec.RecoverV1FrameNS = best(3, func() {
+		f, err := os.Open(v1Path)
+		if err != nil {
+			snapErr = err
+			return
+		}
+		_, _, err = hub.LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			snapErr = err
+		}
+	})
+	if snapErr != nil {
+		fmt.Fprintf(w, "benchjson: snapshot recovery: %v\n", snapErr)
+		return 1
+	}
+
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fmt.Fprintf(w, "benchjson: %v\n", err)
@@ -287,8 +381,10 @@ func runBenchJSON(path string, w io.Writer) int {
 		fmt.Fprintf(w, "benchjson: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(w, "wrote %s: build %.1fx, counts %.1fx (engine vs naive, %d×%d grid, GOMAXPROCS=%d); hub ingest %.0f tuples/sec (%d sources); WAL replay %.0f records/sec (%d records)\n",
+	fmt.Fprintf(w, "wrote %s: build %.1fx, counts %.1fx (engine vs naive, %d×%d grid, GOMAXPROCS=%d); hub ingest %.0f tuples/sec (%d sources); WAL replay %.0f records/sec (%d records); snapshot 1%%-changed writes %.1f%% of full (%d of %d bytes, %d sections reused); chunked recovery %.1fms vs single-frame %.1fms\n",
 		path, rec.BuildSpeedup, rec.CountsSpeedup, rec.RTuples, rec.STuples, rec.GoMaxProcs,
-		rec.HubTuplesPerSec, rec.HubSources, rec.ReplayRecsPerSec, rec.ReplayRecords)
+		rec.HubTuplesPerSec, rec.HubSources, rec.ReplayRecsPerSec, rec.ReplayRecords,
+		100*rec.SnapIncrRatio, rec.SnapIncrBytes, rec.SnapFullBytes, rec.SnapSectionsReused,
+		float64(rec.RecoverChunkedNS)/1e6, float64(rec.RecoverV1FrameNS)/1e6)
 	return 0
 }

@@ -24,6 +24,13 @@
 // dropped. SIGINT/SIGTERM close the hub cleanly; a kill -9 merely
 // means the next start replays a longer log tail.
 //
+// Snapshots are chunked and incremental: the data directory holds a
+// manifest plus per-source section files, unchanged sections carry
+// forward untouched between snapshots, and hubs of any size snapshot
+// without hitting a single-record ceiling. Against power loss (where
+// the page cache itself is forfeit), -sync-every N additionally fsyncs
+// the log every N appends, batching each ingest batch into one sync.
+//
 // API (all bodies JSON; /v1/insert and /v1/clusters stream NDJSON):
 //
 //	POST /v1/sources   {"name":"zagat","attrs":[{"name":"name","kind":"string"},...],"key":["name","street"]}
@@ -67,6 +74,7 @@ func main() {
 		demo      = flag.Bool("demo", false, "run the 3-source walkthrough and exit")
 		dataDir   = flag.String("data-dir", "", "directory for the write-ahead log and snapshots (empty: in-memory only)")
 		snapEvery = flag.Int("snapshot-every", 1024, "committed inserts between background snapshots (0: only on shutdown)")
+		syncEvery = flag.Int("sync-every", 0, "fsync the write-ahead log every N appends, batching each ingest batch into one sync (0: leave durability between snapshots to the page cache)")
 	)
 	flag.Parse()
 	if *demo {
@@ -78,7 +86,7 @@ func main() {
 	hub := entityid.NewHub()
 	if *dataDir != "" {
 		var err error
-		hub, err = entityid.OpenHub(*dataDir, entityid.WithSnapshotEvery(*snapEvery))
+		hub, err = entityid.OpenHub(*dataDir, entityid.WithSnapshotEvery(*snapEvery), entityid.WithSyncEvery(*syncEvery))
 		if err != nil {
 			log.Fatalf("entityidd: %v", err)
 		}

@@ -148,6 +148,7 @@ type HubOption func(*hubOptions)
 
 type hubOptions struct {
 	snapshotEvery int
+	syncEvery     int
 }
 
 // WithSnapshotEvery sets how many committed inserts elapse between
@@ -156,6 +157,18 @@ type hubOptions struct {
 // Checkpoint is called. The default is 1024.
 func WithSnapshotEvery(n int) HubOption {
 	return func(o *hubOptions) { o.snapshotEvery = n }
+}
+
+// WithSyncEvery opts into the group-commit fsync policy: the
+// write-ahead log is forced to stable storage after every n appends,
+// and IngestBatch flushes each batch with one final sync. This bounds
+// what a power-loss crash can take to the last n acknowledged
+// mutations, at the cost of an fsync on every n-th commit. 0 (the
+// default) leaves durability between snapshots to the OS page cache —
+// the right trade when the crash model is process death, not power
+// loss.
+func WithSyncEvery(n int) HubOption {
+	return func(o *hubOptions) { o.syncEvery = n }
 }
 
 // OpenHub opens (or creates) a durable hub rooted at dir. Every
@@ -171,7 +184,7 @@ func OpenHub(dir string, opts ...HubOption) (*Hub, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	inner, info, err := hub.Open(dir, hub.Options{SnapshotEvery: o.snapshotEvery})
+	inner, info, err := hub.Open(dir, hub.Options{SnapshotEvery: o.snapshotEvery, SyncEvery: o.syncEvery})
 	if err != nil {
 		return nil, err
 	}

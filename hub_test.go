@@ -204,3 +204,44 @@ func TestHubDurability(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHubSyncEveryOption exercises the public group-commit knob: a hub
+// opened WithSyncEvery keeps working across restart, and IngestBatch
+// lands a whole batch durably.
+func TestHubSyncEveryOption(t *testing.T) {
+	dir := t.TempDir()
+	h, err := entityid.OpenHub(dir, entityid.WithSnapshotEvery(0), entityid.WithSyncEvery(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubSource(t, h, "r", []string{"name", "street"}, "name")
+	hubSource(t, h, "s", []string{"name", "city"}, "name")
+	if err := h.Link(entityid.NewPair("r", "s").
+		MapAttr("name", "name", "name").
+		MapAttr("street", "street", "").
+		MapAttr("city", "", "city").
+		SetExtendedKey("name")); err != nil {
+		t.Fatal(err)
+	}
+	items := []entityid.HubInsert{
+		{Source: "r", Tuple: entityid.Tuple{entityid.String("a"), entityid.String("s1")}},
+		{Source: "r", Tuple: entityid.Tuple{entityid.String("b"), entityid.String("s2")}},
+		{Source: "s", Tuple: entityid.Tuple{entityid.String("c"), entityid.String("mpls")}},
+	}
+	for _, res := range h.IngestBatch(items, 2) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := entityid.OpenHub(dir, entityid.WithSnapshotEvery(0), entityid.WithSyncEvery(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if st := h2.Stats(); st.Tuples != 3 {
+		t.Fatalf("recovered %d tuples, want 3", st.Tuples)
+	}
+}

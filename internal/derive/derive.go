@@ -153,9 +153,15 @@ func (e *Extender) ExtendTuple(extSch *schema.Schema, ext relation.Tuple) ([]Con
 }
 
 // ilfdIndex is a discrimination index over an ILFD set: rules grouped
-// by their first (canonically smallest) antecedent condition, so a
-// tuple only examines rules whose leading condition its current values
-// could satisfy. Rules with empty antecedents are always candidates.
+// by their canonically smallest antecedent condition, so a tuple only
+// examines rules whose indexed condition its current values could
+// satisfy (a rule fires only when its whole antecedent holds, so any
+// one condition is a sound index key; the smallest is chosen so the
+// keying does not depend on how the caller ordered the antecedent).
+// ilfd.New normalizes antecedents into sorted order, but ILFD values
+// can be constructed as raw literals, so the minimum is computed here
+// rather than assumed at position 0. Rules with empty antecedents are
+// always candidates.
 type ilfdIndex struct {
 	byCond map[string][]int
 	always []int
@@ -169,14 +175,20 @@ func indexILFDs(fs ilfd.Set) *ilfdIndex {
 			continue
 		}
 		k := f.Antecedent[0].Key()
+		for _, c := range f.Antecedent[1:] {
+			if ck := c.Key(); ck < k {
+				k = ck
+			}
+		}
 		ix.byCond[k] = append(ix.byCond[k], i)
 	}
 	return ix
 }
 
 // candidates returns, in ascending rule order, the indexes of rules
-// whose leading antecedent condition holds in ext (plus the
-// empty-antecedent rules). scratch is reused across calls.
+// whose indexed (canonically smallest) antecedent condition holds in
+// ext (plus the empty-antecedent rules). scratch is reused across
+// calls.
 func (ix *ilfdIndex) candidates(rel *relation.Relation, ext relation.Tuple, scratch []int) []int {
 	out := scratch[:0]
 	out = append(out, ix.always...)
@@ -193,8 +205,14 @@ func (ix *ilfdIndex) candidates(rel *relation.Relation, ext relation.Tuple, scra
 }
 
 // deriveTuple fills derivable NULL attributes of ext in place. Only
-// rules surfaced by the discrimination index are examined each round;
-// the index preserves rule order, so cut semantics are unchanged.
+// rules surfaced by the discrimination index are examined each round,
+// and the pruned pass is exactly equivalent to an unindexed in-order
+// pass: when a firing changes ext, the candidate list is refreshed and
+// iteration resumes just past the fired rule, so rules a mid-round
+// derivation enables fire at the same position — and under the same
+// cut state — as they would without pruning. (Rules earlier than the
+// firing one wait for the next round in both disciplines: the pass
+// already moved past them.)
 func deriveTuple(rel *relation.Relation, ext relation.Tuple, idx int, fs ilfd.Set, ix *ilfdIndex, opts Options) ([]Conflict, error) {
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
@@ -202,74 +220,85 @@ func deriveTuple(rel *relation.Relation, ext relation.Tuple, idx int, fs ilfd.Se
 	}
 	var conflicts []Conflict
 	var scratch []int
+	// runRound makes one in-order pass, applying fire(fi) to each
+	// candidate rule whose antecedent holds; a true return from fire
+	// means ext changed, triggering the refresh-and-resume.
+	runRound := func(fire func(fi int) bool) bool {
+		changed := false
+		scratch = ix.candidates(rel, ext, scratch)
+		k := 0
+		for k < len(scratch) {
+			fi := scratch[k]
+			if fs[fi].Antecedent.HoldIn(rel, ext) && fire(fi) {
+				changed = true
+				scratch = ix.candidates(rel, ext, scratch)
+				k = sort.SearchInts(scratch, fi+1)
+				continue
+			}
+			k++
+		}
+		return changed
+	}
 	switch opts.Mode {
 	case FirstMatch:
 		// A cut per (attribute): once a rule has set an attribute, later
 		// rules never touch it. Chaining still happens across rounds
 		// because newly set attributes can satisfy other antecedents.
 		cut := map[string]bool{}
-		for round := 0; round < maxRounds; round++ {
+		fire := func(fi int) bool {
 			changed := false
-			scratch = ix.candidates(rel, ext, scratch)
-			for _, fi := range scratch {
-				f := fs[fi]
-				if !f.Antecedent.HoldIn(rel, ext) {
+			for _, c := range fs[fi].Consequent {
+				i := rel.Schema().Index(c.Attr)
+				if i < 0 || cut[c.Attr] {
 					continue
 				}
-				for _, c := range f.Consequent {
-					i := rel.Schema().Index(c.Attr)
-					if i < 0 || cut[c.Attr] {
-						continue
-					}
-					if !ext[i].IsNull() {
-						// Source value present: the prototype's rule order
-						// places facts before ILFDs, so facts win; cut the
-						// attribute so no ILFD overrides it.
-						cut[c.Attr] = true
-						continue
-					}
-					ext[i] = c.Val
+				if !ext[i].IsNull() {
+					// Source value present: the prototype's rule order
+					// places facts before ILFDs, so facts win; cut the
+					// attribute so no ILFD overrides it.
 					cut[c.Attr] = true
-					changed = true
+					continue
 				}
+				ext[i] = c.Val
+				cut[c.Attr] = true
+				changed = true
 			}
-			if !changed {
+			return changed
+		}
+		for round := 0; round < maxRounds; round++ {
+			if !runRound(fire) {
 				break
 			}
 		}
 	case Fixpoint:
 		seen := map[string]bool{}
-		for round := 0; round < maxRounds; round++ {
+		fire := func(fi int) bool {
 			changed := false
-			scratch = ix.candidates(rel, ext, scratch)
-			for _, fi := range scratch {
-				f := fs[fi]
-				if !f.Antecedent.HoldIn(rel, ext) {
+			for _, c := range fs[fi].Consequent {
+				i := rel.Schema().Index(c.Attr)
+				if i < 0 {
 					continue
 				}
-				for _, c := range f.Consequent {
-					i := rel.Schema().Index(c.Attr)
-					if i < 0 {
-						continue
-					}
-					cur := ext[i]
-					if cur.IsNull() {
-						ext[i] = c.Val
-						changed = true
-						continue
-					}
-					if !value.Equal(cur, c.Val) {
-						k := c.Attr + "\x1f" + cur.Key() + "\x1f" + c.Val.Key()
-						if !seen[k] {
-							seen[k] = true
-							conflicts = append(conflicts, Conflict{
-								TupleIndex: idx, Attr: c.Attr, Old: cur, New: c.Val,
-							})
-						}
+				cur := ext[i]
+				if cur.IsNull() {
+					ext[i] = c.Val
+					changed = true
+					continue
+				}
+				if !value.Equal(cur, c.Val) {
+					k := c.Attr + "\x1f" + cur.Key() + "\x1f" + c.Val.Key()
+					if !seen[k] {
+						seen[k] = true
+						conflicts = append(conflicts, Conflict{
+							TupleIndex: idx, Attr: c.Attr, Old: cur, New: c.Val,
+						})
 					}
 				}
 			}
-			if !changed {
+			return changed
+		}
+		for round := 0; round < maxRounds; round++ {
+			if !runRound(fire) {
 				break
 			}
 		}

@@ -180,3 +180,99 @@ func TestExtendTupleArityCheck(t *testing.T) {
 }
 
 var _ = fmt.Sprintf // reserved for debugging helpers
+
+// TestIndexedCandidatesMatchUnindexed pins the discrimination index
+// against an unindexed reference: for ILFD sets whose antecedents are
+// deliberately NOT in canonical order (raw struct literals bypass
+// ilfd.New's normalization), the index must surface exactly the rules
+// whose canonically smallest antecedent condition holds in the tuple
+// (plus empty-antecedent rules), and Extend must produce the same
+// relation with and without pruning, in both modes.
+func TestIndexedCandidatesMatchUnindexed(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		r, fs, extra := randWorld(rng)
+		// Scramble every antecedent (and add a two-condition rule) so
+		// position 0 is often NOT the canonically smallest condition.
+		scrambled := make(ilfd.Set, 0, len(fs)+1)
+		for _, f := range fs {
+			g := ilfd.ILFD{
+				Antecedent: append(ilfd.Conditions(nil), f.Antecedent...),
+				Consequent: f.Consequent,
+			}
+			rng.Shuffle(len(g.Antecedent), func(i, j int) {
+				g.Antecedent[i], g.Antecedent[j] = g.Antecedent[j], g.Antecedent[i]
+			})
+			scrambled = append(scrambled, g)
+		}
+		scrambled = append(scrambled, ilfd.ILFD{
+			// Unsorted literal: "b" sorts before "x0..", so index key
+			// must be the b-condition, not Antecedent[0].
+			Antecedent: ilfd.Conditions{ilfd.C("x", "x0"), ilfd.C("b", "1")},
+			Consequent: ilfd.Conditions{ilfd.C("y", "yb")},
+		})
+
+		// Candidate sets: the index vs a brute-force reference.
+		ix := indexILFDs(scrambled)
+		extSch, err := r.Schema().Extend("T'", extra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch := relation.New(extSch)
+		for ti := 0; ti < r.Len(); ti++ {
+			ext := make(relation.Tuple, extSch.Arity())
+			copy(ext, r.Tuple(ti))
+			for i := r.Schema().Arity(); i < extSch.Arity(); i++ {
+				ext[i] = value.Null
+			}
+			got := ix.candidates(scratch, ext, nil)
+			var want []int
+			for fi, f := range scrambled {
+				if len(f.Antecedent) == 0 {
+					want = append(want, fi)
+					continue
+				}
+				min := f.Antecedent[0]
+				for _, c := range f.Antecedent[1:] {
+					if c.Key() < min.Key() {
+						min = c
+					}
+				}
+				j := extSch.Index(min.Attr)
+				if j >= 0 && !ext[j].IsNull() && value.Equal(ext[j], min.Val) {
+					want = append(want, fi)
+				}
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("trial %d tuple %d: indexed candidates %v, unindexed reference %v", trial, ti, got, want)
+			}
+		}
+
+		// End-to-end: pruned and unpruned derivation agree bit-for-bit.
+		unpruned := &ilfdIndex{}
+		for fi := range scrambled {
+			unpruned.always = append(unpruned.always, fi)
+		}
+		for _, mode := range []Mode{FirstMatch, Fixpoint} {
+			e := NewExtender(scrambled, Options{Mode: mode})
+			indexed, _, err := e.Extend(r, "T'", extra)
+			if err != nil {
+				t.Fatalf("trial %d mode %v indexed: %v", trial, mode, err)
+			}
+			ref := &Extender{fs: scrambled, ix: unpruned, opts: Options{Mode: mode}}
+			plain, _, err := ref.Extend(r, "T'", extra)
+			if err != nil {
+				t.Fatalf("trial %d mode %v unindexed: %v", trial, mode, err)
+			}
+			if indexed.Len() != plain.Len() {
+				t.Fatalf("trial %d mode %v: %d vs %d tuples", trial, mode, indexed.Len(), plain.Len())
+			}
+			for i := 0; i < indexed.Len(); i++ {
+				if !indexed.Tuple(i).Identical(plain.Tuple(i)) {
+					t.Fatalf("trial %d mode %v tuple %d: indexed %v, unindexed %v",
+						trial, mode, i, indexed.Tuple(i), plain.Tuple(i))
+				}
+			}
+		}
+	}
+}

@@ -538,13 +538,28 @@ type State struct {
 // sortedPairs returns a (RIndex, SIndex)-sorted copy.
 func sortedPairs(ps []match.Pair) []match.Pair {
 	out := append([]match.Pair(nil), ps...)
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].RIndex != out[b].RIndex {
-			return out[a].RIndex < out[b].RIndex
-		}
-		return out[a].SIndex < out[b].SIndex
-	})
+	SortPairs(out)
 	return out
+}
+
+// PairsPrefix returns a copy of the first n matching pairs in commit
+// order. The matching table is append-only under the hub's commit lock,
+// so a (length, prefix) pair taken at a consistent cut reproduces the
+// table exactly as it stood at that cut — the basis of per-section
+// snapshot capture under briefly-held locks.
+func (f *Federation) PairsPrefix(n int) []match.Pair {
+	return append([]match.Pair(nil), f.res.MT.Pairs[:n]...)
+}
+
+// SortPairs sorts a pair slice into the canonical (RIndex, SIndex)
+// order snapshots store.
+func SortPairs(ps []match.Pair) {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].RIndex != ps[b].RIndex {
+			return ps[a].RIndex < ps[b].RIndex
+		}
+		return ps[a].SIndex < ps[b].SIndex
+	})
 }
 
 // Export captures the federation's mutable state for a snapshot.

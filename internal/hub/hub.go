@@ -101,6 +101,10 @@ type Hub struct {
 	// a crash can lose an unacknowledged insert but never resurrect a
 	// rejected one or tear a committed one.
 	per *walLogger
+	// snapChunkBytes overrides the snapshot chunk payload budget
+	// (0 means wal.DefaultChunkPayload); set by Open from Options and by
+	// tests exercising the multi-chunk paths at small scale.
+	snapChunkBytes int
 }
 
 // New creates an empty hub.
@@ -139,6 +143,35 @@ func (h *Hub) AddSource(name string, rel *relation.Relation) error {
 	return nil
 }
 
+// addSourceOwned registers a source taking ownership of rel — no clone,
+// no write-ahead logging. It is the loader/replay path: the relation
+// was just built from persisted records, so cloning it would only
+// re-buffer state that already lives nowhere else (the triple-buffered
+// load spike this avoids), and logging it would re-log a record being
+// replayed.
+func (h *Hub) addSourceOwned(name string, rel *relation.Relation) error {
+	if name == "" {
+		return fmt.Errorf("hub: empty source name")
+	}
+	if rel == nil {
+		return fmt.Errorf("hub: source %q: nil relation", name)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.byName[name]; dup {
+		return fmt.Errorf("hub: source %q already registered", name)
+	}
+	id := len(h.sources)
+	h.sources = append(h.sources, &sourceState{
+		id:     id,
+		name:   name,
+		rel:    rel,
+		attrOf: map[string]string{},
+	})
+	h.byName[name] = id
+	return nil
+}
+
 // Link registers the identification link between two sources and
 // builds its pairwise federation from the sources' current contents.
 // The initial matching table must verify pairwise (federate.New fails
@@ -155,41 +188,12 @@ func (h *Hub) Link(spec PairSpec) error {
 // verifies the rebuilt matching table against the saved one. Callers
 // hold h.mu exclusively.
 func (h *Hub) linkLocked(spec PairSpec, restore *federate.State) error {
-	li, ok := h.byName[spec.Left]
-	if !ok {
-		return fmt.Errorf("hub: link: unknown source %q", spec.Left)
-	}
-	ri, ok := h.byName[spec.Right]
-	if !ok {
-		return fmt.Errorf("hub: link: unknown source %q", spec.Right)
-	}
-	if li == ri {
-		return fmt.Errorf("hub: link: source %q linked to itself", spec.Left)
-	}
-	for _, p := range h.pairs {
-		if (p.left == li && p.right == ri) || (p.left == ri && p.right == li) {
-			return fmt.Errorf("hub: link: sources %q and %q already linked", spec.Left, spec.Right)
-		}
-	}
-	// The merged view needs a consistent integrated-name -> source-attr
-	// mapping across all links of a source; validate before mutating.
-	left, right := h.sources[li], h.sources[ri]
-	if err := checkAttrNames(left, right, spec.Attrs); err != nil {
+	li, ri, err := h.resolveLinkLocked(spec)
+	if err != nil {
 		return err
 	}
-	cfg := match.Config{
-		R:            left.rel,
-		S:            right.rel,
-		Attrs:        spec.Attrs,
-		ExtKey:       spec.ExtKey,
-		ILFDs:        spec.ILFDs,
-		Identity:     spec.Identity,
-		Distinct:     spec.Distinct,
-		DeriveMode:   spec.DeriveMode,
-		DisableProp1: spec.DisableProp1,
-	}
+	cfg := h.matchConfig(li, ri, spec)
 	var fed *federate.Federation
-	var err error
 	if restore != nil {
 		fed, err = federate.Restore(cfg, *restore)
 	} else {
@@ -198,6 +202,72 @@ func (h *Hub) linkLocked(spec PairSpec, restore *federate.State) error {
 	if err != nil {
 		return fmt.Errorf("hub: link %q-%q: %w", spec.Left, spec.Right, err)
 	}
+	return h.registerLinkLocked(spec, li, ri, fed)
+}
+
+// matchConfig builds a pair's matching configuration over the hub's
+// canonical relations — the single place the PairSpec→match.Config
+// mapping lives, shared by live linking and snapshot restoration so
+// the two can never diverge on a knob.
+func (h *Hub) matchConfig(li, ri int, spec PairSpec) match.Config {
+	return match.Config{
+		R:            h.sources[li].rel,
+		S:            h.sources[ri].rel,
+		Attrs:        spec.Attrs,
+		ExtKey:       spec.ExtKey,
+		ILFDs:        spec.ILFDs,
+		Identity:     spec.Identity,
+		Distinct:     spec.Distinct,
+		DeriveMode:   spec.DeriveMode,
+		DisableProp1: spec.DisableProp1,
+	}
+}
+
+// linkRestored registers a link whose federation was already rebuilt
+// and verified (the snapshot loader restores pairwise federations in
+// parallel before folding them in sequentially). Callers hold h.mu
+// exclusively.
+func (h *Hub) linkRestored(spec PairSpec, fed *federate.Federation) error {
+	li, ri, err := h.resolveLinkLocked(spec)
+	if err != nil {
+		return err
+	}
+	return h.registerLinkLocked(spec, li, ri, fed)
+}
+
+// resolveLinkLocked validates a link spec against the topology: both
+// sources registered, not self-linked, not already linked, attribute
+// names consistent. Callers hold h.mu exclusively.
+func (h *Hub) resolveLinkLocked(spec PairSpec) (li, ri int, err error) {
+	li, ok := h.byName[spec.Left]
+	if !ok {
+		return 0, 0, fmt.Errorf("hub: link: unknown source %q", spec.Left)
+	}
+	ri, ok = h.byName[spec.Right]
+	if !ok {
+		return 0, 0, fmt.Errorf("hub: link: unknown source %q", spec.Right)
+	}
+	if li == ri {
+		return 0, 0, fmt.Errorf("hub: link: source %q linked to itself", spec.Left)
+	}
+	for _, p := range h.pairs {
+		if (p.left == li && p.right == ri) || (p.left == ri && p.right == li) {
+			return 0, 0, fmt.Errorf("hub: link: sources %q and %q already linked", spec.Left, spec.Right)
+		}
+	}
+	// The merged view needs a consistent integrated-name -> source-attr
+	// mapping across all links of a source; validate before mutating.
+	if err := checkAttrNames(h.sources[li], h.sources[ri], spec.Attrs); err != nil {
+		return 0, 0, err
+	}
+	return li, ri, nil
+}
+
+// registerLinkLocked folds a validated link's initial matching table
+// into the clusters and commits the registration. Callers hold h.mu
+// exclusively.
+func (h *Hub) registerLinkLocked(spec PairSpec, li, ri int, fed *federate.Federation) error {
+	left, right := h.sources[li], h.sources[ri]
 	// Fold the initial matching table into the clusters speculatively:
 	// check-and-apply on a clone, swap in only if every pair is sound.
 	h.clusterMu.Lock()
@@ -445,6 +515,11 @@ func (h *Hub) IngestBatch(items []Insert, workers int) []InsertResult {
 		}()
 	}
 	wg.Wait()
+	// Group commit: under the opt-in fsync policy the whole batch is
+	// flushed with one final sync instead of one per item.
+	if h.per != nil {
+		h.per.flushSync()
+	}
 	return out
 }
 

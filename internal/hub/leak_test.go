@@ -1,0 +1,47 @@
+package hub
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"entityid/internal/datagen"
+)
+
+// TestLoadSnapshotNoGoroutineLeak hammers LoadSnapshot with bit-rotted
+// streams (the fuzz workload in miniature) and checks the per-section
+// decode goroutines are always reaped, on failure paths included.
+func TestLoadSnapshotNoGoroutineLeak(t *testing.T) {
+	h, _ := multiHub(t, datagen.MultiConfig{
+		Sources: 2, Entities: 12, PresenceFrac: 0.8, HomonymRate: 0.2,
+		MissingPhone: 0.1, DirtyPhone: 0.2, Seed: 5,
+	})
+	h.snapChunkBytes = 1 << 10
+	var valid bytes.Buffer
+	if _, err := h.SaveSnapshot(&valid); err != nil {
+		t.Fatal(err)
+	}
+	base := valid.Bytes()
+	rng := rand.New(rand.NewSource(1))
+	before := runtime.NumGoroutine()
+	start := time.Now()
+	const rounds = 2000
+	for i := 0; i < rounds; i++ {
+		data := append([]byte(nil), base...)
+		for n := 0; n < 1+rng.Intn(4); n++ {
+			data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+		}
+		LoadSnapshot(bytes.NewReader(data))
+	}
+	t.Logf("%d loads in %v (%.0f/sec)", rounds, time.Since(start), rounds/time.Since(start).Seconds())
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+5 && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+5 {
+		t.Fatalf("goroutine leak: %d before, %d after", before, after)
+	}
+}

@@ -7,23 +7,32 @@
 // watermark, reproducing clusters, matching tables and canonical
 // relations bit-for-bit.
 //
-// Snapshotting is incremental-friendly: every SnapshotEvery committed
-// inserts, the inserting goroutine captures the state and watermark in
-// memory (it already holds the commit locks; the capture is a plain
-// copy) and hands them to a background goroutine that rotates the log
-// onto a fresh segment, encodes the capture, writes it to a temp file,
-// fsyncs, renames it over the snapshot atomically, and only then
-// deletes the log segments the snapshot covers. Ingest never waits on
-// snapshot I/O — not even the rotation fsync — and a crash at any
-// point leaves either the old snapshot with a longer log or the new
-// snapshot with a shorter one; both recover to the same state.
+// Snapshots are chunked and incremental (snapshot.go): the data
+// directory holds a manifest file plus one content-addressed section
+// file per source/pair/partition under snapsecs/. The background
+// writer takes an O(sources+pairs) cut at the trigger (the only work
+// under the commit locks), then captures and writes one section at a
+// time, carrying sections whose content is unchanged since the
+// previous manifest forward by reference — steady-state snapshot cost
+// is proportional to change. The manifest rename is the commit point:
+// a crash at any moment leaves either the old manifest with a longer
+// log or the new manifest with a shorter one, and orphaned section
+// files are swept on the next open or snapshot. Legacy single-frame
+// snapshot.ei files (format 1) are still recognised on open.
+//
+// Jumbo source registrations take the same medicine: an AddSource
+// whose seed relation would overflow one WAL frame is logged as a
+// source_begin record plus source_chunk continuations, committing at
+// the final chunk; replay discards a group the log abandons mid-way
+// (the registration was never acknowledged).
 package hub
 
 import (
-	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -32,8 +41,12 @@ import (
 )
 
 const (
-	snapshotFile = "snapshot.ei"
-	snapshotTmp  = "snapshot.ei.tmp"
+	snapshotFile     = "snapshot.ei" // format-1 single frame (legacy, read-only)
+	snapshotTmp      = "snapshot.ei.tmp"
+	snapshotManifest = "snapshot.manifest.ei"
+	snapshotManTmp   = "snapshot.manifest.ei.tmp"
+	snapSecDir       = "snapsecs"
+	snapSecSuffix    = ".sec"
 )
 
 // Options configures a durable hub.
@@ -42,11 +55,23 @@ type Options struct {
 	// background snapshots (and the accompanying log truncation);
 	// 0 disables automatic snapshots — the log grows until SnapshotNow.
 	SnapshotEvery int
+	// SyncEvery, when positive, fsyncs the write-ahead log after every
+	// N appends (group commit): the window of committed-but-volatile
+	// records under a power-loss crash model is bounded by N, and
+	// IngestBatch flushes the remainder with one final sync per batch.
+	// 0 leaves durability between snapshots to the OS page cache, as
+	// before.
+	SyncEvery int
+	// ChunkBytes overrides the snapshot chunk payload budget
+	// (0 means wal.DefaultChunkPayload). Also bounds the seed-tuple
+	// batches of chunked AddSource log records.
+	ChunkBytes int
 }
 
 // RecoveryInfo reports what Open reconstructed.
 type RecoveryInfo struct {
-	// FromSnapshot reports whether a snapshot file was loaded.
+	// FromSnapshot reports whether a snapshot (either format) was
+	// loaded.
 	FromSnapshot bool
 	// Watermark is the snapshot's last covered sequence number.
 	Watermark uint64
@@ -60,10 +85,24 @@ type RecoveryInfo struct {
 	TailDamage string
 }
 
+// SnapshotStats reports what the most recent snapshot wrote.
+type SnapshotStats struct {
+	// Watermark is the WAL sequence number the snapshot covers.
+	Watermark uint64
+	// BytesWritten counts newly written bytes (changed section files
+	// plus the manifest); carried-forward sections cost nothing.
+	BytesWritten int64
+	// SectionsWritten and SectionsReused partition the snapshot's
+	// sections into re-encoded vs carried forward by reference.
+	SectionsWritten int
+	SectionsReused  int
+}
+
 // Open opens (or creates) a durable hub rooted at dir: it loads the
-// snapshot if one exists, replays the write-ahead log tail past the
-// snapshot watermark, and attaches the logger so subsequent mutations
-// are persisted. The returned hub must be Closed.
+// snapshot if one exists (chunked format-2 manifests preferred, legacy
+// format-1 files still recognised), replays the write-ahead log tail
+// past the snapshot watermark, and attaches the logger so subsequent
+// mutations are persisted. The returned hub must be Closed.
 func Open(dir string, opts Options) (*Hub, *RecoveryInfo, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
@@ -75,25 +114,52 @@ func Open(dir string, opts Options) (*Hub, *RecoveryInfo, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
 	}
-	// A leftover temp file is an interrupted snapshot write by a now
-	// dead writer (we hold the lock); the real snapshot (if any) is
-	// intact, so the temp is garbage.
+	// Leftover temp files are interrupted snapshot writes by a now dead
+	// writer (we hold the lock); the committed snapshot (if any) is
+	// intact, so the temps are garbage.
 	os.Remove(filepath.Join(dir, snapshotTmp))
+	os.Remove(filepath.Join(dir, snapshotManTmp))
 
 	info := &RecoveryInfo{}
 	var h *Hub
-	data, err := os.ReadFile(filepath.Join(dir, snapshotFile))
-	switch {
+	var prevMan *snapManifest
+	switch man, err := readManifest(dir); {
 	case err == nil:
-		h, info.Watermark, err = LoadSnapshot(bytes.NewReader(data))
+		h, err = loadSnapshotSections(dir, man)
 		if err != nil {
 			l.Close()
 			return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
 		}
+		prevMan = man
 		info.FromSnapshot = true
+		info.Watermark = man.Watermark
 	case os.IsNotExist(err):
-		h = New()
+		// No manifest: fall back to a legacy format-1 snapshot, then to
+		// an empty hub.
+		f, ferr := os.Open(filepath.Join(dir, snapshotFile))
+		switch {
+		case ferr == nil:
+			h, info.Watermark, err = LoadSnapshot(f)
+			f.Close()
+			if err != nil {
+				l.Close()
+				return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
+			}
+			info.FromSnapshot = true
+		case os.IsNotExist(ferr):
+			h = New()
+		default:
+			l.Close()
+			return nil, nil, fmt.Errorf("hub: open %s: %w", dir, ferr)
+		}
 	default:
+		l.Close()
+		return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
+	}
+	// Sweep section files no committed manifest references — debris of
+	// snapshot attempts a crash interrupted before their manifest
+	// rename.
+	if err := sweepSections(dir, prevMan); err != nil {
 		l.Close()
 		return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
 	}
@@ -126,8 +192,125 @@ func Open(dir string, opts Options) (*Hub, *RecoveryInfo, error) {
 	}
 	info.Replayed = n
 	info.LastSeq = l.LastSeq()
-	h.per = &walLogger{log: l, dir: dir, every: opts.SnapshotEvery}
+	h.snapChunkBytes = opts.ChunkBytes
+	h.per = &walLogger{
+		log: l, dir: dir, every: opts.SnapshotEvery,
+		syncEvery: opts.SyncEvery, chunkBytes: opts.ChunkBytes,
+		prevMan: prevMan,
+	}
 	return h, info, nil
+}
+
+// readManifest reads and validates the committed manifest file.
+func readManifest(dir string) (*snapManifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapshotManifest))
+	if err != nil {
+		return nil, err
+	}
+	rec, err := wal.DecodeRecord(data)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot manifest: %w", err)
+	}
+	return decodeManifest(rec)
+}
+
+// secPath names a section's content-addressed file.
+func secPath(dir, hash string) string {
+	return filepath.Join(dir, snapSecDir, hash+snapSecSuffix)
+}
+
+// sweepSections removes section files the manifest does not reference
+// (man may be nil: remove them all). The caller holds the directory
+// lock.
+func sweepSections(dir string, man *snapManifest) error {
+	secdir := filepath.Join(dir, snapSecDir)
+	ents, err := os.ReadDir(secdir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	keep := map[string]bool{}
+	if man != nil {
+		for _, s := range man.Sections {
+			keep[s.Hash+snapSecSuffix] = true
+		}
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), snapSecSuffix) && !strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		if keep[e.Name()] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(secdir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadSnapshotSections rebuilds a hub from a manifest's section files,
+// decoding independent sections in parallel and verifying each file's
+// content hash, chunk count and item counts against the manifest.
+func loadSnapshotSections(dir string, man *snapManifest) (*Hub, error) {
+	secs := make([]*decSection, len(man.Sections))
+	errs := make([]error, len(man.Sections))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i, want := range man.Sections {
+		wg.Add(1)
+		go func(i int, want snapSection) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			secs[i], errs[i] = readSectionFile(dir, i, want)
+		}(i, want)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return assembleHub(secs)
+}
+
+// readSectionFile streams one section file through the chunk decoder.
+func readSectionFile(dir string, sec int, want snapSection) (*decSection, error) {
+	f, err := os.Open(secPath(dir, want.Hash))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot section: %w", err)
+	}
+	defer f.Close()
+	a := newSectionAccum(sec)
+	scanner := wal.NewFrameScanner(f)
+	for !a.done {
+		rec, raw, err := scanner.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hub: snapshot section %d: %w", sec, err)
+		}
+		if err := a.addChunk(rec, raw); err != nil {
+			return nil, err
+		}
+	}
+	if a.done {
+		if _, _, err := scanner.Next(); err != io.EOF {
+			return nil, fmt.Errorf("hub: snapshot section %d: trailing frames after final chunk", sec)
+		}
+	}
+	d, err := a.finish()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.matches(want); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // Replay re-applies the log tail after the snapshot watermark: every
@@ -136,59 +319,114 @@ func Open(dir string, opts Options) (*Hub, *RecoveryInfo, error) {
 // skipped). It returns the number of records applied. Replay must run
 // before the logger is attached, so replayed mutations are not
 // re-logged.
+//
+// A chunked source registration (source_begin + source_chunk records)
+// commits only at its final chunk; a group the log abandons mid-way —
+// the writer crashed or its append failed between chunks, so the
+// registration was never acknowledged — is discarded, exactly like a
+// torn single record.
 func (h *Hub) Replay(l *wal.Log, after uint64) (int, error) {
 	if h.per != nil {
 		return 0, fmt.Errorf("hub: replay into a hub that is already logging")
 	}
 	n := 0
+	var open *pendingSource
 	err := l.Replay(after, func(rec wal.Record) error {
 		env, err := wal.DecodeEnvelope(rec.Payload)
 		if err != nil {
 			return fmt.Errorf("record %d: %w", rec.Seq, err)
 		}
-		if err := h.applyRecord(env); err != nil {
+		applied, err := h.applyRecord(env, &open)
+		if err != nil {
 			return fmt.Errorf("record %d: %w", rec.Seq, err)
 		}
-		n++
+		n += applied
 		return nil
 	})
+	// A group still open at the end of the log is an abandoned,
+	// unacknowledged registration; its records were never counted and
+	// nothing of it reached the hub.
 	return n, err
 }
 
-// applyRecord re-applies one decoded WAL record.
-func (h *Hub) applyRecord(env wal.Envelope) error {
+// pendingSource buffers an in-flight chunked source registration during
+// replay. records counts the group's log records, applied to the total
+// only when the group commits.
+type pendingSource struct {
+	name    string
+	rel     *relation.Relation
+	records int
+}
+
+// applyRecord re-applies one decoded WAL record, returning how many log
+// records it committed (group records count at the final chunk). open
+// threads the chunked-registration state machine between records.
+func (h *Hub) applyRecord(env wal.Envelope, open **pendingSource) (int, error) {
+	if env.Type != wal.TypeSourceChunk && *open != nil {
+		// Any non-continuation record aborts an open group: the group's
+		// writer saw an append fail and the registration was rejected.
+		// Forget the partial source; nothing of it was committed.
+		*open = nil
+	}
 	switch env.Type {
 	case wal.TypeAddSource:
 		sch, err := wal.DecodeSchema(env.AddSource.Schema)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		rel := relation.New(sch)
 		for i, tr := range env.AddSource.Tuples {
 			t, err := wal.DecodeTuple(tr)
 			if err != nil {
-				return fmt.Errorf("seed tuple %d: %w", i, err)
+				return 0, fmt.Errorf("seed tuple %d: %w", i, err)
 			}
 			if err := rel.Insert(t); err != nil {
-				return fmt.Errorf("seed tuple %d: %w", i, err)
+				return 0, fmt.Errorf("seed tuple %d: %w", i, err)
 			}
 		}
-		return h.AddSource(env.AddSource.Name, rel)
+		return 1, h.addSourceOwned(env.AddSource.Name, rel)
+	case wal.TypeSourceBegin:
+		sch, err := wal.DecodeSchema(env.SourceBegin.Schema)
+		if err != nil {
+			return 0, err
+		}
+		*open = &pendingSource{name: env.SourceBegin.Name, rel: relation.New(sch), records: 1}
+		return 0, nil
+	case wal.TypeSourceChunk:
+		p := *open
+		if p == nil || p.name != env.SourceChunk.Name {
+			return 0, fmt.Errorf("hub: source_chunk for %q without matching source_begin", env.SourceChunk.Name)
+		}
+		for i, tr := range env.SourceChunk.Tuples {
+			t, err := wal.DecodeTuple(tr)
+			if err != nil {
+				return 0, fmt.Errorf("seed tuple %d: %w", i, err)
+			}
+			if err := p.rel.Insert(t); err != nil {
+				return 0, fmt.Errorf("seed tuple %d: %w", i, err)
+			}
+		}
+		p.records++
+		if !env.SourceChunk.Final {
+			return 0, nil
+		}
+		*open = nil
+		return p.records, h.addSourceOwned(p.name, p.rel)
 	case wal.TypeLink:
 		spec, err := specFromLinkRec(*env.Link)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		return h.Link(spec)
+		return 1, h.Link(spec)
 	case wal.TypeInsert:
 		t, err := wal.DecodeTuple(env.Insert.Tuple)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		_, err = h.Insert(env.Insert.Source, t)
-		return err
+		return 1, err
 	default:
-		return fmt.Errorf("hub: unknown record type %q", env.Type)
+		return 0, fmt.Errorf("hub: unknown record type %q", env.Type)
 	}
 }
 
@@ -202,8 +440,9 @@ func (h *Hub) Close() error {
 	return h.per.close()
 }
 
-// SnapshotNow forces a synchronous snapshot: capture, write, fsync,
-// atomic rename, log truncation. It fails on a memory-only hub.
+// SnapshotNow forces a synchronous snapshot: cut, per-section capture
+// and write, manifest rename, log truncation. It fails on a memory-only
+// hub.
 func (h *Hub) SnapshotNow() error {
 	p := h.per
 	if p == nil {
@@ -213,29 +452,54 @@ func (h *Hub) SnapshotNow() error {
 	defer p.snapMu.Unlock()
 	h.mu.RLock()
 	h.clusterMu.Lock()
-	snap := h.captureLocked()
-	watermark := p.log.LastSeq()
+	cut := h.cutLocked(p.log.LastSeq())
 	h.clusterMu.Unlock()
 	h.mu.RUnlock()
 	if _, err := p.log.Rotate(); err != nil {
 		return err
 	}
-	return p.writeSnapshot(snap, watermark)
+	return p.writeSnapshot(h, cut)
+}
+
+// LastSnapshot reports what the most recent completed snapshot wrote
+// (zero value if none completed this session).
+func (h *Hub) LastSnapshot() SnapshotStats {
+	p := h.per
+	if p == nil {
+		return SnapshotStats{}
+	}
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	return p.stats
 }
 
 // walLogger couples a hub to its write-ahead log and drives background
 // snapshotting.
 type walLogger struct {
-	log   *wal.Log
-	dir   string
-	every int
+	log        *wal.Log
+	dir        string
+	every      int
+	syncEvery  int
+	chunkBytes int
 	// sinceSnap counts committed inserts since the last snapshot
 	// trigger.
 	sinceSnap atomic.Int64
-	// snapMu serialises snapshot production (capture → write →
+	// unsynced counts appends since the last fsync under the opt-in
+	// group-commit policy; a failed fsync leaves the count pending so
+	// the next append retries. syncMu serialises the flushes.
+	unsynced atomic.Int64
+	syncMu   sync.Mutex
+	// snapMu serialises snapshot production (cut → capture → write →
 	// truncate); the trigger uses TryLock so ingest never queues behind
-	// a snapshot in flight.
+	// a snapshot in flight. It also guards prevMan, which only snapshot
+	// production touches.
 	snapMu sync.Mutex
+	// prevMan is the manifest of the latest committed snapshot: the
+	// diff base that lets unchanged sections carry forward.
+	prevMan *snapManifest
+	// snapSectionHook, when set, runs after each section write — the
+	// crash harness's mid-snapshot kill point.
+	snapSectionHook func(int) error
 	// wg tracks the background writer, so close can quiesce it.
 	wg sync.WaitGroup
 	// errMu/bgErr hold the first background snapshot failure, surfaced
@@ -244,6 +508,9 @@ type walLogger struct {
 	// growing unboundedly for the rest of the process lifetime.
 	errMu sync.Mutex
 	bgErr error
+	// statsMu/stats report the latest completed snapshot.
+	statsMu sync.Mutex
+	stats   SnapshotStats
 }
 
 func (p *walLogger) append(env wal.Envelope) error {
@@ -251,16 +518,103 @@ func (p *walLogger) append(env wal.Envelope) error {
 	if err != nil {
 		return err
 	}
-	_, err = p.log.Append(payload)
-	return err
+	if _, err := p.log.Append(payload); err != nil {
+		return err
+	}
+	p.maybeSync()
+	return nil
 }
 
+// maybeSync applies the opt-in group-commit policy: after every
+// SyncEvery appends, force the log to stable storage. The record is
+// already committed when the sync runs, so a sync failure is surfaced
+// as a background error (like a failed snapshot) rather than un-doing
+// an acknowledged commit — but the pending count is only consumed on
+// success, so the very next append retries the fsync and the
+// power-loss exposure stays bounded at N instead of silently widening.
+func (p *walLogger) maybeSync() {
+	if p.syncEvery <= 0 {
+		return
+	}
+	if p.unsynced.Add(1) < int64(p.syncEvery) {
+		return
+	}
+	p.syncPending()
+}
+
+// flushSync forces any appends pending under the group-commit policy to
+// stable storage — the one sync that covers a whole IngestBatch.
+func (p *walLogger) flushSync() {
+	if p.syncEvery <= 0 || p.unsynced.Load() == 0 {
+		return
+	}
+	p.syncPending()
+}
+
+// syncPending fsyncs and consumes exactly the counted appends the sync
+// covered (an append racing in after the Sync keeps its count, so it is
+// flushed by a later sync). syncMu makes the load-sync-subtract triple
+// atomic against concurrent flushes.
+func (p *walLogger) syncPending() {
+	p.syncMu.Lock()
+	defer p.syncMu.Unlock()
+	n := p.unsynced.Load()
+	if n <= 0 {
+		return
+	}
+	if err := p.log.Sync(); err != nil {
+		p.fail(err)
+		return
+	}
+	p.unsynced.Add(-n)
+}
+
+// appendAddSource logs a source registration. A seed relation that fits
+// one frame-capped chunk is logged as a single add_source record,
+// byte-compatible with older logs; a jumbo relation is split into a
+// source_begin record plus budget-sized source_chunk continuations
+// (the same writeChunked splitter the snapshot sections use, frame-cap
+// halving included) that commit atomically at the final chunk.
 func (p *walLogger) appendAddSource(name string, rel *relation.Relation) error {
-	return p.append(wal.Envelope{Type: wal.TypeAddSource, AddSource: &wal.AddSourceRec{
+	budget := p.chunkBytes
+	if budget <= 0 {
+		budget = wal.DefaultChunkPayload
+	}
+	tuples := rel.Tuples()
+	items := tupleItems(tuples)
+	total := 0
+	for i := range tuples {
+		total += items.estimate(i)
+	}
+	if total < budget {
+		return p.append(wal.Envelope{Type: wal.TypeAddSource, AddSource: &wal.AddSourceRec{
+			Name:   name,
+			Schema: wal.EncodeSchema(rel.Schema()),
+			Tuples: wal.EncodeTuples(tuples),
+		}})
+	}
+	if err := p.append(wal.Envelope{Type: wal.TypeSourceBegin, SourceBegin: &wal.SourceBeginRec{
 		Name:   name,
 		Schema: wal.EncodeSchema(rel.Schema()),
-		Tuples: wal.EncodeTuples(rel.Tuples()),
-	}})
+	}}); err != nil {
+		return err
+	}
+	encode := func(lo, hi int, _, last bool) ([]byte, error) {
+		env := wal.Envelope{Type: wal.TypeSourceChunk, SourceChunk: &wal.SourceChunkRec{
+			Name:   name,
+			Tuples: wal.EncodeTuples(tuples[lo:hi]),
+			Final:  last,
+		}}
+		return env.Encode()
+	}
+	emit := func(payload []byte) error {
+		if _, err := p.log.Append(payload); err != nil {
+			return err
+		}
+		p.maybeSync()
+		return nil
+	}
+	return writeChunked(items, p.chunkBytes, encode, emit)
 }
 
 func (p *walLogger) appendLink(spec PairSpec) error {
@@ -290,14 +644,15 @@ func (p *walLogger) failed() error {
 }
 
 // noteCommit is called by Insert at its commit point, with the commit
-// locks held. When the snapshot interval elapses it captures the state
-// and the watermark in memory — the only work done under the lock —
-// and hands everything slow (log rotation with its fsync, encoding,
-// writing, truncation) to a background goroutine, so ingest never
-// waits on snapshot I/O. Because rotation happens off-lock, the
-// segment boundary may land past the watermark; that only means the
-// boundary segment survives until a later snapshot covers it —
-// RemoveThrough removes exactly the segments wholly ≤ watermark.
+// locks held. When the snapshot interval elapses it takes the
+// O(sources+pairs) cut and the watermark — the only work done under
+// the lock — and hands everything slow (log rotation with its fsync,
+// per-section capture, encoding, writing, truncation) to a background
+// goroutine, so ingest never waits on snapshot I/O. Because rotation
+// happens off-lock, the segment boundary may land past the watermark;
+// that only means the boundary segment survives until a later snapshot
+// covers it — RemoveThrough removes exactly the segments wholly ≤
+// watermark.
 func (p *walLogger) noteCommit(h *Hub) {
 	if p.every <= 0 || p.sinceSnap.Add(1) < int64(p.every) {
 		return
@@ -306,8 +661,7 @@ func (p *walLogger) noteCommit(h *Hub) {
 		return // a snapshot is already in flight; never block ingest
 	}
 	p.sinceSnap.Store(0)
-	snap := h.captureLocked()
-	watermark := p.log.LastSeq()
+	cut := h.cutLocked(p.log.LastSeq())
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
@@ -316,25 +670,137 @@ func (p *walLogger) noteCommit(h *Hub) {
 			p.fail(err)
 			return
 		}
-		if err := p.writeSnapshot(snap, watermark); err != nil {
+		if err := p.writeSnapshot(h, cut); err != nil {
 			p.fail(err)
 		}
 	}()
 }
 
-// writeSnapshot persists a captured snapshot at the given watermark and
-// truncates the log segments it covers.
-func (p *walLogger) writeSnapshot(snap *hubSnap, watermark uint64) error {
-	frame, err := encodeSnapshot(snap, watermark)
-	if err != nil {
-		return err
+// dirSink persists sections as content-addressed files under
+// snapsecs/, carrying unchanged sections forward from the previous
+// manifest, and commits by atomically renaming the manifest.
+type dirSink struct {
+	dir string
+	// prevByID indexes the previous manifest's sections by identity
+	// (kind + name/left/right), so carry-forward planning is O(1) per
+	// section instead of rescanning the manifest.
+	prevByID map[string]snapSection
+	stats    SnapshotStats
+}
+
+// newDirSink indexes the previous manifest (nil for a full write).
+func newDirSink(dir string, prev *snapManifest) *dirSink {
+	s := &dirSink{dir: dir}
+	if prev != nil {
+		s.prevByID = make(map[string]snapSection, len(prev.Sections))
+		for _, sec := range prev.Sections {
+			s.prevByID[sectionID(sec)] = sec
+		}
 	}
-	tmp := filepath.Join(p.dir, snapshotTmp)
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	return s
+}
+
+// sectionID is a section's identity key within one manifest.
+func sectionID(s snapSection) string {
+	return s.Kind + "\x1f" + s.Name + "\x1f" + s.Left + "\x1f" + s.Right
+}
+
+func (s *dirSink) reuse(meta *snapSection) bool {
+	prev, ok := s.prevByID[sectionID(*meta)]
+	if !ok {
+		return false
+	}
+	// Clusters sections match on identity alone: the writer only
+	// attempts their reuse when every other section carried forward,
+	// which pins the partition content.
+	if meta.Kind != secClusters && !meta.sameContent(prev) {
+		return false
+	}
+	if _, err := os.Stat(secPath(s.dir, prev.Hash)); err != nil {
+		return false
+	}
+	if meta.Kind == secClusters {
+		*meta = prev
+	} else {
+		meta.Chunks, meta.Bytes, meta.Hash = prev.Chunks, prev.Bytes, prev.Hash
+	}
+	s.stats.SectionsReused++
+	return true
+}
+
+func (s *dirSink) write(meta *snapSection, body *sectionBody, budget int) error {
+	secdir := filepath.Join(s.dir, snapSecDir)
+	if err := os.MkdirAll(secdir, 0o755); err != nil {
+		return fmt.Errorf("hub: snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(secdir, "sec-*.tmp")
 	if err != nil {
 		return fmt.Errorf("hub: snapshot: %w", err)
 	}
-	if _, err := f.Write(frame); err != nil {
+	tmpName := tmp.Name()
+	sw := wal.NewSectionWriter(tmp)
+	if err := writeSectionChunks(sw, body, budget); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("hub: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("hub: snapshot: %w", err)
+	}
+	meta.Chunks, meta.Bytes, meta.Hash = sw.Chunks(), sw.Bytes(), sw.Sum()
+	if err := os.Rename(tmpName, secPath(s.dir, meta.Hash)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("hub: snapshot: %w", err)
+	}
+	s.stats.SectionsWritten++
+	s.stats.BytesWritten += sw.Bytes()
+	return nil
+}
+
+func (s *dirSink) finish(man *snapManifest) error {
+	frame, err := encodeManifest(man)
+	if err != nil {
+		return err
+	}
+	// The section files (and their directory entry) must be durable
+	// before the manifest that references them commits.
+	syncDir(filepath.Join(s.dir, snapSecDir))
+	tmp := filepath.Join(s.dir, snapshotManTmp)
+	if err := writeFileSync(tmp, frame); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotManifest)); err != nil {
+		return fmt.Errorf("hub: snapshot: %w", err)
+	}
+	syncDir(s.dir)
+	s.stats.BytesWritten += int64(len(frame))
+	s.stats.Watermark = man.Watermark
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so renames within it are
+// durable (errors are ignored: some filesystems reject directory
+// fsync, and the rename itself is still atomic).
+func syncDir(path string) {
+	if d, err := os.Open(path); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// writeFileSync writes and fsyncs a file.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("hub: snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
 		f.Close()
 		return fmt.Errorf("hub: snapshot: %w", err)
 	}
@@ -345,10 +811,30 @@ func (p *walLogger) writeSnapshot(snap *hubSnap, watermark uint64) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("hub: snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(p.dir, snapshotFile)); err != nil {
+	return nil
+}
+
+// writeSnapshot persists a snapshot at the given cut — per-section
+// capture under briefly-held locks, incremental against the previous
+// manifest — then sweeps stale files and truncates the log segments the
+// snapshot covers. Callers hold snapMu.
+func (p *walLogger) writeSnapshot(h *Hub, cut *snapshotCut) error {
+	sink := newDirSink(p.dir, p.prevMan)
+	man, err := h.writeSnapshotV2(cut, sink, p.chunkBytes, p.snapSectionHook)
+	if err != nil {
+		return err
+	}
+	p.prevMan = man
+	p.statsMu.Lock()
+	p.stats = sink.stats
+	p.statsMu.Unlock()
+	// The manifest is committed: the legacy single-frame snapshot (if
+	// any) and sections only older manifests referenced are now stale.
+	os.Remove(filepath.Join(p.dir, snapshotFile))
+	if err := sweepSections(p.dir, man); err != nil {
 		return fmt.Errorf("hub: snapshot: %w", err)
 	}
-	return p.log.RemoveThrough(watermark)
+	return p.log.RemoveThrough(cut.watermark)
 }
 
 func (p *walLogger) close() error {

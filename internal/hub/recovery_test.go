@@ -445,8 +445,11 @@ func TestBackgroundSnapshotTruncatesLog(t *testing.T) {
 	if err := h.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
-		t.Fatalf("no snapshot written: %v", err)
+	if _, err := os.Stat(filepath.Join(dir, snapshotManifest)); err != nil {
+		t.Fatalf("no snapshot manifest written: %v", err)
+	}
+	if secs, err := filepath.Glob(filepath.Join(dir, snapSecDir, "*"+snapSecSuffix)); err != nil || len(secs) == 0 {
+		t.Fatalf("no snapshot sections written: %v %v", secs, err)
 	}
 	// Background rotation is decoupled from the watermark, so the
 	// boundary segment may survive one snapshot round; hard truncation
@@ -634,9 +637,25 @@ func TestRecoveryFailsClosedOnPartialRestore(t *testing.T) {
 		t.Fatalf("segments: %v %v", segs, err)
 	}
 
+	// copySnapshot copies the manifest and every section file.
+	copySnapshot := func(t *testing.T, to string) {
+		t.Helper()
+		copyFile(t, filepath.Join(dir, snapshotManifest), filepath.Join(to, snapshotManifest))
+		secs, err := filepath.Glob(filepath.Join(dir, snapSecDir, "*"+snapSecSuffix))
+		if err != nil || len(secs) == 0 {
+			t.Fatalf("sections: %v %v", secs, err)
+		}
+		if err := os.MkdirAll(filepath.Join(to, snapSecDir), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range secs {
+			copyFile(t, s, filepath.Join(to, snapSecDir, filepath.Base(s)))
+		}
+	}
+
 	// Case 1: all log segments lost, snapshot kept → LastSeq < watermark.
 	case1 := t.TempDir()
-	copyFile(t, filepath.Join(dir, snapshotFile), filepath.Join(case1, snapshotFile))
+	copySnapshot(t, case1)
 	if _, _, err := Open(case1, Options{}); err == nil {
 		t.Fatal("opened a directory whose log is behind its snapshot")
 	}
@@ -650,9 +669,23 @@ func TestRecoveryFailsClosedOnPartialRestore(t *testing.T) {
 		t.Fatal("opened a truncated log with no snapshot")
 	}
 
+	// Case 2b: manifest kept but a section file lost → fails closed.
+	case2b := t.TempDir()
+	copySnapshot(t, case2b)
+	for _, s := range segs {
+		copyFile(t, s, filepath.Join(case2b, filepath.Base(s)))
+	}
+	secs2b, _ := filepath.Glob(filepath.Join(case2b, snapSecDir, "*"+snapSecSuffix))
+	if err := os.Remove(secs2b[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(case2b, Options{}); err == nil {
+		t.Fatal("opened a snapshot with a missing section file")
+	}
+
 	// Control: both pieces together recover fine.
 	case3 := t.TempDir()
-	copyFile(t, filepath.Join(dir, snapshotFile), filepath.Join(case3, snapshotFile))
+	copySnapshot(t, case3)
 	for _, s := range segs {
 		copyFile(t, s, filepath.Join(case3, filepath.Base(s)))
 	}
@@ -679,4 +712,184 @@ func copyFile(t *testing.T, from, to string) {
 	if err := os.WriteFile(to, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestCrashMidSnapshotBetweenSections kills the snapshot writer between
+// section writes (the new kill points the chunked format introduces):
+// the manifest was not renamed, so recovery must come up from the
+// previous snapshot (or pure log) with the crashed hub's exact state,
+// the orphaned section files must be swept, and the interrupted
+// workload must finish to the uninterrupted result.
+func TestCrashMidSnapshotBetweenSections(t *testing.T) {
+	w := datagen.MustMultiGenerate(datagen.MultiConfig{
+		Sources: 3, Entities: 36, PresenceFrac: 0.65, HomonymRate: 0.2,
+		MissingPhone: 0.1, DirtyPhone: 0.2, Seed: 67,
+	})
+	items := shuffled(w, 19)
+
+	ref, err := NewFromMulti(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if _, err := ref.Insert(it.Source, it.Tuple); err != nil {
+			t.Fatalf("reference insert %d: %v", i, err)
+		}
+	}
+	refState := stateOf(ref)
+
+	errBoom := errors.New("injected crash between section writes")
+	for _, killAfter := range []int{0, 1, 2, 4} {
+		t.Run(fmt.Sprintf("sections=%d", killAfter), func(t *testing.T) {
+			dir := t.TempDir()
+			h, _ := openDurableMulti(t, dir, w, 0)
+			for i, it := range items[:len(items)/2] {
+				if _, err := h.Insert(it.Source, it.Tuple); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			// First snapshot completes; the second dies mid-write.
+			if err := h.SnapshotNow(); err != nil {
+				t.Fatal(err)
+			}
+			for i, it := range items[len(items)/2:] {
+				if _, err := h.Insert(it.Source, it.Tuple); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			h.per.snapSectionHook = func(sec int) error {
+				if sec >= killAfter {
+					return errBoom
+				}
+				return nil
+			}
+			if err := h.SnapshotNow(); !errors.Is(err, errBoom) {
+				t.Fatalf("mid-snapshot kill did not fire: %v", err)
+			}
+			crashed := stateOf(h)
+			h.per.quiesce()
+
+			h2, info, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			defer h2.Close()
+			if !info.FromSnapshot {
+				t.Fatal("recovery ignored the committed first snapshot")
+			}
+			mustEqualState(t, "recovered vs crashed", stateOf(h2), crashed)
+			// Orphans of the aborted attempt are swept: every surviving
+			// section file is referenced by the committed manifest.
+			man, err := readManifest(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			referenced := map[string]bool{}
+			for _, s := range man.Sections {
+				referenced[s.Hash+snapSecSuffix] = true
+			}
+			secs, _ := filepath.Glob(filepath.Join(dir, snapSecDir, "*"))
+			for _, s := range secs {
+				if !referenced[filepath.Base(s)] {
+					t.Fatalf("orphan section file survived recovery: %s", s)
+				}
+			}
+			// A fresh snapshot on the recovered hub works and truncates.
+			if err := h2.SnapshotNow(); err != nil {
+				t.Fatal(err)
+			}
+			mustEqualState(t, "finished vs uninterrupted", stateOf(h2), refState)
+		})
+	}
+}
+
+// TestPowerLossAtSyncBoundary pins the opt-in group-commit policy:
+// with SyncEvery=N, a power-loss-style crash (everything past the last
+// fsync vanishes) leaves exactly the synced prefix, and recovery
+// reproduces the reference run over that prefix. The truncation is
+// simulated by cutting the segment file at the fsync boundary the log
+// reported.
+func TestPowerLossAtSyncBoundary(t *testing.T) {
+	w := datagen.MustMultiGenerate(datagen.MultiConfig{
+		Sources: 3, Entities: 30, PresenceFrac: 0.7, HomonymRate: 0.1,
+		MissingPhone: 0.1, DirtyPhone: 0.1, Seed: 71,
+	})
+	items := shuffled(w, 23)
+	const every = 7
+
+	dir := t.TempDir()
+	h, _ := openDurableMulti(t, dir, w, 0)
+	h.per.syncEvery = every
+	for i, it := range items {
+		if _, err := h.Insert(it.Source, it.Tuple); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	syncedSeq, syncedOff := h.per.log.Synced()
+	lastSeq := h.per.log.LastSeq()
+	if syncedSeq == lastSeq {
+		t.Fatalf("workload ended exactly on a sync boundary; adjust sizes (seq %d)", lastSeq)
+	}
+	if (syncedSeq-uint64(countSetup(w)))%every != 0 {
+		t.Fatalf("sync boundary %d is not a multiple of %d past setup", syncedSeq, every)
+	}
+	h.per.quiesce()
+
+	// Power loss: the unsynced tail never reached the platter.
+	seg := filepath.Join(dir, "wal-"+fmt.Sprintf("%020d", 1)+".log")
+	if err := os.Truncate(seg, syncedOff); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, info, err := Open(dir, Options{SyncEvery: every})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer h2.Close()
+	if info.LastSeq != syncedSeq {
+		t.Fatalf("recovered through record %d, want the synced boundary %d", info.LastSeq, syncedSeq)
+	}
+	survived := int(syncedSeq) - countSetup(w)
+	ref, err := NewFromMulti(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < survived; i++ {
+		if _, err := ref.Insert(items[i].Source, items[i].Tuple); err != nil {
+			t.Fatalf("reference insert %d: %v", i, err)
+		}
+	}
+	mustEqualState(t, "recovered vs synced prefix", stateOf(h2), stateOf(ref))
+
+	// IngestBatch flushes the whole batch with one final sync: after a
+	// batch, nothing is pending.
+	rest := make([]Insert, 0, len(items)-survived)
+	for _, it := range items[survived:] {
+		rest = append(rest, Insert{Source: it.Source, Tuple: it.Tuple.Clone()})
+	}
+	for _, res := range h2.IngestBatch(rest, 4) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if s, _ := h2.per.log.Synced(); s != h2.per.log.LastSeq() {
+		t.Fatalf("IngestBatch left unsynced records: synced %d, last %d", s, h2.per.log.LastSeq())
+	}
+	mustEqualState(t, "finished vs uninterrupted", stateOf(h2), refState71(t, w, items))
+}
+
+// refState71 computes the uninterrupted reference state for the
+// power-loss workload.
+func refState71(t *testing.T, w *datagen.MultiWorkload, items []Insert) hubState {
+	t.Helper()
+	ref, err := NewFromMulti(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if _, err := ref.Insert(it.Source, it.Tuple); err != nil {
+			t.Fatalf("reference insert %d: %v", i, err)
+		}
+	}
+	return stateOf(ref)
 }

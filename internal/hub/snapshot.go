@@ -1,23 +1,58 @@
-// Hub snapshots: a point-in-time capture of the entire federation —
-// sources (schema + canonical tuples), per-pair federation state (link
-// spec + exported matching table), and the global cluster store — as a
-// single CRC-framed JSON record (the same frame the WAL uses, so a
-// torn or bit-rotted snapshot is detected, not loaded).
+// Hub snapshots, format 2: a chunked, incremental, streaming encoding
+// of the federation state. Instead of one CRC frame holding the whole
+// hub (format 1, snapshot_v1.go — still loaded for compatibility), a
+// snapshot is a *manifest* record plus one *section* per source, per
+// pair and for the cluster partition. Each section is a run of CRC
+// frames whose tuple/pair payloads are split across continuation
+// chunks, so no frame approaches the WAL's frame cap no matter how
+// large the hub grows; the manifest carries each section's SHA-256
+// content address, chunk count and item count.
 //
-// Loading fails closed three ways: every schema, ILFD and rule is
-// re-validated by its domain constructor; every pairwise federation is
-// rebuilt through federate.Restore, which verifies the rebuilt
-// matching table equals the saved one; and the cluster partition
-// refolded from the pairwise tables must equal the saved partition.
-// A snapshot that loads is therefore guaranteed to reproduce exactly
-// the state that was captured.
+// Three properties fall out of the sectioned shape:
+//
+//   - Capture is per-section under briefly-held locks. A consistent cut
+//     is just the per-source tuple counts, per-pair matching-table
+//     lengths and the WAL watermark, taken in O(sources+pairs) under
+//     the commit locks; the relations and matching tables are
+//     append-only under those locks, so each section's content can be
+//     copied later, one section at a time, holding the cluster lock
+//     only long enough to copy that section's slice headers. Commits
+//     never stall behind an O(hub) copy.
+//
+//   - Snapshots are incremental. Sections are content-addressed, so a
+//     writer that remembers the previous manifest carries unchanged
+//     sections forward by reference (same item count ⇒ same content,
+//     by append-onlyness within one directory's lineage) and writes
+//     only what changed — steady-state snapshot cost is proportional
+//     to change, not to hub size.
+//
+//   - Loading streams and parallelises. The decoder hands each
+//     section's chunks to its own goroutine as they arrive (or reads
+//     section files concurrently), so independent sections are decoded
+//     and their relations rebuilt in parallel, and the pairwise
+//     federations are re-verified concurrently before the sequential
+//     cluster fold.
+//
+// Loading fails closed exactly as format 1 did: frame CRCs, per-section
+// content hashes and chunk/item counts are verified against the
+// manifest; every schema, ILFD and rule is re-validated by its domain
+// constructor; every pairwise federation is rebuilt through
+// federate.Restore (which verifies the rebuilt matching table equals
+// the saved one); and the cluster partition refolded from the pairwise
+// tables must equal the saved partition.
 package hub
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"entityid/internal/derive"
 	"entityid/internal/federate"
@@ -29,71 +64,171 @@ import (
 // matchPair converts the snapshot's compact pair form.
 func matchPair(p [2]int) match.Pair { return match.Pair{RIndex: p[0], SIndex: p[1]} }
 
-// hubSnap is the snapshot payload.
-type hubSnap struct {
-	// Watermark is the last WAL sequence number the snapshot covers;
-	// replay resumes after it.
-	Watermark uint64       `json:"watermark"`
-	Sources   []sourceSnap `json:"sources"`
-	Pairs     []pairSnap   `json:"pairs"`
-	// Clusters is the canonical non-singleton cluster partition, each
-	// cluster a sorted list of (source ordinal, tuple index) pairs,
-	// clusters sorted by first member. Singletons are implicit.
+// The section kinds (and the v2 marker of manifest records).
+const (
+	secSource   = "source"
+	secPair     = "pair"
+	secClusters = "clusters"
+	secManifest = "manifest"
+
+	snapFormat = 2
+)
+
+// snapManifest is the manifest record: the snapshot's watermark and the
+// ordered section directory. Its frame sequence number is watermark+1,
+// like the format-1 frame, so the zero watermark still frames validly.
+type snapManifest struct {
+	V2        string        `json:"v2"` // always "manifest"
+	Format    int           `json:"format"`
+	Watermark uint64        `json:"watermark"`
+	Sections  []snapSection `json:"sections"`
+}
+
+// snapSection is one manifest entry: the section's identity, logical
+// size and content address.
+type snapSection struct {
+	Kind string `json:"kind"`
+	// Name identifies a source section; Left/Right identify a pair
+	// section.
+	Name  string `json:"name,omitempty"`
+	Left  string `json:"left,omitempty"`
+	Right string `json:"right,omitempty"`
+	// Items counts the section's logical entries (tuples, matching
+	// pairs, clusters). RLen/SLen are a pair section's side lengths at
+	// the cut.
+	Items int `json:"items"`
+	RLen  int `json:"rlen,omitempty"`
+	SLen  int `json:"slen,omitempty"`
+	// Chunks, Bytes and Hash describe the encoded frames: chunk count,
+	// framed byte count, and hex SHA-256 over the frame bytes.
+	Chunks int    `json:"chunks"`
+	Bytes  int64  `json:"bytes"`
+	Hash   string `json:"hash"`
+}
+
+// sameContent reports whether two section entries describe identical
+// logical content for carry-forward purposes: same identity and item
+// counts. Relations and matching tables are append-only, so within one
+// data directory's lineage equal counts imply equal content.
+func (s snapSection) sameContent(o snapSection) bool {
+	return s.Kind == o.Kind && s.Name == o.Name && s.Left == o.Left && s.Right == o.Right &&
+		s.Items == o.Items && s.RLen == o.RLen && s.SLen == o.SLen
+}
+
+// snapChunk is one section frame's payload. The first chunk of a
+// section carries its header (name+schema, or link+side lengths); every
+// chunk carries a slice of the section's items; the final chunk is
+// marked Last.
+type snapChunk struct {
+	V2    string `json:"v2"` // section kind
+	Sec   int    `json:"sec"`
+	Chunk int    `json:"chunk"` // 1-based; equals the frame sequence number
+	Last  bool   `json:"last,omitempty"`
+
+	// Source sections.
+	Name   string           `json:"name,omitempty"`
+	Schema *wal.SchemaRec   `json:"schema,omitempty"`
+	Tuples [][]wal.ValueRec `json:"tuples,omitempty"`
+
+	// Pair sections.
+	Link *wal.LinkRec `json:"link,omitempty"`
+	RLen int          `json:"rlen,omitempty"`
+	SLen int          `json:"slen,omitempty"`
+	MT   [][2]int     `json:"mt,omitempty"`
+
+	// Clusters section.
 	Clusters [][][2]int `json:"clusters,omitempty"`
 }
 
-// sourceSnap is one source: schema plus canonical tuples.
-type sourceSnap struct {
-	Name   string           `json:"name"`
-	Schema wal.SchemaRec    `json:"schema"`
-	Tuples [][]wal.ValueRec `json:"tuples,omitempty"`
+// ---------------------------------------------------------------------
+// Consistent cut + per-section capture
+// ---------------------------------------------------------------------
+
+// cutSource is one source at the cut: the state pointer (stable — the
+// topology only grows) and its tuple count.
+type cutSource struct {
+	s *sourceState
+	n int
 }
 
-// pairSnap is one link: its spec and the exported federation state.
-type pairSnap struct {
-	Link wal.LinkRec `json:"link"`
-	MT   [][2]int    `json:"mt,omitempty"`
-	RLen int         `json:"rlen"`
-	SLen int         `json:"slen"`
+// cutPair is one pair at the cut: matching-table length and side
+// lengths.
+type cutPair struct {
+	p          *pairState
+	n          int
+	rlen, slen int
 }
 
-// captureLocked copies the hub state into a snapshot payload. Callers
-// hold h.mu (at least shared) and h.clusterMu — under those locks no
-// commit can run, so the copy is consistent; it is pure memory work,
-// the slow encode/write happens off-lock.
-func (h *Hub) captureLocked() *hubSnap {
-	snap := &hubSnap{}
+// snapshotCut is a consistent cut of the hub: O(sources+pairs) counts
+// plus the covered WAL watermark. Because every structure it points at
+// is append-only under the commit locks, the cut pins the exact state
+// at the watermark without copying any content.
+type snapshotCut struct {
+	watermark uint64
+	sources   []cutSource
+	pairs     []cutPair
+}
+
+// cutLocked builds a cut. Callers hold h.mu (at least shared) and
+// h.clusterMu — the commit locks — so the counts are mutually
+// consistent and consistent with the watermark.
+func (h *Hub) cutLocked(watermark uint64) *snapshotCut {
+	cut := &snapshotCut{watermark: watermark}
 	for _, s := range h.sources {
-		ss := sourceSnap{
-			Name:   s.name,
-			Schema: wal.EncodeSchema(s.rel.Schema()),
-			Tuples: wal.EncodeTuples(s.rel.Tuples()),
-		}
-		snap.Sources = append(snap.Sources, ss)
+		cut.sources = append(cut.sources, cutSource{s: s, n: s.rel.Len()})
 	}
 	for _, p := range h.pairs {
-		st := p.fed.Export()
-		ps := pairSnap{Link: linkRecFromSpec(p.spec), RLen: st.RLen, SLen: st.SLen}
-		for _, pr := range st.Pairs {
-			ps.MT = append(ps.MT, [2]int{pr.RIndex, pr.SIndex})
-		}
-		snap.Pairs = append(snap.Pairs, ps)
+		cut.pairs = append(cut.pairs, cutPair{
+			p: p, n: p.fed.MT().Len(), rlen: h.sources[p.left].rel.Len(), slen: h.sources[p.right].rel.Len(),
+		})
 	}
-	snap.Clusters = h.partitionLocked()
-	return snap
+	return cut
 }
 
-// partitionLocked returns the canonical non-singleton cluster
-// partition. Callers hold h.clusterMu.
-func (h *Hub) partitionLocked() [][][2]int {
-	byRoot := map[node][]node{}
-	for si, s := range h.sources {
-		for i := 0; i < s.rel.Len(); i++ {
-			n := node{src: si, idx: i}
-			root := h.clusters.find(n)
-			byRoot[root] = append(byRoot[root], n)
+// copySourceTuples copies one source section's tuple headers under a
+// briefly-held cluster lock (tuples are immutable once inserted; only
+// the slice may grow concurrently).
+func (h *Hub) copySourceTuples(cs cutSource) []relation.Tuple {
+	h.clusterMu.Lock()
+	defer h.clusterMu.Unlock()
+	out := make([]relation.Tuple, cs.n)
+	copy(out, cs.s.rel.Tuples()[:cs.n])
+	return out
+}
+
+// copyPairMT copies one pair section's matching-table prefix under a
+// briefly-held cluster lock and sorts it canonically off-lock.
+func (h *Hub) copyPairMT(cp cutPair) []match.Pair {
+	h.clusterMu.Lock()
+	ps := cp.p.fed.PairsPrefix(cp.n)
+	h.clusterMu.Unlock()
+	federate.SortPairs(ps)
+	return ps
+}
+
+// foldPartition refolds the cut's matching tables into the canonical
+// non-singleton cluster partition — pure off-lock work that reproduces
+// exactly what partitionLocked would have returned at the cut, by the
+// invariant (verified on every load) that the live cluster store equals
+// the transitive closure of the pairwise tables.
+func foldPartition(cut *snapshotCut, mts [][]match.Pair) [][][2]int {
+	cs := newClusterSet()
+	for i, cp := range cut.pairs {
+		for _, pr := range mts[i] {
+			cs.union(node{src: cp.p.left, idx: pr.RIndex}, node{src: cp.p.right, idx: pr.SIndex})
 		}
 	}
+	byRoot := map[node][]node{}
+	for n := range cs.parent {
+		root := cs.find(n)
+		byRoot[root] = append(byRoot[root], n)
+	}
+	return canonicalPartition(byRoot)
+}
+
+// canonicalPartition renders non-singleton clusters canonically:
+// members sorted by (source, index), clusters sorted by first member.
+func canonicalPartition(byRoot map[node][]node) [][][2]int {
 	var out [][][2]int
 	for _, ns := range byRoot {
 		if len(ns) < 2 {
@@ -115,100 +250,718 @@ func (h *Hub) partitionLocked() [][][2]int {
 	return out
 }
 
-// encodeSnapshot frames a snapshot payload. The frame sequence number
-// is watermark+1 so the zero watermark (no WAL yet) still frames
-// validly; the authoritative watermark lives in the payload.
-func encodeSnapshot(snap *hubSnap, watermark uint64) ([]byte, error) {
-	snap.Watermark = watermark
-	payload, err := json.Marshal(snap)
+// partitionLocked returns the canonical non-singleton cluster
+// partition. Callers hold h.clusterMu (and h.mu at least shared).
+func (h *Hub) partitionLocked() [][][2]int {
+	byRoot := map[node][]node{}
+	for si, s := range h.sources {
+		for i := 0; i < s.rel.Len(); i++ {
+			n := node{src: si, idx: i}
+			root := h.clusters.find(n)
+			byRoot[root] = append(byRoot[root], n)
+		}
+	}
+	return canonicalPartition(byRoot)
+}
+
+// ---------------------------------------------------------------------
+// Section encoding
+// ---------------------------------------------------------------------
+
+// chunkItems abstracts the three section bodies for size-budgeted
+// chunking: tuple lists, matching-pair lists, cluster lists.
+type chunkItems interface {
+	len() int
+	// estimate approximates item i's encoded size; it only needs to be
+	// deterministic and roughly proportional.
+	estimate(i int) int
+	// put encodes items [lo, hi) into the chunk.
+	put(c *snapChunk, lo, hi int)
+}
+
+type tupleItems []relation.Tuple
+
+func (t tupleItems) len() int { return len(t) }
+func (t tupleItems) estimate(i int) int {
+	n := 4
+	for _, v := range t[i] {
+		if v.IsNull() {
+			n += 12
+		} else {
+			n += len(v.Kind().String()) + len(v.String()) + 16
+		}
+	}
+	return n
+}
+func (t tupleItems) put(c *snapChunk, lo, hi int) {
+	c.Tuples = make([][]wal.ValueRec, hi-lo)
+	for i := lo; i < hi; i++ {
+		c.Tuples[i-lo] = wal.EncodeTuple(t[i])
+	}
+}
+
+type mtItems []match.Pair
+
+func (m mtItems) len() int         { return len(m) }
+func (m mtItems) estimate(int) int { return 24 }
+func (m mtItems) put(c *snapChunk, lo, hi int) {
+	c.MT = make([][2]int, hi-lo)
+	for i := lo; i < hi; i++ {
+		c.MT[i-lo] = [2]int{m[i].RIndex, m[i].SIndex}
+	}
+}
+
+type clusterItems [][][2]int
+
+func (cl clusterItems) len() int           { return len(cl) }
+func (cl clusterItems) estimate(i int) int { return 4 + 24*len(cl[i]) }
+func (cl clusterItems) put(c *snapChunk, lo, hi int) {
+	c.Clusters = cl[lo:hi:hi]
+}
+
+// sectionBody is the captured content of one section, ready to encode.
+type sectionBody struct {
+	kind   string
+	sec    int
+	name   string
+	schema *wal.SchemaRec
+	link   *wal.LinkRec
+	rlen   int
+	slen   int
+	items  chunkItems
+}
+
+// writeChunked splits items into budget-sized runs, encoding each via
+// encode and handing the payload to emit. The estimator is
+// approximate, so a run whose encoded payload still overflows the
+// frame cap is halved until it fits (a single item larger than the cap
+// is unrepresentable and fails loudly at the frame encoder). The split
+// is deterministic for given items and budget, so equal content always
+// yields equal bytes. Shared by snapshot sections and chunked
+// AddSource log groups.
+func writeChunked(items chunkItems, budget int, encode func(lo, hi int, first, last bool) ([]byte, error), emit func([]byte) error) error {
+	if budget <= 0 {
+		budget = wal.DefaultChunkPayload
+	}
+	// Leave halving headroom under the frame cap even when the budget
+	// override is set recklessly high.
+	if max := wal.FrameCap() / 2; budget > max {
+		budget = max
+	}
+	total := items.len()
+	lo := 0
+	for first := true; first || lo < total; first = false {
+		hi, est := lo, 0
+		for hi < total {
+			est += items.estimate(hi)
+			hi++
+			if est >= budget {
+				break
+			}
+		}
+		for {
+			payload, err := encode(lo, hi, first, hi == total)
+			if err != nil {
+				return err
+			}
+			if len(payload) > wal.FrameCap() && hi-lo > 1 {
+				hi = lo + (hi-lo)/2
+				continue
+			}
+			if err := emit(payload); err != nil {
+				return err
+			}
+			break
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// writeSectionChunks encodes the body as budget-sized chunks through
+// the section writer.
+func writeSectionChunks(sw *wal.SectionWriter, b *sectionBody, budget int) error {
+	encode := func(lo, hi int, first, last bool) ([]byte, error) {
+		c := snapChunk{V2: b.kind, Sec: b.sec, Chunk: sw.Chunks() + 1, Last: last}
+		if first {
+			c.Name, c.Schema, c.Link, c.RLen, c.SLen = b.name, b.schema, b.link, b.rlen, b.slen
+		}
+		if hi > lo {
+			b.items.put(&c, lo, hi)
+		}
+		payload, err := json.Marshal(c)
+		if err != nil {
+			return nil, fmt.Errorf("hub: snapshot: %w", err)
+		}
+		return payload, nil
+	}
+	emit := func(payload []byte) error {
+		if err := sw.WriteChunk(payload); err != nil {
+			return fmt.Errorf("hub: snapshot: %w", err)
+		}
+		return nil
+	}
+	return writeChunked(b.items, budget, encode, emit)
+}
+
+// sectionSink receives encoded sections: the stream sink concatenates
+// them into one writer; the directory sink gives each section its own
+// content-addressed file and can carry unchanged sections forward.
+type sectionSink interface {
+	// reuse reports whether a section with this identity and content is
+	// already persisted; on true it fills meta's Chunks/Bytes/Hash from
+	// the previous snapshot.
+	reuse(meta *snapSection) bool
+	// write encodes the body and fills meta's Chunks/Bytes/Hash.
+	write(meta *snapSection, body *sectionBody, budget int) error
+	// finish persists the manifest (the commit point).
+	finish(man *snapManifest) error
+}
+
+// writeSnapshotV2 drives a snapshot at the given cut through a sink:
+// capture each section under briefly-held locks, encode, write (or
+// carry forward), then commit the manifest. sectionHook, when non-nil,
+// runs after each section is persisted — the crash harness's
+// mid-snapshot kill point.
+func (h *Hub) writeSnapshotV2(cut *snapshotCut, sink sectionSink, budget int, sectionHook func(int) error) (*snapManifest, error) {
+	man := &snapManifest{V2: secManifest, Format: snapFormat, Watermark: cut.watermark}
+	allCarried := true
+	emit := func(meta *snapSection, body *sectionBody) error {
+		if err := sink.write(meta, body, budget); err != nil {
+			return err
+		}
+		if sectionHook != nil {
+			if err := sectionHook(len(man.Sections)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, cs := range cut.sources {
+		meta := snapSection{Kind: secSource, Name: cs.s.name, Items: cs.n}
+		if !sink.reuse(&meta) {
+			allCarried = false
+			sch := wal.EncodeSchema(cs.s.rel.Schema())
+			body := &sectionBody{
+				kind: secSource, sec: i, name: cs.s.name, schema: &sch,
+				items: tupleItems(h.copySourceTuples(cs)),
+			}
+			if err := emit(&meta, body); err != nil {
+				return nil, err
+			}
+		}
+		man.Sections = append(man.Sections, meta)
+	}
+	mts := make([][]match.Pair, len(cut.pairs))
+	for i, cp := range cut.pairs {
+		meta := snapSection{
+			Kind: secPair, Left: cp.p.spec.Left, Right: cp.p.spec.Right,
+			Items: cp.n, RLen: cp.rlen, SLen: cp.slen,
+		}
+		if !sink.reuse(&meta) {
+			allCarried = false
+			mts[i] = h.copyPairMT(cp)
+			link := linkRecFromSpec(cp.p.spec)
+			body := &sectionBody{
+				kind: secPair, sec: len(man.Sections), link: &link,
+				rlen: cp.rlen, slen: cp.slen, items: mtItems(mts[i]),
+			}
+			if err := emit(&meta, body); err != nil {
+				return nil, err
+			}
+		}
+		man.Sections = append(man.Sections, meta)
+	}
+	// The cluster partition is a function of the matching tables and
+	// side lengths, so it is unchanged exactly when every other section
+	// was carried forward.
+	clMeta := snapSection{Kind: secClusters}
+	if !allCarried || !sink.reuse(&clMeta) {
+		for i := range mts {
+			if mts[i] == nil {
+				mts[i] = h.copyPairMT(cut.pairs[i])
+			}
+		}
+		clusters := foldPartition(cut, mts)
+		clMeta.Items = len(clusters)
+		body := &sectionBody{kind: secClusters, sec: len(man.Sections), items: clusterItems(clusters)}
+		if err := emit(&clMeta, body); err != nil {
+			return nil, err
+		}
+	}
+	man.Sections = append(man.Sections, clMeta)
+	if err := sink.finish(man); err != nil {
+		return nil, err
+	}
+	return man, nil
+}
+
+// encodeManifest frames a manifest under sequence watermark+1.
+func encodeManifest(man *snapManifest) ([]byte, error) {
+	payload, err := json.Marshal(man)
 	if err != nil {
 		return nil, fmt.Errorf("hub: snapshot: %w", err)
 	}
-	frame, err := wal.EncodeRecord(watermark+1, payload)
+	frame, err := wal.EncodeRecord(man.Watermark+1, payload)
 	if err != nil {
 		return nil, fmt.Errorf("hub: snapshot: %w", err)
 	}
 	return frame, nil
 }
 
+// decodeManifest validates a manifest record.
+func decodeManifest(rec wal.Record) (*snapManifest, error) {
+	var man snapManifest
+	if err := json.Unmarshal(rec.Payload, &man); err != nil {
+		return nil, fmt.Errorf("hub: snapshot manifest: %w", err)
+	}
+	if man.V2 != secManifest || man.Format != snapFormat {
+		return nil, fmt.Errorf("hub: snapshot manifest: unsupported format %d", man.Format)
+	}
+	if rec.Seq != man.Watermark+1 {
+		return nil, fmt.Errorf("hub: snapshot manifest: frame sequence %d does not match watermark %d", rec.Seq, man.Watermark)
+	}
+	return &man, nil
+}
+
+// manifestPrefix is the byte prefix every canonical manifest payload
+// starts with (json.Marshal emits struct fields in order). Detection by
+// prefix keeps the stream reader from JSON-scanning every chunk twice;
+// a non-canonical manifest simply fails the load, consistent with the
+// WAL's canonical-frame stance.
+var manifestPrefix = []byte(`{"v2":"manifest"`)
+
+// streamSink writes every section back-to-back into one writer, the
+// manifest last — the SaveSnapshot wire form.
+type streamSink struct {
+	w io.Writer
+}
+
+func (s *streamSink) reuse(*snapSection) bool { return false }
+
+func (s *streamSink) write(meta *snapSection, body *sectionBody, budget int) error {
+	sw := wal.NewSectionWriter(s.w)
+	if err := writeSectionChunks(sw, body, budget); err != nil {
+		return err
+	}
+	meta.Chunks, meta.Bytes, meta.Hash = sw.Chunks(), sw.Bytes(), sw.Sum()
+	return nil
+}
+
+func (s *streamSink) finish(man *snapManifest) error {
+	frame, err := encodeManifest(man)
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Write(frame); err != nil {
+		return fmt.Errorf("hub: snapshot: %w", err)
+	}
+	return nil
+}
+
 // SaveSnapshot captures the hub's current state — sources, per-pair
-// federation state, cluster store — and writes it to w as one framed,
-// CRC-guarded record. It returns the WAL watermark the snapshot covers
-// (0 for a memory-only hub). Safe for concurrent use with ingest.
+// federation state, cluster store — and streams it to w as a chunked
+// format-2 snapshot: section frames first, the manifest frame last. It
+// returns the WAL watermark the snapshot covers (0 for a memory-only
+// hub). Safe for concurrent use with ingest: commits are blocked only
+// while the O(sources+pairs) cut is taken and while each section's
+// slice headers are copied, never for the encode or the writes.
 func (h *Hub) SaveSnapshot(w io.Writer) (uint64, error) {
 	h.mu.RLock()
 	h.clusterMu.Lock()
-	snap := h.captureLocked()
 	var watermark uint64
 	if h.per != nil {
 		watermark = h.per.log.LastSeq()
 	}
+	cut := h.cutLocked(watermark)
 	h.clusterMu.Unlock()
 	h.mu.RUnlock()
-	frame, err := encodeSnapshot(snap, watermark)
-	if err != nil {
+	if _, err := h.writeSnapshotV2(cut, &streamSink{w: w}, h.snapChunkBytes, nil); err != nil {
 		return 0, err
-	}
-	if _, err := w.Write(frame); err != nil {
-		return 0, fmt.Errorf("hub: snapshot: %w", err)
 	}
 	return watermark, nil
 }
 
-// LoadSnapshot rebuilds a hub from a snapshot written by SaveSnapshot
-// and returns it with the snapshot's watermark. The frame CRC, every
-// domain constructor, every pairwise matching table and the cluster
-// partition are re-verified; any mismatch fails the load.
-func LoadSnapshot(r io.Reader) (*Hub, uint64, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, 0, fmt.Errorf("hub: load snapshot: %w", err)
+// ---------------------------------------------------------------------
+// Section decoding
+// ---------------------------------------------------------------------
+
+// decSource is a decoded source section.
+type decSource struct {
+	name string
+	rel  *relation.Relation
+}
+
+// decPair is a decoded pair section.
+type decPair struct {
+	link       wal.LinkRec
+	rlen, slen int
+	mt         []match.Pair
+}
+
+// decSection is one fully decoded section plus the manifest entry it
+// reproduces (identity, counts, content address), for verification.
+type decSection struct {
+	meta     snapSection
+	src      *decSource
+	pair     *decPair
+	clusters [][][2]int
+}
+
+// sectionAccum decodes one section chunk-at-a-time: each chunk is
+// applied as it arrives (tuples are inserted into the relation
+// incrementally, so a jumbo source never exists as one decoded buffer),
+// and the section's content address — the SHA-256 of the raw frame
+// bytes exactly as read — accumulates as it goes.
+//
+// The Sec ordinal embedded in chunks is validated for internal
+// consistency only (every chunk of a section must declare the same
+// one), not against the manifest position: a carried-forward section
+// file keeps the ordinal it was written under even after the topology
+// grows around it; its identity is its content address.
+type sectionAccum struct {
+	sec    int       // position in the manifest/stream, for error messages
+	decSec int       // the Sec ordinal the section's chunks declare
+	sum    hash.Hash // sha256 over the raw frame bytes
+	chunks int
+	bytes  int64
+	meta   snapSection
+	done   bool
+
+	src      *decSource
+	pair     *decPair
+	clusters [][][2]int
+}
+
+func newSectionAccum(sec int) *sectionAccum {
+	return &sectionAccum{sec: sec, sum: sha256.New()}
+}
+
+func (a *sectionAccum) addChunk(rec wal.Record, raw []byte) error {
+	if a.done {
+		return fmt.Errorf("hub: snapshot section %d: chunk after final chunk", a.sec)
 	}
-	rec, err := wal.DecodeRecord(data)
-	if err != nil {
-		return nil, 0, fmt.Errorf("hub: load snapshot: %w", err)
+	var c snapChunk
+	if err := json.Unmarshal(rec.Payload, &c); err != nil {
+		return fmt.Errorf("hub: snapshot section %d: %w", a.sec, err)
 	}
-	var snap hubSnap
-	if err := json.Unmarshal(rec.Payload, &snap); err != nil {
-		return nil, 0, fmt.Errorf("hub: load snapshot: %w", err)
+	wantChunk := a.chunks + 1
+	if wantChunk == 1 {
+		a.decSec = c.Sec
 	}
-	if rec.Seq != snap.Watermark+1 {
-		return nil, 0, fmt.Errorf("hub: load snapshot: frame sequence %d does not match watermark %d", rec.Seq, snap.Watermark)
+	if c.Sec != a.decSec || c.Chunk != wantChunk || uint64(c.Chunk) != rec.Seq {
+		return fmt.Errorf("hub: snapshot section %d: chunk out of sequence (sec %d chunk %d, frame %d, want sec %d chunk %d)",
+			a.sec, c.Sec, c.Chunk, rec.Seq, a.decSec, wantChunk)
 	}
-	h := New()
-	for _, ss := range snap.Sources {
-		sch, err := wal.DecodeSchema(ss.Schema)
-		if err != nil {
-			return nil, 0, fmt.Errorf("hub: load snapshot: source %q: %w", ss.Name, err)
+	if wantChunk == 1 {
+		a.meta.Kind = c.V2
+		switch c.V2 {
+		case secSource:
+			if c.Schema == nil {
+				return fmt.Errorf("hub: snapshot section %d: source section without schema header", a.sec)
+			}
+			sch, err := wal.DecodeSchema(*c.Schema)
+			if err != nil {
+				return fmt.Errorf("hub: snapshot source %q: %w", c.Name, err)
+			}
+			a.src = &decSource{name: c.Name, rel: relation.New(sch)}
+			a.meta.Name = c.Name
+		case secPair:
+			if c.Link == nil {
+				return fmt.Errorf("hub: snapshot section %d: pair section without link header", a.sec)
+			}
+			a.pair = &decPair{link: *c.Link, rlen: c.RLen, slen: c.SLen}
+			a.meta.Left, a.meta.Right = c.Link.Left, c.Link.Right
+			a.meta.RLen, a.meta.SLen = c.RLen, c.SLen
+		case secClusters:
+		default:
+			return fmt.Errorf("hub: snapshot section %d: unknown section kind %q", a.sec, c.V2)
 		}
-		rel := relation.New(sch)
-		for i, tr := range ss.Tuples {
+	} else if c.V2 != a.meta.Kind {
+		return fmt.Errorf("hub: snapshot section %d: chunk kind %q in %q section", a.sec, c.V2, a.meta.Kind)
+	}
+	switch a.meta.Kind {
+	case secSource:
+		for i, tr := range c.Tuples {
 			t, err := wal.DecodeTuple(tr)
 			if err != nil {
-				return nil, 0, fmt.Errorf("hub: load snapshot: source %q tuple %d: %w", ss.Name, i, err)
+				return fmt.Errorf("hub: snapshot source %q tuple %d: %w", a.src.name, a.meta.Items+i, err)
 			}
-			if err := rel.Insert(t); err != nil {
-				return nil, 0, fmt.Errorf("hub: load snapshot: source %q tuple %d: %w", ss.Name, i, err)
+			if err := a.src.rel.Insert(t); err != nil {
+				return fmt.Errorf("hub: snapshot source %q tuple %d: %w", a.src.name, a.meta.Items+i, err)
 			}
 		}
-		if err := h.AddSource(ss.Name, rel); err != nil {
-			return nil, 0, fmt.Errorf("hub: load snapshot: %w", err)
+		a.meta.Items += len(c.Tuples)
+	case secPair:
+		for _, pr := range c.MT {
+			a.pair.mt = append(a.pair.mt, matchPair(pr))
+		}
+		a.meta.Items += len(c.MT)
+	case secClusters:
+		a.clusters = append(a.clusters, c.Clusters...)
+		a.meta.Items += len(c.Clusters)
+	}
+	a.sum.Write(raw)
+	a.chunks++
+	a.bytes += int64(len(raw))
+	if c.Last {
+		a.done = true
+	}
+	return nil
+}
+
+// finish validates terminal state and returns the decoded section.
+func (a *sectionAccum) finish() (*decSection, error) {
+	if !a.done {
+		return nil, fmt.Errorf("hub: snapshot section %d: truncated (no final chunk)", a.sec)
+	}
+	a.meta.Chunks, a.meta.Bytes, a.meta.Hash = a.chunks, a.bytes, hex.EncodeToString(a.sum.Sum(nil))
+	return &decSection{meta: a.meta, src: a.src, pair: a.pair, clusters: a.clusters}, nil
+}
+
+// matches verifies a decoded section against its manifest entry.
+func (d *decSection) matches(want snapSection) error {
+	got := d.meta
+	if !got.sameContent(want) || got.Chunks != want.Chunks || got.Bytes != want.Bytes || got.Hash != want.Hash {
+		return fmt.Errorf("hub: snapshot section %s %s%s-%s does not match its manifest entry",
+			want.Kind, want.Name, want.Left, want.Right)
+	}
+	return nil
+}
+
+// LoadSnapshot rebuilds a hub from a snapshot and returns it with the
+// snapshot's watermark. It sniffs the first frame: a format-1
+// single-frame snapshot (PR 3) loads through the legacy path; a
+// format-2 stream is decoded section-at-a-time, each section's chunks
+// handed to its own goroutine so independent sections rebuild in
+// parallel. Frame CRCs, section hashes, every domain constructor, every
+// pairwise matching table and the cluster partition are re-verified;
+// any mismatch fails the load.
+func LoadSnapshot(r io.Reader) (*Hub, uint64, error) {
+	sc := wal.NewFrameScanner(r)
+	rec, raw, err := sc.Next()
+	if err != nil {
+		return nil, 0, fmt.Errorf("hub: load snapshot: %w", err)
+	}
+	if !bytes.HasPrefix(rec.Payload, []byte(`{"v2":"`)) {
+		// Format 1: exactly one frame.
+		if _, _, err := sc.Next(); err != io.EOF {
+			return nil, 0, fmt.Errorf("hub: load snapshot: trailing data after single-record frame")
+		}
+		return loadSnapshotV1(rec)
+	}
+	return loadSnapshotV2Stream(sc, frameMsg{rec: rec, raw: raw})
+}
+
+// sectionFeed decodes one section's chunks on its own goroutine.
+type sectionFeed struct {
+	ch  chan frameMsg
+	res chan secResult
+}
+
+// frameMsg carries one frame plus its raw bytes (hashed for the
+// section's content address).
+type frameMsg struct {
+	rec wal.Record
+	raw []byte
+}
+
+type secResult struct {
+	sec *decSection
+	err error
+}
+
+func startSectionFeed(sec int) *sectionFeed {
+	f := &sectionFeed{ch: make(chan frameMsg, 4), res: make(chan secResult, 1)}
+	go func() {
+		a := newSectionAccum(sec)
+		var err error
+		for msg := range f.ch {
+			if err != nil {
+				continue // drain
+			}
+			err = a.addChunk(msg.rec, msg.raw)
+		}
+		if err != nil {
+			f.res <- secResult{err: err}
+			return
+		}
+		d, err := a.finish()
+		f.res <- secResult{sec: d, err: err}
+	}()
+	return f
+}
+
+// loadSnapshotV2Stream reads a format-2 stream: section frames
+// (sequence numbers restarting at 1 per section) followed by the
+// manifest frame. Each section is decoded by its own goroutine while
+// the reader streams ahead.
+func loadSnapshotV2Stream(sc *wal.FrameScanner, first frameMsg) (*Hub, uint64, error) {
+	var (
+		feeds []*sectionFeed
+		open  bool
+		man   *snapManifest
+	)
+	closeOpen := func() {
+		if open {
+			close(feeds[len(feeds)-1].ch)
+			open = false
 		}
 	}
-	for _, ps := range snap.Pairs {
-		spec, err := specFromLinkRec(ps.Link)
+	drain := func() {
+		closeOpen()
+		for _, f := range feeds {
+			<-f.res
+		}
+	}
+	fail := func(err error) (*Hub, uint64, error) {
+		drain()
+		return nil, 0, err
+	}
+	msg := first
+	for {
+		if bytes.HasPrefix(msg.rec.Payload, manifestPrefix) {
+			closeOpen()
+			m, err := decodeManifest(msg.rec)
+			if err != nil {
+				return fail(err)
+			}
+			man = m
+			if _, _, err := sc.Next(); err != io.EOF {
+				return fail(fmt.Errorf("hub: load snapshot: trailing data after manifest"))
+			}
+			break
+		}
+		if msg.rec.Seq == 1 {
+			closeOpen()
+			feeds = append(feeds, startSectionFeed(len(feeds)))
+			open = true
+		} else if !open {
+			return fail(fmt.Errorf("hub: load snapshot: continuation frame %d with no open section", msg.rec.Seq))
+		}
+		feeds[len(feeds)-1].ch <- msg
+
+		rec, raw, err := sc.Next()
+		if err == io.EOF {
+			return fail(fmt.Errorf("hub: load snapshot: stream ends without a manifest"))
+		}
 		if err != nil {
-			return nil, 0, fmt.Errorf("hub: load snapshot: link %q-%q: %w", ps.Link.Left, ps.Link.Right, err)
+			return fail(fmt.Errorf("hub: load snapshot: %w", err))
 		}
-		st := federate.State{RLen: ps.RLen, SLen: ps.SLen}
-		for _, pr := range ps.MT {
-			st.Pairs = append(st.Pairs, matchPair(pr))
+		msg = frameMsg{rec: rec, raw: raw}
+	}
+	secs := make([]*decSection, len(feeds))
+	var firstErr error
+	for i, f := range feeds {
+		r := <-f.res
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
 		}
+		secs[i] = r.sec
+	}
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	if len(man.Sections) != len(secs) {
+		return nil, 0, fmt.Errorf("hub: load snapshot: manifest lists %d sections, stream holds %d", len(man.Sections), len(secs))
+	}
+	for i, sec := range secs {
+		if err := sec.matches(man.Sections[i]); err != nil {
+			return nil, 0, err
+		}
+	}
+	h, err := assembleHub(secs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return h, man.Watermark, nil
+}
+
+// ---------------------------------------------------------------------
+// Assembly
+// ---------------------------------------------------------------------
+
+// assembleHub builds a hub from decoded sections: sources registered in
+// section order, pairwise federations re-verified in parallel through
+// federate.Restore, links folded sequentially, and the saved cluster
+// partition checked against the refold.
+func assembleHub(secs []*decSection) (*Hub, error) {
+	h := New()
+	var pairs []*decPair
+	var clusters [][][2]int
+	clustersSeen := false
+	for _, s := range secs {
+		switch s.meta.Kind {
+		case secSource:
+			if err := h.addSourceOwned(s.src.name, s.src.rel); err != nil {
+				return nil, fmt.Errorf("hub: load snapshot: %w", err)
+			}
+		case secPair:
+			pairs = append(pairs, s.pair)
+		case secClusters:
+			if clustersSeen {
+				return nil, fmt.Errorf("hub: load snapshot: duplicate clusters section")
+			}
+			clustersSeen = true
+			clusters = s.clusters
+		}
+	}
+	if !clustersSeen {
+		return nil, fmt.Errorf("hub: load snapshot: no clusters section")
+	}
+	// Re-verify every pairwise federation concurrently: Restore rebuilds
+	// the matching table from the loaded relations and proves it equals
+	// the saved one — the expensive, independent step.
+	specs := make([]PairSpec, len(pairs))
+	feds := make([]*federate.Federation, len(pairs))
+	errs := make([]error, len(pairs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i, dp := range pairs {
+		wg.Add(1)
+		go func(i int, dp *decPair) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			spec, err := specFromLinkRec(dp.link)
+			if err != nil {
+				errs[i] = fmt.Errorf("hub: load snapshot: link %q-%q: %w", dp.link.Left, dp.link.Right, err)
+				return
+			}
+			li, ok := h.byName[spec.Left]
+			if !ok {
+				errs[i] = fmt.Errorf("hub: load snapshot: link references unknown source %q", spec.Left)
+				return
+			}
+			ri, ok := h.byName[spec.Right]
+			if !ok {
+				errs[i] = fmt.Errorf("hub: load snapshot: link references unknown source %q", spec.Right)
+				return
+			}
+			st := federate.State{RLen: dp.rlen, SLen: dp.slen, Pairs: dp.mt}
+			fed, err := federate.Restore(h.matchConfig(li, ri, spec), st)
+			if err != nil {
+				errs[i] = fmt.Errorf("hub: load snapshot: link %q-%q: %w", spec.Left, spec.Right, err)
+				return
+			}
+			specs[i], feds[i] = spec, fed
+		}(i, dp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := range pairs {
 		h.mu.Lock()
-		err = h.linkLocked(spec, &st)
+		err := h.linkRestored(specs[i], feds[i])
 		h.mu.Unlock()
 		if err != nil {
-			return nil, 0, fmt.Errorf("hub: load snapshot: %w", err)
+			return nil, fmt.Errorf("hub: load snapshot: %w", err)
 		}
 	}
 	h.mu.RLock()
@@ -216,10 +969,19 @@ func LoadSnapshot(r io.Reader) (*Hub, uint64, error) {
 	refolded := h.partitionLocked()
 	h.clusterMu.Unlock()
 	h.mu.RUnlock()
-	if !partitionsEqual(refolded, snap.Clusters) {
-		return nil, 0, fmt.Errorf("hub: load snapshot: cluster store does not match the refolded pairwise matching tables")
+	if !partitionsEqual(refolded, clusters) {
+		return nil, fmt.Errorf("hub: load snapshot: cluster store does not match the refolded pairwise matching tables")
 	}
-	return h, snap.Watermark, nil
+	return h, nil
+}
+
+// maxParallel bounds concurrent section work during loads.
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	return n
 }
 
 func partitionsEqual(a, b [][][2]int) bool {

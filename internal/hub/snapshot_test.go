@@ -1,0 +1,455 @@
+package hub
+
+// Tests for the chunked, incremental, streaming snapshot subsystem:
+// byte-determinism of the stream form, the multi-chunk path past a
+// (test-lowered) WAL frame cap that format 1 cannot cross, chunked
+// jumbo AddSource logging, carry-forward economics of incremental
+// snapshots, format-1 compatibility, and v2 tamper detection.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"entityid/internal/datagen"
+	"entityid/internal/relation"
+	"entityid/internal/wal"
+)
+
+// multiHub builds an ingested in-memory hub over a standard workload.
+func multiHub(t *testing.T, cfg datagen.MultiConfig) (*Hub, *datagen.MultiWorkload) {
+	t.Helper()
+	w := datagen.MustMultiGenerate(cfg)
+	h, err := NewFromMulti(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range h.IngestBatch(MultiInserts(w), 4) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	return h, w
+}
+
+// TestSnapshotDeterministicRoundTrip pins snapshot→load→snapshot
+// byte-identity: the stream a loaded hub saves is exactly the stream it
+// was loaded from, chunk boundaries, hashes and manifest included.
+func TestSnapshotDeterministicRoundTrip(t *testing.T) {
+	h, _ := multiHub(t, datagen.MultiConfig{
+		Sources: 3, Entities: 30, PresenceFrac: 0.7, HomonymRate: 0.2,
+		MissingPhone: 0.1, DirtyPhone: 0.2, Seed: 41,
+	})
+	var buf1 bytes.Buffer
+	if _, err := h.SaveSnapshot(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	h2, wm, err := LoadSnapshot(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm != 0 {
+		t.Fatalf("memory-only snapshot watermark %d", wm)
+	}
+	mustEqualState(t, "stream round trip", stateOf(h2), stateOf(h))
+	var buf2 bytes.Buffer
+	if _, err := h2.SaveSnapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatalf("snapshot→load→snapshot is not byte-identical: %d vs %d bytes", buf1.Len(), buf2.Len())
+	}
+}
+
+// TestSnapshotMultiChunkBeyondV1FrameCap lowers the WAL frame cap so
+// the hub's encoded state no longer fits one frame: the format-1
+// encoder must fail (the 256MB ceiling in miniature), while the
+// chunked snapshot both streams and persists it — multi-chunk sections,
+// every frame under the cap — and recovers it bit-for-bit.
+func TestSnapshotMultiChunkBeyondV1FrameCap(t *testing.T) {
+	restore := wal.SetFrameCapForTesting(16 << 10)
+	defer restore()
+
+	h, w := multiHub(t, datagen.MultiConfig{
+		Sources: 3, Entities: 60, PresenceFrac: 0.7, HomonymRate: 0.2,
+		MissingPhone: 0.1, DirtyPhone: 0.2, Seed: 43,
+	})
+	h.snapChunkBytes = 2 << 10
+
+	// Format 1 cannot hold this hub in one frame.
+	h.mu.RLock()
+	h.clusterMu.Lock()
+	v1 := h.captureLocked()
+	h.clusterMu.Unlock()
+	h.mu.RUnlock()
+	if _, err := encodeSnapshot(v1, 0); err == nil {
+		t.Fatal("format-1 encoder fit a hub beyond the frame cap; grow the workload")
+	}
+
+	// The chunked stream form handles it.
+	var buf bytes.Buffer
+	if _, err := h.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := wal.NewFrameScanner(bytes.NewReader(buf.Bytes()))
+	frames, restarts := 0, 0
+	for {
+		rec, _, err := sc.Next()
+		if err != nil {
+			break
+		}
+		frames++
+		if rec.Seq == 1 {
+			restarts++
+		}
+	}
+	if frames < 8 || restarts < 4 {
+		t.Fatalf("expected a genuinely multi-chunk stream, got %d frames, %d sections", frames, restarts)
+	}
+	h2, _, err := LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualState(t, "multi-chunk stream round trip", stateOf(h2), stateOf(h))
+
+	// And the durable path: a hub too big for one frame still snapshots
+	// to disk and recovers (multi-chunk section files), with a jumbo
+	// AddSource seed relation chunked across source_begin/source_chunk
+	// records on the way in.
+	dir := t.TempDir()
+	dh, _, err := Open(dir, Options{ChunkBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := relation.New(w.Relations[0].Schema())
+	for _, tup := range w.Relations[0].Tuples() {
+		if err := seed.Insert(tup.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dh.AddSource("jumbo", seed); err != nil {
+		t.Fatalf("jumbo AddSource: %v", err)
+	}
+	for k, name := range w.Names {
+		if err := dh.AddSource(name, relation.New(w.Relations[k].Schema())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < len(w.Names); i++ {
+		for j := i + 1; j < len(w.Names); j++ {
+			if err := dh.Link(SpecFromMultiPair(w.Pair(i, j))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, it := range MultiInserts(w) {
+		if _, err := dh.Insert(it.Source, it.Tuple); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dh.SnapshotNow(); err != nil {
+		t.Fatalf("chunked snapshot of an over-cap hub: %v", err)
+	}
+	want := stateOf(dh)
+	if err := dh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rh, info, err := Open(dir, Options{ChunkBytes: 2 << 10})
+	if err != nil {
+		t.Fatalf("recover over-cap hub: %v", err)
+	}
+	defer rh.Close()
+	if !info.FromSnapshot || info.Replayed != 0 {
+		t.Fatalf("recovery ignored the chunked snapshot: FromSnapshot=%v Replayed=%d", info.FromSnapshot, info.Replayed)
+	}
+	mustEqualState(t, "over-cap durable recovery", stateOf(rh), want)
+}
+
+// TestJumboAddSourceReplaysFromChunks pins the chunked AddSource log
+// path without a snapshot: the seed relation splits across
+// source_begin/source_chunk records and replays to the identical
+// relation.
+func TestJumboAddSourceReplaysFromChunks(t *testing.T) {
+	w := datagen.MustMultiGenerate(datagen.MultiConfig{
+		Sources: 1, Entities: 40, PresenceFrac: 1, Seed: 17,
+	})
+	dir := t.TempDir()
+	h, _, err := Open(dir, Options{ChunkBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddSource(w.Names[0], w.Relations[0]); err != nil {
+		t.Fatal(err)
+	}
+	want := stateOf(h)
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The log must actually contain a chunked group.
+	data, err := os.ReadFile(filepath.Join(dir, "wal-"+fmt.Sprintf("%020d", 1)+".log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), wal.TypeSourceBegin) {
+		t.Fatal("jumbo AddSource was not chunked")
+	}
+	h2, info, err := Open(dir, Options{ChunkBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if got, wantN := info.Replayed, 1+countChunks(string(data)); got != wantN {
+		t.Fatalf("replayed %d records, want %d (begin + chunks)", got, wantN)
+	}
+	mustEqualState(t, "jumbo replay", stateOf(h2), want)
+}
+
+func countChunks(log string) int {
+	return strings.Count(log, `"type":"`+wal.TypeSourceChunk+`"`)
+}
+
+// TestSnapshotIncrementalCarryForward pins the economics: when almost
+// nothing changed between snapshots, almost nothing is rewritten —
+// unchanged source sections carry forward by reference and the bytes
+// written are o(full state).
+func TestSnapshotIncrementalCarryForward(t *testing.T) {
+	w := datagen.MustMultiGenerate(datagen.MultiConfig{
+		Sources: 4, Entities: 120, PresenceFrac: 0.7, HomonymRate: 0.1,
+		MissingPhone: 0.1, DirtyPhone: 0.1, Seed: 47,
+	})
+	dir := t.TempDir()
+	h, _ := openDurableMulti(t, dir, w, 0)
+	items := MultiInserts(w)
+	for _, it := range items {
+		if _, err := h.Insert(it.Source, it.Tuple); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	full := h.LastSnapshot()
+	if full.SectionsWritten == 0 || full.BytesWritten == 0 {
+		t.Fatalf("full snapshot wrote nothing: %+v", full)
+	}
+	if full.SectionsReused != 0 {
+		t.Fatalf("first snapshot reused sections: %+v", full)
+	}
+
+	// An unchanged hub re-snapshots for (almost) free: every section
+	// carries forward, only the manifest is rewritten.
+	if err := h.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	idle := h.LastSnapshot()
+	if idle.SectionsWritten != 0 || idle.SectionsReused != full.SectionsWritten {
+		t.Fatalf("idle snapshot rewrote sections: %+v (full %+v)", idle, full)
+	}
+
+	// Change one source (~1% of tuples): only that source's section,
+	// the pair sections it participates in and the partition re-encode.
+	extra := datagen.MustMultiGenerate(datagen.MultiConfig{
+		Sources: 4, Entities: 2, PresenceFrac: 1, Seed: 48,
+	})
+	n := 0
+	for _, tup := range extra.Relations[0].Tuples() {
+		if _, err := h.Insert(w.Names[0], tup.Clone()); err == nil {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no incremental inserts landed")
+	}
+	if err := h.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	incr := h.LastSnapshot()
+	unchangedSources := len(w.Names) - 1
+	if incr.SectionsReused < unchangedSources {
+		t.Fatalf("incremental snapshot reused %d sections, want at least the %d unchanged sources (%+v)",
+			incr.SectionsReused, unchangedSources, incr)
+	}
+	if incr.BytesWritten*2 >= full.BytesWritten {
+		t.Fatalf("incremental snapshot wrote %d bytes, not o(full %d)", incr.BytesWritten, full.BytesWritten)
+	}
+	want := stateOf(h)
+	h.per.quiesce()
+	h2, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if !info.FromSnapshot || info.Replayed != 0 {
+		t.Fatalf("incremental snapshot not used for recovery: %+v", info)
+	}
+	mustEqualState(t, "incremental recovery", stateOf(h2), want)
+}
+
+// TestFormatV1SnapshotStillLoads writes a PR 3 single-frame snapshot
+// into a data directory and recovers from it: the legacy format must
+// keep loading (and the next snapshot upgrades the directory to the
+// chunked format).
+func TestFormatV1SnapshotStillLoads(t *testing.T) {
+	w := datagen.MustMultiGenerate(datagen.MultiConfig{
+		Sources: 3, Entities: 24, PresenceFrac: 0.7, HomonymRate: 0.2,
+		MissingPhone: 0.1, DirtyPhone: 0.2, Seed: 53,
+	})
+	dir := t.TempDir()
+	h, _ := openDurableMulti(t, dir, w, 0)
+	for _, it := range MultiInserts(w) {
+		if _, err := h.Insert(it.Source, it.Tuple); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Write the legacy single-frame snapshot exactly as PR 3 did.
+	h.mu.RLock()
+	h.clusterMu.Lock()
+	snap := h.captureLocked()
+	watermark := h.per.log.LastSeq()
+	h.clusterMu.Unlock()
+	h.mu.RUnlock()
+	frame, err := encodeSnapshot(snap, watermark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want := stateOf(h)
+	h.per.quiesce()
+
+	h2, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recover from format-1 snapshot: %v", err)
+	}
+	if !info.FromSnapshot || info.Watermark != watermark {
+		t.Fatalf("format-1 snapshot not used: %+v", info)
+	}
+	mustEqualState(t, "format-1 recovery", stateOf(h2), want)
+
+	// The next snapshot upgrades in place: manifest + sections appear,
+	// the legacy file is retired, and recovery keeps working.
+	if err := h2.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); !os.IsNotExist(err) {
+		t.Fatalf("legacy snapshot file not retired after upgrade: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotManifest)); err != nil {
+		t.Fatalf("no manifest after upgrade: %v", err)
+	}
+	h2.per.quiesce()
+	h3, info3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h3.Close()
+	if !info3.FromSnapshot || info3.Replayed != 0 {
+		t.Fatalf("upgraded snapshot not used: %+v", info3)
+	}
+	mustEqualState(t, "post-upgrade recovery", stateOf(h3), want)
+}
+
+// TestSnapshotV2TamperDetection corrupts the chunked form three ways —
+// a flipped bit in the stream (frame CRC), a doctored section file
+// (content hash), and a doctored manifest (its own frame CRC) — all of
+// which must fail the load.
+func TestSnapshotV2TamperDetection(t *testing.T) {
+	h, w := multiHub(t, datagen.MultiConfig{
+		Sources: 3, Entities: 24, PresenceFrac: 0.7, HomonymRate: 0.2,
+		MissingPhone: 0.1, DirtyPhone: 0.2, Seed: 59,
+	})
+	var buf bytes.Buffer
+	if _, err := h.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{buf.Len() / 3, buf.Len() / 2, buf.Len() - 20} {
+		rotted := append([]byte(nil), buf.Bytes()...)
+		rotted[pos] ^= 0x04
+		if _, _, err := LoadSnapshot(bytes.NewReader(rotted)); err == nil {
+			t.Fatalf("bit-rotted stream (offset %d) loaded", pos)
+		}
+	}
+
+	// On-disk: flip a byte inside a section file; the manifest hash
+	// must catch it even though the file's own frames may still parse.
+	dir := t.TempDir()
+	dh, _ := openDurableMulti(t, dir, w, 0)
+	for _, it := range MultiInserts(w) {
+		if _, err := dh.Insert(it.Source, it.Tuple); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dh.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	secs, err := filepath.Glob(filepath.Join(dir, snapSecDir, "*"+snapSecSuffix))
+	if err != nil || len(secs) == 0 {
+		t.Fatalf("sections: %v %v", secs, err)
+	}
+	data, err := os.ReadFile(secs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(secs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("doctored section file loaded")
+	}
+}
+
+// TestSaveSnapshotDuringIngest exercises SaveSnapshot concurrently with
+// a streaming ingest (run under -race): the cut must be internally
+// consistent — the loaded hub verifies or the load fails, never a torn
+// capture.
+func TestSaveSnapshotDuringIngest(t *testing.T) {
+	w := datagen.MustMultiGenerate(datagen.MultiConfig{
+		Sources: 3, Entities: 60, PresenceFrac: 0.7, HomonymRate: 0.2,
+		MissingPhone: 0.1, DirtyPhone: 0.2, Seed: 61,
+	})
+	h, err := NewFromMulti(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := MultiInserts(w)
+	done := make(chan []InsertResult, 1)
+	go func() { done <- h.IngestBatch(items, 4) }()
+	for i := 0; i < 5; i++ {
+		var buf bytes.Buffer
+		if _, err := h.SaveSnapshot(&buf); err != nil {
+			t.Errorf("concurrent snapshot %d: %v", i, err)
+			continue
+		}
+		h2, _, err := LoadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Errorf("concurrent snapshot %d failed verification: %v", i, err)
+			continue
+		}
+		if got := h2.Stats().Tuples; got > len(items) {
+			t.Errorf("concurrent snapshot %d holds %d tuples, more than ever ingested", i, got)
+		}
+	}
+	for _, res := range <-done {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	// The final quiescent snapshot round-trips exactly.
+	var buf bytes.Buffer
+	if _, err := h.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualState(t, "post-ingest snapshot", stateOf(h2), stateOf(h))
+}

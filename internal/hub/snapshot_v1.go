@@ -1,0 +1,153 @@
+// Format-1 snapshots: the PR 3 encoding — the entire federation state
+// as a single CRC-framed JSON record. Kept for compatibility (a data
+// directory written by an older build must still recover; LoadSnapshot
+// version-sniffs the first frame) and as the baseline the bench
+// workflow compares the chunked format against. New snapshots are
+// always written in format 2 (snapshot.go); the single frame caps a
+// format-1 snapshot at the WAL frame limit, which is exactly the
+// ceiling the chunked format removes.
+package hub
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"entityid/internal/relation"
+	"entityid/internal/wal"
+)
+
+// hubSnap is the format-1 snapshot payload.
+type hubSnap struct {
+	// Watermark is the last WAL sequence number the snapshot covers;
+	// replay resumes after it.
+	Watermark uint64       `json:"watermark"`
+	Sources   []sourceSnap `json:"sources"`
+	Pairs     []pairSnap   `json:"pairs"`
+	// Clusters is the canonical non-singleton cluster partition, each
+	// cluster a sorted list of (source ordinal, tuple index) pairs,
+	// clusters sorted by first member. Singletons are implicit.
+	Clusters [][][2]int `json:"clusters,omitempty"`
+}
+
+// sourceSnap is one source: schema plus canonical tuples.
+type sourceSnap struct {
+	Name   string           `json:"name"`
+	Schema wal.SchemaRec    `json:"schema"`
+	Tuples [][]wal.ValueRec `json:"tuples,omitempty"`
+}
+
+// pairSnap is one link: its spec and the exported federation state.
+type pairSnap struct {
+	Link wal.LinkRec `json:"link"`
+	MT   [][2]int    `json:"mt,omitempty"`
+	RLen int         `json:"rlen"`
+	SLen int         `json:"slen"`
+}
+
+// captureLocked copies the hub state into a format-1 snapshot payload.
+// Callers hold h.mu (at least shared) and h.clusterMu. Retained for the
+// compatibility tests and the bench baseline; the production path
+// captures per-section instead (snapshot.go).
+func (h *Hub) captureLocked() *hubSnap {
+	snap := &hubSnap{}
+	for _, s := range h.sources {
+		ss := sourceSnap{
+			Name:   s.name,
+			Schema: wal.EncodeSchema(s.rel.Schema()),
+			Tuples: wal.EncodeTuples(s.rel.Tuples()),
+		}
+		snap.Sources = append(snap.Sources, ss)
+	}
+	for _, p := range h.pairs {
+		st := p.fed.Export()
+		ps := pairSnap{Link: linkRecFromSpec(p.spec), RLen: st.RLen, SLen: st.SLen}
+		for _, pr := range st.Pairs {
+			ps.MT = append(ps.MT, [2]int{pr.RIndex, pr.SIndex})
+		}
+		snap.Pairs = append(snap.Pairs, ps)
+	}
+	snap.Clusters = h.partitionLocked()
+	return snap
+}
+
+// encodeSnapshot frames a format-1 snapshot payload. The frame sequence
+// number is watermark+1 so the zero watermark (no WAL yet) still frames
+// validly; the authoritative watermark lives in the payload. A payload
+// beyond the WAL frame cap fails here — the format-1 ceiling.
+func encodeSnapshot(snap *hubSnap, watermark uint64) ([]byte, error) {
+	snap.Watermark = watermark
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("hub: snapshot: %w", err)
+	}
+	frame, err := wal.EncodeRecord(watermark+1, payload)
+	if err != nil {
+		return nil, fmt.Errorf("hub: snapshot: %w", err)
+	}
+	return frame, nil
+}
+
+// EncodeLegacySnapshot renders the hub as a format-1 single-frame
+// snapshot — the PR 3 encoding — for the bench workflow that tracks
+// chunked vs single-frame recovery and for compatibility fixtures. It
+// fails when the encoded hub exceeds the WAL frame cap: the format's
+// defining limitation, and the reason new snapshots are chunked.
+func (h *Hub) EncodeLegacySnapshot() ([]byte, error) {
+	h.mu.RLock()
+	h.clusterMu.Lock()
+	snap := h.captureLocked()
+	var watermark uint64
+	if h.per != nil {
+		watermark = h.per.log.LastSeq()
+	}
+	h.clusterMu.Unlock()
+	h.mu.RUnlock()
+	return encodeSnapshot(snap, watermark)
+}
+
+// loadSnapshotV1 rebuilds a hub from a decoded format-1 frame by
+// converting it into the section form and running the shared assembly
+// (parallel federate.Restore verification, cluster refold check).
+func loadSnapshotV1(rec wal.Record) (*Hub, uint64, error) {
+	var snap hubSnap
+	if err := json.Unmarshal(rec.Payload, &snap); err != nil {
+		return nil, 0, fmt.Errorf("hub: load snapshot: %w", err)
+	}
+	if rec.Seq != snap.Watermark+1 {
+		return nil, 0, fmt.Errorf("hub: load snapshot: frame sequence %d does not match watermark %d", rec.Seq, snap.Watermark)
+	}
+	var secs []*decSection
+	for _, ss := range snap.Sources {
+		sch, err := wal.DecodeSchema(ss.Schema)
+		if err != nil {
+			return nil, 0, fmt.Errorf("hub: load snapshot: source %q: %w", ss.Name, err)
+		}
+		rel := relation.New(sch)
+		for i, tr := range ss.Tuples {
+			t, err := wal.DecodeTuple(tr)
+			if err != nil {
+				return nil, 0, fmt.Errorf("hub: load snapshot: source %q tuple %d: %w", ss.Name, i, err)
+			}
+			if err := rel.Insert(t); err != nil {
+				return nil, 0, fmt.Errorf("hub: load snapshot: source %q tuple %d: %w", ss.Name, i, err)
+			}
+		}
+		secs = append(secs, &decSection{
+			meta: snapSection{Kind: secSource, Name: ss.Name},
+			src:  &decSource{name: ss.Name, rel: rel},
+		})
+	}
+	for _, ps := range snap.Pairs {
+		dp := &decPair{link: ps.Link, rlen: ps.RLen, slen: ps.SLen}
+		for _, pr := range ps.MT {
+			dp.mt = append(dp.mt, matchPair(pr))
+		}
+		secs = append(secs, &decSection{meta: snapSection{Kind: secPair}, pair: dp})
+	}
+	secs = append(secs, &decSection{meta: snapSection{Kind: secClusters}, clusters: snap.Clusters})
+	h, err := assembleHub(secs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return h, snap.Watermark, nil
+}

@@ -21,34 +21,60 @@ import (
 	"entityid/internal/value"
 )
 
-// The record types.
+// The record types. A jumbo source registration whose seed relation
+// would overflow one frame is logged as a source_begin record followed
+// by source_chunk continuation records; the group commits atomically at
+// the final chunk, and replay discards a group the log abandons
+// mid-way (a crashed or failed AddSource was never acknowledged).
 const (
-	TypeAddSource = "add_source"
-	TypeLink      = "link"
-	TypeInsert    = "insert"
+	TypeAddSource   = "add_source"
+	TypeLink        = "link"
+	TypeInsert      = "insert"
+	TypeSourceBegin = "source_begin"
+	TypeSourceChunk = "source_chunk"
 )
 
 // Envelope is the one-of payload wrapper; exactly the body named by
 // Type is set.
 type Envelope struct {
-	Type      string        `json:"type"`
-	AddSource *AddSourceRec `json:"add_source,omitempty"`
-	Link      *LinkRec      `json:"link,omitempty"`
-	Insert    *InsertRec    `json:"insert,omitempty"`
+	Type        string          `json:"type"`
+	AddSource   *AddSourceRec   `json:"add_source,omitempty"`
+	Link        *LinkRec        `json:"link,omitempty"`
+	Insert      *InsertRec      `json:"insert,omitempty"`
+	SourceBegin *SourceBeginRec `json:"source_begin,omitempty"`
+	SourceChunk *SourceChunkRec `json:"source_chunk,omitempty"`
+}
+
+// bodies counts the set body pointers and reports whether the one
+// matching Type is among them.
+func (e Envelope) bodyOK() bool {
+	set := 0
+	for _, present := range []bool{e.AddSource != nil, e.Link != nil, e.Insert != nil, e.SourceBegin != nil, e.SourceChunk != nil} {
+		if present {
+			set++
+		}
+	}
+	if set != 1 {
+		return false
+	}
+	switch e.Type {
+	case TypeAddSource:
+		return e.AddSource != nil
+	case TypeLink:
+		return e.Link != nil
+	case TypeInsert:
+		return e.Insert != nil
+	case TypeSourceBegin:
+		return e.SourceBegin != nil
+	case TypeSourceChunk:
+		return e.SourceChunk != nil
+	}
+	return false
 }
 
 // Encode marshals the envelope after checking the body matches Type.
 func (e Envelope) Encode() ([]byte, error) {
-	ok := false
-	switch e.Type {
-	case TypeAddSource:
-		ok = e.AddSource != nil && e.Link == nil && e.Insert == nil
-	case TypeLink:
-		ok = e.Link != nil && e.AddSource == nil && e.Insert == nil
-	case TypeInsert:
-		ok = e.Insert != nil && e.AddSource == nil && e.Link == nil
-	}
-	if !ok {
+	if !e.bodyOK() {
 		return nil, fmt.Errorf("wal: envelope type %q does not match its body", e.Type)
 	}
 	return json.Marshal(e)
@@ -61,17 +87,9 @@ func DecodeEnvelope(payload []byte) (Envelope, error) {
 		return Envelope{}, fmt.Errorf("wal: decode envelope: %w", err)
 	}
 	switch e.Type {
-	case TypeAddSource:
-		if e.AddSource == nil {
-			return Envelope{}, fmt.Errorf("wal: %s record without body", e.Type)
-		}
-	case TypeLink:
-		if e.Link == nil {
-			return Envelope{}, fmt.Errorf("wal: %s record without body", e.Type)
-		}
-	case TypeInsert:
-		if e.Insert == nil {
-			return Envelope{}, fmt.Errorf("wal: %s record without body", e.Type)
+	case TypeAddSource, TypeLink, TypeInsert, TypeSourceBegin, TypeSourceChunk:
+		if !e.bodyOK() {
+			return Envelope{}, fmt.Errorf("wal: %s record without matching body", e.Type)
 		}
 	default:
 		return Envelope{}, fmt.Errorf("wal: unknown record type %q", e.Type)
@@ -85,6 +103,22 @@ type AddSourceRec struct {
 	Name   string       `json:"name"`
 	Schema SchemaRec    `json:"schema"`
 	Tuples [][]ValueRec `json:"tuples,omitempty"`
+}
+
+// SourceBeginRec opens a chunked source registration: the schema comes
+// first, the seed tuples follow in source_chunk records, and nothing
+// commits until the final chunk arrives.
+type SourceBeginRec struct {
+	Name   string    `json:"name"`
+	Schema SchemaRec `json:"schema"`
+}
+
+// SourceChunkRec is one continuation batch of a chunked source
+// registration. Final marks the commit point of the group.
+type SourceChunkRec struct {
+	Name   string       `json:"name"`
+	Tuples [][]ValueRec `json:"tuples,omitempty"`
+	Final  bool         `json:"final,omitempty"`
 }
 
 // LinkRec is a pair link: the full per-pair identification knowledge.

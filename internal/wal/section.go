@@ -1,0 +1,111 @@
+// Section/continuation framing: the primitives behind jumbo logical
+// records that do not fit one CRC frame. A *section* is an ordered run
+// of frames whose sequence numbers restart at 1 — the hub's chunked
+// snapshot stores one section per source, per pair and for the cluster
+// partition, and reads them back independently (and in parallel, when
+// each section lives in its own file).
+//
+// SectionWriter frames chunk payloads with section-local sequence
+// numbers and maintains a running SHA-256 over the emitted frame bytes,
+// so a manifest can carry a content address per section: equal content
+// hashes to equal bytes (the frame encoding is canonical), which is
+// what lets an incremental snapshot carry unchanged sections forward by
+// reference instead of rewriting them.
+//
+// FrameScanner is the matching reader: it decodes consecutive frames
+// without enforcing cross-frame sequence contiguity (sections restart
+// at 1; the caller checks section-local ordering against the chunk
+// counters embedded in its payloads) and hands back the raw frame bytes
+// so the caller can re-hash exactly what is on disk.
+package wal
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+)
+
+// FrameScanner reads consecutive CRC frames from a stream. Unlike
+// Decoder it imposes no sequence contiguity across frames — callers
+// that interleave independent sections in one stream enforce their own
+// per-section ordering. Next returns the decoded record plus the raw
+// frame bytes (including the trailing newline).
+type FrameScanner struct {
+	br  *bufio.Reader
+	off int64
+}
+
+// NewFrameScanner wraps a reader.
+func NewFrameScanner(r io.Reader) *FrameScanner {
+	return &FrameScanner{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Offset returns the byte offset just past the last good frame.
+func (s *FrameScanner) Offset() int64 { return s.off }
+
+// Next decodes the next frame. It returns io.EOF at a clean end and a
+// *CorruptError when the remaining bytes are not a valid frame.
+func (s *FrameScanner) Next() (Record, []byte, error) {
+	line, err := s.br.ReadBytes('\n')
+	if err == io.EOF {
+		if len(line) == 0 {
+			return Record{}, nil, io.EOF
+		}
+		return Record{}, nil, &CorruptError{Offset: s.off, Reason: "truncated frame (no trailing newline)"}
+	}
+	if err != nil {
+		return Record{}, nil, err
+	}
+	rec, reason := parseFrame(line[:len(line)-1])
+	if reason != "" {
+		return Record{}, nil, &CorruptError{Offset: s.off, Reason: reason}
+	}
+	s.off += int64(len(line))
+	return rec, line, nil
+}
+
+// SectionWriter frames chunk payloads as one section: frames numbered
+// 1..n, written through to w, with a running SHA-256 and byte count
+// over the emitted frame bytes.
+type SectionWriter struct {
+	w      io.Writer
+	sum    hash.Hash
+	chunks int
+	bytes  int64
+}
+
+// NewSectionWriter starts a section on w.
+func NewSectionWriter(w io.Writer) *SectionWriter {
+	return &SectionWriter{w: w, sum: sha256.New()}
+}
+
+// WriteChunk frames the payload under the section's next chunk ordinal
+// and writes it through.
+func (sw *SectionWriter) WriteChunk(payload []byte) error {
+	frame, err := EncodeRecord(uint64(sw.chunks+1), payload)
+	if err != nil {
+		return err
+	}
+	if _, err := sw.w.Write(frame); err != nil {
+		return fmt.Errorf("wal: section write: %w", err)
+	}
+	sw.sum.Write(frame)
+	sw.chunks++
+	sw.bytes += int64(len(frame))
+	return nil
+}
+
+// Chunks returns the number of chunks written so far.
+func (sw *SectionWriter) Chunks() int { return sw.chunks }
+
+// Bytes returns the framed byte count written so far.
+func (sw *SectionWriter) Bytes() int64 { return sw.bytes }
+
+// Sum returns the hex SHA-256 of the frame bytes written so far — the
+// section's content address.
+func (sw *SectionWriter) Sum() string {
+	return hex.EncodeToString(sw.sum.Sum(nil))
+}

@@ -46,17 +46,40 @@ import (
 
 const (
 	magic = "w1"
-	// maxPayload bounds a single record; a declared length beyond it is
-	// treated as corruption rather than an allocation request. It must
-	// accommodate the two jumbo record shapes — an AddSource seed
-	// relation and a whole-hub snapshot frame — not just per-insert
-	// records; hubs whose state outgrows it need the chunked/incremental
-	// snapshot encoding tracked in the roadmap.
-	maxPayload = 256 << 20
 
 	segPrefix = "wal-"
 	segSuffix = ".log"
 )
+
+// maxPayload bounds a single record; a declared length beyond it is
+// treated as corruption rather than an allocation request. Jumbo
+// logical payloads — an AddSource seed relation, a hub snapshot — are
+// split across continuation frames (see the source_begin/source_chunk
+// record types and the hub's chunked snapshot sections) so no single
+// frame ever needs to approach the cap. It is a variable only so tests
+// can lower it (SetFrameCapForTesting) and exercise the multi-chunk
+// paths without generating hundreds of megabytes.
+var maxPayload = 256 << 20
+
+// DefaultChunkPayload is the target payload size for one continuation
+// chunk of a jumbo logical record (snapshot section tuples, AddSource
+// seed chunks): large enough to amortise the per-frame overhead, small
+// enough that encode/decode never buffers more than a sliver of the
+// frame cap.
+const DefaultChunkPayload = 8 << 20
+
+// FrameCap returns the current single-frame payload limit.
+func FrameCap() int { return maxPayload }
+
+// SetFrameCapForTesting lowers the frame cap and returns a restore
+// function, so tests can drive state past the "snapshot ceiling"
+// without building a quarter-gigabyte hub. Not safe for use while logs
+// are being written concurrently.
+func SetFrameCapForTesting(n int) (restore func()) {
+	old := maxPayload
+	maxPayload = n
+	return func() { maxPayload = old }
+}
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -180,7 +203,7 @@ func parseFrame(line []byte) (Record, string) {
 	}
 	lenF, payload, ok := bytes.Cut(rest, []byte{' '})
 	n, err := strconv.ParseUint(string(lenF), 10, 63)
-	if err != nil || n > maxPayload {
+	if err != nil || n > uint64(maxPayload) {
 		return Record{}, "bad length field"
 	}
 	if n > 0 && !ok {
@@ -220,8 +243,14 @@ type Log struct {
 	seq    uint64   // last durable sequence number
 	oldest uint64   // first sequence number still present in segments
 	off    int64    // byte length of the active segment's good prefix
-	damage *CorruptError
-	closed bool
+	// syncedSeq/syncedOff track the last record known forced to stable
+	// storage (updated by Sync, Rotate and Close): the prefix a
+	// power-loss crash model may assume survives. Records beyond them
+	// live only in the page cache.
+	syncedSeq uint64
+	syncedOff int64
+	damage    *CorruptError
+	closed    bool
 	// fail is the sticky fatal error set when a failed append leaves
 	// the segment in a state that could not be rolled back; every later
 	// append returns it rather than stranding acknowledged records
@@ -374,6 +403,9 @@ func Open(dir string) (*Log, error) {
 	}
 	l.off = fi.Size()
 	l.f = f
+	// Everything that survived the scan is on disk by definition; treat
+	// it as the synced baseline for this session.
+	l.syncedSeq, l.syncedOff = l.seq, l.off
 	ok = true
 	return l, nil
 }
@@ -543,6 +575,7 @@ func (l *Log) Rotate() (uint64, error) {
 	}
 	l.f = f
 	l.off = 0
+	l.syncedSeq, l.syncedOff = l.seq, 0
 	return l.seq, nil
 }
 
@@ -582,7 +615,19 @@ func (l *Log) Sync() error {
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	l.syncedSeq, l.syncedOff = l.seq, l.off
 	return nil
+}
+
+// Synced reports the last sequence number known forced to stable
+// storage and the corresponding byte offset within the active segment.
+// Under a power-loss crash model, records beyond this point may be
+// lost; crash harnesses truncate to the offset to simulate exactly
+// that.
+func (l *Log) Synced() (seq uint64, off int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncedSeq, l.syncedOff
 }
 
 // Close syncs and closes the log and releases the directory lock.
@@ -600,6 +645,7 @@ func (l *Log) Close() error {
 		l.f.Close()
 		return fmt.Errorf("wal: %w", err)
 	}
+	l.syncedSeq, l.syncedOff = l.seq, l.off
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
