@@ -13,6 +13,8 @@ package entityid
 
 import (
 	"fmt"
+	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"entityid/internal/baselines"
@@ -444,6 +446,86 @@ func BenchmarkHubIngest(b *testing.B) {
 			b.ReportMetric(float64(len(items))*float64(b.N)/b.Elapsed().Seconds(), "tuples/sec")
 		})
 	}
+}
+
+// BenchmarkHubServe is S9: mixed read/ingest serving through the hub.
+// reads-during-ingest hammers point cluster reads (ClusterAt over the
+// committed prefix) from GOMAXPROCS-wide readers while a background
+// ingester streams the second half of the workload — the reads take
+// only per-shard/per-source read locks, so throughput scales with
+// readers instead of serialising behind a hub-global lock.
+// clusters-stream walks the full paginated enumeration, one bounded
+// page at a time. BENCH_match.json (benchreport -benchjson) tracks
+// both series across PRs.
+func BenchmarkHubServe(b *testing.B) {
+	w := datagen.MustMultiGenerate(datagen.MultiConfig{
+		Sources: 3, Entities: 400, PresenceFrac: 0.6, HomonymRate: 0.1,
+		MissingPhone: 0.1, DirtyPhone: 0.2, Seed: 9,
+	})
+	items := hub.MultiInserts(w)
+	b.Run("reads-during-ingest", func(b *testing.B) {
+		// The shared harness keeps committing until the readers finish —
+		// every timed read races a live commit path, however large b.N
+		// grows.
+		h, ing, err := hub.NewServeBench(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		names := h.SourceNames()
+		var seq atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(seq.Add(1)))
+			for pb.Next() {
+				src := names[rng.Intn(len(names))]
+				n, err := h.SourceLen(src)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if n == 0 {
+					continue
+				}
+				if _, err := h.ClusterAt(src, rng.Intn(n)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		if _, _, err := ing.Stop(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/sec")
+	})
+	b.Run("clusters-stream", func(b *testing.B) {
+		h, err := hub.NewFromMulti(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range h.IngestBatch(items, 0) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+		b.ResetTimer()
+		total := 0
+		for i := 0; i < b.N; i++ {
+			cursor := ""
+			for {
+				page, next, err := h.ClustersPage(cursor, 128)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += len(page)
+				if next == "" {
+					break
+				}
+				cursor = next
+			}
+		}
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "clusters/sec")
+	})
 }
 
 // BenchmarkScaleBuild is S6: full matching-table construction on the

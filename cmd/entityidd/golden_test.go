@@ -48,9 +48,14 @@ var goldenScript = []goldenStep{
 		           {"name":"speciality","right":"speciality"},{"name":"phone","left":"phone","right":"phone"}]}`},
 	{"link_unknown_source", "POST", "/v1/links",
 		`{"left":"zagat","right":"nowhere","extkey":["name"],"attrs":[{"name":"name","left":"name","right":"name"}]}`},
+	// The zagat tuples commit in their own batch before the michelin
+	// lines whose "matched" output is pinned: IngestBatch's worker pool
+	// makes cross-source match output order-sensitive within one batch.
 	{"insert", "POST", "/v1/insert", strings.Join([]string{
 		`{"source":"zagat","tuple":["villagewok","wash ave","chinese","612-0001"]}`,
 		`{"source":"zagat","tuple":["goldenleaf","lake st","chinese","612-0002"]}`,
+	}, "\n")},
+	{"insert_cross", "POST", "/v1/insert", strings.Join([]string{
 		`{"source":"michelin","tuple":["villagewok","minneapolis","hunan","612-0001"]}`,
 		`{"source":"michelin","tuple":["wrong","arity"]}`,
 		`{"source":"michelin","tuple":["anjuman","st paul","mughalai","612-0004"]}`,
@@ -61,6 +66,14 @@ var goldenScript = []goldenStep{
 		`{"source":"michelin","tuple":["villagewok","st paul","hunan","612-0009"]}`},
 	{"cluster", "GET", "/v1/cluster?source=zagat&key=villagewok&key=wash+ave&merge=coalesce", ""},
 	{"clusters", "GET", "/v1/clusters?merge=coalesce", ""},
+	// Pagination: limit truncates with a next_cursor line, the cursor
+	// resumes after the named cluster, offset skips, and a malformed
+	// cursor is rejected before any NDJSON is written.
+	{"clusters_page1", "GET", "/v1/clusters?limit=2", ""},
+	{"clusters_page2", "GET", "/v1/clusters?limit=2&cursor=zagat/1", ""},
+	{"clusters_offset", "GET", "/v1/clusters?offset=1&limit=1", ""},
+	{"clusters_bad_cursor", "GET", "/v1/clusters?cursor=nope", ""},
+	{"clusters_bad_limit", "GET", "/v1/clusters?limit=-1", ""},
 	{"stats", "GET", "/v1/stats", ""},
 }
 

@@ -31,6 +31,22 @@
 // the page cache itself is forfeit), -sync-every N additionally fsyncs
 // the log every N appends, batching each ingest batch into one sync.
 //
+// # Serving
+//
+// The listener is a configured http.Server: request headers must
+// arrive within a deadline (slowloris guard), bodies are size-capped
+// (-max-insert-body for ingest, a fixed 1MB for control requests), and
+// SIGINT/SIGTERM drain in-flight requests (refusing new connections)
+// before the hub is checkpointed and closed. /v1/clusters streams one
+// cluster per NDJSON line with bounded memory — the enumeration never
+// materialises the hub — flushes periodically, stops as soon as the
+// client disconnects, and paginates: pass limit=N for one page and
+// resume with the returned next_cursor (the ID of the last cluster
+// seen); offset=N skips N clusters first. Under concurrent ingest the
+// enumeration is weakly consistent (each line is a committed cluster
+// state at its visit time); on a quiescent hub it is exact and
+// deterministic.
+//
 // API (all bodies JSON; /v1/insert and /v1/clusters stream NDJSON):
 //
 //	POST /v1/sources   {"name":"zagat","attrs":[{"name":"name","kind":"string"},...],"key":["name","street"]}
@@ -42,26 +58,38 @@
 //	POST /v1/insert    NDJSON stream of {"source":"zagat","tuple":["VillageWok","Wash.Ave.",null,"612-1234"]}
 //	                   → NDJSON per line: {"ok":true,"index":0,"matched":[...],"cluster":{...}}
 //	GET  /v1/cluster?source=zagat&key=VillageWok&key=Wash.Ave.[&merge=coalesce]
-//	GET  /v1/clusters[?merge=coalesce]   NDJSON stream, one cluster per line
+//	GET  /v1/clusters[?merge=coalesce&limit=N&offset=N&cursor=ID]
+//	                   NDJSON stream, one cluster per line; limit > 0
+//	                   paginates (a final {"next_cursor":ID} line marks a
+//	                   truncated page), omitted or 0 streams everything
 //	GET  /v1/stats
 //	GET  /healthz
 //
 // Attribute kinds are string (default), int, float, bool. Tuple values
-// are JSON scalars matching the declared kind; null means NULL.
+// are JSON scalars matching the declared kind; null means NULL. JSON
+// numbers pass through float64, which is exact only up to ±2^53:
+// larger int values that survived the round-trip intact are accepted,
+// anything non-integral or beyond the int64 range is rejected.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"entityid"
 	"entityid/internal/rules"
@@ -70,13 +98,20 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		demo      = flag.Bool("demo", false, "run the 3-source walkthrough and exit")
-		dataDir   = flag.String("data-dir", "", "directory for the write-ahead log and snapshots (empty: in-memory only)")
-		snapEvery = flag.Int("snapshot-every", 1024, "committed inserts between background snapshots (0: only on shutdown)")
-		syncEvery = flag.Int("sync-every", 0, "fsync the write-ahead log every N appends, batching each ingest batch into one sync (0: leave durability between snapshots to the page cache)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		demo          = flag.Bool("demo", false, "run the 3-source walkthrough and exit")
+		dataDir       = flag.String("data-dir", "", "directory for the write-ahead log and snapshots (empty: in-memory only)")
+		snapEvery     = flag.Int("snapshot-every", 1024, "committed inserts between background snapshots (0: only on shutdown)")
+		syncEvery     = flag.Int("sync-every", 0, "fsync the write-ahead log every N appends, batching each ingest batch into one sync (0: leave durability between snapshots to the page cache)")
+		maxInsertBody = flag.Int64("max-insert-body", defaultMaxInsertBody, "largest /v1/insert request body in bytes (0: unlimited)")
+		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests to finish")
 	)
 	flag.Parse()
+	if *maxInsertBody < 0 {
+		// Only 0 means unlimited; a negative value is a typo, not a
+		// request to drop the DoS guard.
+		log.Fatalf("entityidd: -max-insert-body must be >= 0 (0 disables the cap)")
+	}
 	if *demo {
 		if err := runDemo(os.Stdout); err != nil {
 			log.Fatal(err)
@@ -84,7 +119,8 @@ func main() {
 		return
 	}
 	hub := entityid.NewHub()
-	if *dataDir != "" {
+	durable := *dataDir != ""
+	if durable {
 		var err error
 		hub, err = entityid.OpenHub(*dataDir, entityid.WithSnapshotEvery(*snapEvery), entityid.WithSyncEvery(*syncEvery))
 		if err != nil {
@@ -96,10 +132,52 @@ func main() {
 		if ri := hub.Recovery(); ri != nil && ri.TailDamage != "" {
 			log.Printf("entityidd: WARNING: damaged log tail dropped during recovery (unacknowledged writes discarded): %s", ri.TailDamage)
 		}
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
+	}
+	srv, err := newServerFor(hub)
+	if err != nil {
+		log.Fatalf("entityidd: %v", err)
+	}
+	srv.maxInsertBody = *maxInsertBody
+	// inflight counts handlers between entry and return, so shutdown
+	// can hold the hub open until the last one is truly out — even when
+	// the drain timeout forces connections closed under them.
+	var inflight sync.WaitGroup
+	httpSrv := &http.Server{
+		Addr: *addr,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			inflight.Add(1)
+			defer inflight.Done()
+			srv.ServeHTTP(w, r)
+		}),
+		// Slowloris guard: request headers must arrive promptly. Bodies
+		// get no global deadline — NDJSON ingest streams legitimately —
+		// but are size-capped per handler.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("entityidd: serving on %s", *addr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("entityidd: %v", err)
+	case s := <-sig:
+		// Drain before the hub goes away: stop accepting, let in-flight
+		// requests finish (bounded by -drain-timeout; past it their
+		// connections are severed so they unblock), then wait for the
+		// last handler to actually return — a handler can never observe
+		// a closed hub.
+		log.Printf("entityidd: %v: draining in-flight requests", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("entityidd: drain: %v (severing connections)", err)
+			httpSrv.Close()
+		}
+		cancel()
+		inflight.Wait()
+		if durable {
 			// With automatic snapshots disabled, take the promised
 			// shutdown snapshot so the next start replays nothing.
 			if *snapEvery <= 0 {
@@ -112,16 +190,21 @@ func main() {
 				os.Exit(1)
 			}
 			log.Printf("entityidd: hub closed cleanly")
-			os.Exit(0)
-		}()
+		}
 	}
-	srv, err := newServerFor(hub)
-	if err != nil {
-		log.Fatalf("entityidd: %v", err)
-	}
-	log.Printf("entityidd: serving on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
 }
+
+const (
+	// maxControlBody caps /v1/sources and /v1/links request bodies:
+	// control-plane payloads are small by construction.
+	maxControlBody = 1 << 20
+	// defaultMaxInsertBody caps /v1/insert bodies unless -max-insert-body
+	// overrides it.
+	defaultMaxInsertBody = 64 << 20
+	// clustersFlushEvery bounds how many NDJSON cluster lines buffer
+	// before an explicit flush, so long enumerations stream progressively.
+	clustersFlushEvery = 64
+)
 
 // server is the HTTP front-end over one hub. It keeps its own
 // attribute registry (filled on source creation) so tuple parsing
@@ -129,6 +212,8 @@ func main() {
 type server struct {
 	hub *entityid.Hub
 	mux *http.ServeMux
+	// maxInsertBody caps /v1/insert request bodies (0: unlimited).
+	maxInsertBody int64
 
 	mu      sync.RWMutex
 	schemas map[string][]attrInfo
@@ -157,10 +242,11 @@ func newServer() *server {
 // server's tuple-parsing registry.
 func newServerFor(h *entityid.Hub) (*server, error) {
 	s := &server{
-		hub:      h,
-		mux:      http.NewServeMux(),
-		schemas:  map[string][]attrInfo{},
-		keyKinds: map[string][]value.Kind{},
+		hub:           h,
+		mux:           http.NewServeMux(),
+		maxInsertBody: defaultMaxInsertBody,
+		schemas:       map[string][]attrInfo{},
+		keyKinds:      map[string][]value.Kind{},
 	}
 	for _, name := range h.SourceNames() {
 		sch, err := h.SourceSchema(name)
@@ -201,6 +287,16 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
+// bodyErrStatus maps a request-body read/decode failure to its status:
+// an exceeded size cap is 413, anything else a plain bad request.
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -219,8 +315,9 @@ type sourceReq struct {
 
 func (s *server) handleSources(w http.ResponseWriter, r *http.Request) {
 	var req sourceReq
+	r.Body = http.MaxBytesReader(w, r.Body, maxControlBody)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, bodyErrStatus(err), err)
 		return
 	}
 	attrs := make([]entityid.Attribute, len(req.Attrs))
@@ -290,8 +387,9 @@ type linkReq struct {
 
 func (s *server) handleLinks(w http.ResponseWriter, r *http.Request) {
 	var req linkReq
+	r.Body = http.MaxBytesReader(w, r.Body, maxControlBody)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, bodyErrStatus(err), err)
 		return
 	}
 	spec := entityid.NewPair(req.Left, req.Right)
@@ -330,24 +428,46 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	// pool, stream per-line results back in input order.
 	var items []entityid.HubInsert
 	var parseErrs []error
+	if s.maxInsertBody > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxInsertBody)
+	}
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	// Lines parse as they stream (no second buffered copy of the body),
+	// but a malformed line only *records* its error: the scan always
+	// drains, so a body truncated at the size cap (or by a broken
+	// connection) is reported as such — and rejected whole, never
+	// partially ingested — rather than as the parse error its torn
+	// final line happens to produce.
+	var malformed error
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+		if line == "" || malformed != nil {
 			continue
 		}
 		var in insertLine
 		if err := json.Unmarshal([]byte(line), &in); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("line %d: %w", len(items)+1, err))
-			return
+			malformed = fmt.Errorf("line %d: %w", lineNo, err)
+			if s.maxInsertBody <= 0 {
+				// No size cap installed, so there is no truncation to
+				// disambiguate — and no bound on the drain. Fail fast.
+				httpError(w, http.StatusBadRequest, malformed)
+				return
+			}
+			continue
 		}
 		t, err := s.toTuple(in.Source, in.Tuple)
 		items = append(items, entityid.HubInsert{Source: in.Source, Tuple: t})
 		parseErrs = append(parseErrs, err)
 	}
 	if err := sc.Err(); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, bodyErrStatus(err), err)
+		return
+	}
+	if malformed != nil {
+		httpError(w, http.StatusBadRequest, malformed)
 		return
 	}
 	// Pre-filter lines whose tuples failed to parse: they are reported
@@ -418,13 +538,86 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.clusterJSON(cl, r.URL.Query().Get("merge")))
 }
 
+// handleClusters streams the cluster enumeration as NDJSON with
+// bounded memory: one cluster is materialised at a time, the response
+// is flushed periodically, and the scan stops as soon as the client
+// disconnects or a write fails. limit/cursor paginate (a final
+// next_cursor line marks a truncated page); offset skips clusters.
 func (s *server) handleClusters(w http.ResponseWriter, r *http.Request) {
-	merge := r.URL.Query().Get("merge")
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	enc := json.NewEncoder(w)
-	for _, cl := range s.hub.Clusters() {
-		enc.Encode(s.clusterJSON(cl, merge))
+	q := r.URL.Query()
+	merge := q.Get("merge")
+	limit, err := queryInt(q, "limit")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
 	}
+	offset, err := queryInt(q, "offset")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx := r.Context()
+	flusher, _ := w.(http.Flusher)
+	var enc *json.Encoder
+	emit := func(v any) error {
+		// The NDJSON header commits lazily, so a cursor parse error can
+		// still answer with a JSON 400 before anything streams.
+		if enc == nil {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			enc = json.NewEncoder(w)
+		}
+		return enc.Encode(v)
+	}
+	emitted, truncated, aborted := 0, false, false
+	var last string
+	walkErr := s.hub.ClustersWalk(q.Get("cursor"), offset, func(cl entityid.EntityCluster, resume string) bool {
+		if ctx.Err() != nil {
+			aborted = true // client gone: abandon the scan
+			return false
+		}
+		if limit > 0 && emitted == limit {
+			truncated = true
+			return false
+		}
+		if err := emit(s.clusterJSON(cl, merge)); err != nil {
+			aborted = true // write failed (client disconnected)
+			return false
+		}
+		emitted++
+		last = resume
+		if flusher != nil && emitted%clustersFlushEvery == 0 {
+			flusher.Flush()
+		}
+		return true
+	})
+	if walkErr != nil {
+		httpError(w, http.StatusBadRequest, walkErr)
+		return
+	}
+	if aborted {
+		return
+	}
+	if truncated {
+		emit(map[string]any{"next_cursor": last})
+		return
+	}
+	// An empty enumeration still answers as NDJSON.
+	if enc == nil {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+}
+
+// queryInt parses a non-negative integer query parameter (absent: 0).
+func queryInt(q url.Values, name string) (int, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad %s %q", name, raw)
+	}
+	return v, nil
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -487,8 +680,16 @@ func jsonToValue(raw any, kind value.Kind) (value.Value, error) {
 	case float64:
 		switch kind {
 		case value.KindInt:
-			if v != float64(int64(v)) {
+			if v != math.Trunc(v) {
 				return value.Null, fmt.Errorf("non-integer %v for int attribute", v)
+			}
+			// Range-check before converting: float→int overflow is
+			// implementation-defined in Go. Both bounds are exact float64
+			// values (-2^63 is representable; 2^63 is the first excluded
+			// value). Integers beyond ±2^53 already lost precision in
+			// JSON's float64 carriage, but in-range ones convert exactly.
+			if v < math.MinInt64 || v >= -(math.MinInt64) {
+				return value.Null, fmt.Errorf("integer %v overflows int64", v)
 			}
 			return value.Int(int64(v)), nil
 		case value.KindFloat:

@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"entityid/internal/value"
 )
 
 // do runs one request against the server and decodes a JSON object
@@ -87,27 +91,34 @@ func TestServerEndToEnd(t *testing.T) {
 		}
 	}
 
-	// Streaming ingest, including one malformed line (wrong arity)
-	// reported in place without aborting the batch.
-	batch := strings.Join([]string{
+	// Streaming ingest. The zagat tuples commit first in their own
+	// batch: IngestBatch runs a worker pool, so match targets must be
+	// committed before the batch whose "matched" output the test pins.
+	code, results := ndjson(t, srv, "POST", "/v1/insert", strings.Join([]string{
 		`{"source":"zagat","tuple":["villagewok","wash ave","chinese","612-0001"]}`,
 		`{"source":"zagat","tuple":["goldenleaf","lake st","chinese","612-0002"]}`,
+	}, "\n"))
+	if code != http.StatusOK || len(results) != 2 {
+		t.Fatalf("insert: %d, %d results", code, len(results))
+	}
+	// The cross-source batch includes one malformed line (wrong arity)
+	// reported in place without aborting the batch.
+	code, results = ndjson(t, srv, "POST", "/v1/insert", strings.Join([]string{
 		`{"source":"michelin","tuple":["villagewok","minneapolis","hunan","612-0001"]}`,
 		`{"source":"michelin","tuple":["too","short"]}`,
 		`{"source":"infatuation","tuple":["anjuman","cathedral hill","mughalai","612-0004"]}`,
-	}, "\n")
-	code, results := ndjson(t, srv, "POST", "/v1/insert", batch)
-	if code != http.StatusOK || len(results) != 5 {
+	}, "\n"))
+	if code != http.StatusOK || len(results) != 3 {
 		t.Fatalf("insert: %d, %d results", code, len(results))
 	}
-	for i, want := range []bool{true, true, true, false, true} {
+	for i, want := range []bool{true, false, true} {
 		if results[i]["ok"] != want {
 			t.Fatalf("insert line %d: ok=%v want %v (%v)", i, results[i]["ok"], want, results[i])
 		}
 	}
 	// The michelin villagewok matched the zagat one.
-	if m := results[2]["matched"].([]any); len(m) != 1 {
-		t.Fatalf("villagewok matched %v", results[2]["matched"])
+	if m := results[0]["matched"].([]any); len(m) != 1 {
+		t.Fatalf("villagewok matched %v", results[0]["matched"])
 	}
 
 	// Cluster lookup with merged record.
@@ -171,16 +182,15 @@ func TestServerIdentityRuleLinks(t *testing.T) {
 		t.Fatalf("link: %d %v", code, out)
 	}
 	// a0 and b0 share no name but the identity rule pairs them on phone
-	// — through the incremental (streaming) path.
-	_, results := ndjson(t, srv, "POST", "/v1/insert", strings.Join([]string{
-		`{"source":"a","tuple":["a0","alpha","555-1"]}`,
-		`{"source":"b","tuple":["b0","beta","555-1"]}`,
-	}, "\n"))
-	if results[1]["ok"] != true {
-		t.Fatalf("insert: %v", results[1])
+	// — through the incremental (streaming) path. a0 commits in its own
+	// request so the b0 match outcome is deterministic.
+	ndjson(t, srv, "POST", "/v1/insert", `{"source":"a","tuple":["a0","alpha","555-1"]}`)
+	_, results := ndjson(t, srv, "POST", "/v1/insert", `{"source":"b","tuple":["b0","beta","555-1"]}`)
+	if results[0]["ok"] != true {
+		t.Fatalf("insert: %v", results[0])
 	}
-	if m := results[1]["matched"].([]any); len(m) != 1 {
-		t.Fatalf("identity-rule streaming match missed: %v", results[1])
+	if m := results[0]["matched"].([]any); len(m) != 1 {
+		t.Fatalf("identity-rule streaming match missed: %v", results[0])
 	}
 }
 
@@ -193,12 +203,10 @@ func TestServerTypedKeyLookup(t *testing.T) {
 	do(t, srv, "POST", "/v1/sources", `{"name":"b","attrs":[{"name":"id","kind":"int"},{"name":"name"}],"key":["id"]}`)
 	do(t, srv, "POST", "/v1/links", `{"left":"a","right":"b","extkey":["name"],"attrs":[
 		{"name":"id_a","left":"id"},{"name":"id_b","right":"id"},{"name":"name","left":"name","right":"name"}]}`)
-	_, results := ndjson(t, srv, "POST", "/v1/insert", strings.Join([]string{
-		`{"source":"a","tuple":[5,"alpha"]}`,
-		`{"source":"b","tuple":[7,"alpha"]}`,
-	}, "\n"))
-	if results[1]["ok"] != true {
-		t.Fatalf("insert: %v", results[1])
+	ndjson(t, srv, "POST", "/v1/insert", `{"source":"a","tuple":[5,"alpha"]}`)
+	_, results := ndjson(t, srv, "POST", "/v1/insert", `{"source":"b","tuple":[7,"alpha"]}`)
+	if results[0]["ok"] != true {
+		t.Fatalf("insert: %v", results[0])
 	}
 	code, cl := do(t, srv, "GET", "/v1/cluster?source=a&key=5", "")
 	if code != http.StatusOK {
@@ -231,5 +239,76 @@ func TestDemoRuns(t *testing.T) {
 		if !strings.Contains(b.String(), want) {
 			t.Fatalf("demo output missing %q:\n%s", want, b.String())
 		}
+	}
+}
+
+// TestJSONToValueIntRange pins the float64→int64 conversion guards:
+// JSON numbers arrive as float64, so non-integral values, values beyond
+// the int64 range (where Go's float→int conversion is
+// implementation-defined) and the first excluded value 2^63 must all be
+// rejected, while every in-range integral float converts exactly.
+func TestJSONToValueIntRange(t *testing.T) {
+	ok := []float64{0, 1, -1, 1 << 53, -(1 << 53), -9223372036854775808}
+	for _, v := range ok {
+		got, err := jsonToValue(v, value.KindInt)
+		if err != nil {
+			t.Fatalf("jsonToValue(%v): %v", v, err)
+		}
+		if got.IntVal() != int64(v) {
+			t.Fatalf("jsonToValue(%v) = %d", v, got.IntVal())
+		}
+	}
+	bad := []float64{
+		9223372036854775808,  // 2^63: first value past int64
+		-9223372036854777856, // next float64 below -2^63
+		1e300, -1e300, 1.5, -0.25,
+	}
+	for _, v := range bad {
+		if _, err := jsonToValue(v, value.KindInt); err == nil {
+			t.Fatalf("jsonToValue(%v) accepted", v)
+		}
+	}
+}
+
+// TestInsertBodyCap pins the ingest size cap: a body past
+// -max-insert-body is refused with 413 and nothing reaches the hub.
+func TestInsertBodyCap(t *testing.T) {
+	srv := newServer()
+	srv.maxInsertBody = 256
+	do(t, srv, "POST", "/v1/sources", `{"name":"a","attrs":[{"name":"id"}],"key":["id"]}`)
+	var b strings.Builder
+	for i := 0; b.Len() < 1024; i++ {
+		fmt.Fprintf(&b, `{"source":"a","tuple":["row-%d"]}`+"\n", i)
+	}
+	req := httptest.NewRequest("POST", "/v1/insert", strings.NewReader(b.String()))
+	rw := httptest.NewRecorder()
+	srv.ServeHTTP(rw, req)
+	if rw.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized insert body: %d %s", rw.Code, rw.Body.String())
+	}
+	if code, stats := do(t, srv, "GET", "/v1/stats", ""); code != http.StatusOK || stats["tuples"].(float64) != 0 {
+		t.Fatalf("tuples leaked past the rejected body: %v", stats)
+	}
+	// Control-plane bodies have their own (fixed) cap.
+	huge := `{"name":"big","attrs":[{"name":"` + strings.Repeat("x", maxControlBody) + `"}]}`
+	if code, _ := do(t, srv, "POST", "/v1/sources", huge); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized source body: %d", code)
+	}
+}
+
+// TestClustersAbortsOnDisconnect pins that a vanished client stops the
+// enumeration: a request whose context is already canceled streams
+// nothing.
+func TestClustersAbortsOnDisconnect(t *testing.T) {
+	srv := newServer()
+	do(t, srv, "POST", "/v1/sources", `{"name":"a","attrs":[{"name":"id"}],"key":["id"]}`)
+	ndjson(t, srv, "POST", "/v1/insert", `{"source":"a","tuple":["r0"]}`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", "/v1/clusters", nil).WithContext(ctx)
+	rw := httptest.NewRecorder()
+	srv.ServeHTTP(rw, req)
+	if body := strings.TrimSpace(rw.Body.String()); body != "" {
+		t.Fatalf("canceled request still streamed: %q", body)
 	}
 }

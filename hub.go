@@ -30,6 +30,8 @@ package entityid
 // pre-crash state (see Checkpoint and Close).
 
 import (
+	"iter"
+
 	"entityid/internal/hub"
 	"entityid/internal/ilfd"
 	"entityid/internal/match"
@@ -235,8 +237,48 @@ func (h *Hub) Lookup(source string, key ...Value) (EntityCluster, error) {
 }
 
 // Clusters enumerates every global entity cluster, deterministically.
+// It materialises the whole enumeration; prefer ClustersIter or
+// ClustersPage on large hubs.
 func (h *Hub) Clusters() []EntityCluster {
 	return h.inner.Clusters()
+}
+
+// ClustersIter streams every global entity cluster ordered by smallest
+// member, holding no hub-global lock and materialising one cluster at a
+// time. Under concurrent ingest the enumeration is weakly consistent:
+// every emitted cluster is a committed state at its visit time and one
+// pass's clusters are pairwise disjoint, but a tuple whose cluster
+// merges mid-walk into a region already passed can be absent from that
+// pass. A quiescent hub enumerates exactly its partition, every tuple
+// included.
+func (h *Hub) ClustersIter() iter.Seq[EntityCluster] {
+	return h.inner.ClustersIter()
+}
+
+// ClustersFrom streams the clusters whose walk position follows the
+// given source/index cursor ("" starts from the beginning). On a
+// quiescent hub a cluster's ID is its walk position; to resume a walk
+// racing concurrent ingest, prefer ClustersWalk or ClustersPage, whose
+// returned cursors always track the visit position.
+func (h *Hub) ClustersFrom(cursor string) (iter.Seq[EntityCluster], error) {
+	return h.inner.ClustersFrom(cursor)
+}
+
+// ClustersPage returns up to limit clusters after the cursor plus the
+// cursor of the next page ("" when the enumeration is exhausted) — the
+// serving form of the streaming enumeration.
+func (h *Hub) ClustersPage(cursor string, limit int) ([]EntityCluster, string, error) {
+	return h.inner.ClustersPage(cursor, limit)
+}
+
+// ClustersWalk visits the clusters after the cursor, skipping the
+// first skip of them without materialisation, handing each one to fn
+// with the cursor that resumes the walk immediately after it (fn
+// returns false to stop) — the pagination primitive: the resume cursor
+// tracks the walk position, which stays monotone even when a
+// concurrent merge moves a cluster's ID past the walk's cut.
+func (h *Hub) ClustersWalk(cursor string, skip int, fn func(c EntityCluster, resume string) bool) error {
+	return h.inner.ClustersWalk(cursor, skip, fn)
 }
 
 // Merged resolves a cluster into one record per integrated attribute

@@ -1,8 +1,11 @@
-// Global entity clusters: the union-find structure that folds the
-// pairwise matching tables into hub-wide entity identities. A node is
-// one tuple of one source; an edge is one pairwise matching-table
-// entry; a cluster is a connected component — the set of tuples, across
-// all sources, identified as modeling the same real-world entity.
+// Global entity clusters: the union-find structure that folds pairwise
+// matching tables into hub-wide entity identities. A node is one tuple
+// of one source; an edge is one pairwise matching-table entry; a
+// cluster is a connected component — the set of tuples, across all
+// sources, identified as modeling the same real-world entity. The
+// union-find is the *folding* structure (speculative link folds,
+// snapshot refolds); the *served* partition lives in the sharded store
+// of shard.go.
 //
 // The §3.2 uniqueness constraint lifts transitively: within one
 // cluster, each source may contribute at most one tuple (two tuples of
@@ -117,30 +120,6 @@ func (c *clusterSet) union(a, b node) {
 	c.members[ra] = merged
 	delete(c.members, rb)
 	delete(c.size, rb)
-}
-
-// merge applies the checked merge: union n with every partner.
-func (c *clusterSet) merge(n node, partners []node) {
-	for _, p := range partners {
-		c.union(n, p)
-	}
-}
-
-// clone deep-copies the structure, for speculative application
-// (link-time folding of an initial matching table checks on a clone and
-// swaps it in only on success).
-func (c *clusterSet) clone() *clusterSet {
-	out := newClusterSet()
-	for k, v := range c.parent {
-		out.parent[k] = v
-	}
-	for k, v := range c.size {
-		out.size[k] = v
-	}
-	for k, v := range c.members {
-		out.members[k] = append([]node(nil), v...)
-	}
-	return out
 }
 
 // sortNodes orders nodes by (source, index).

@@ -37,9 +37,9 @@ func FuzzSnapshotDecode(f *testing.F) {
 	}
 	// Legacy single-frame snapshot.
 	h.mu.RLock()
-	h.clusterMu.Lock()
+	h.commitMu.Lock()
 	v1 := h.captureLocked()
-	h.clusterMu.Unlock()
+	h.commitMu.Unlock()
 	h.mu.RUnlock()
 	if frame, err := encodeSnapshot(v1, 0); err == nil {
 		f.Add(frame)

@@ -19,10 +19,18 @@
 // Ingest is concurrent: Insert prepares the new tuple against every
 // pairwise federation of its source (federate's side-effect-free
 // Prepare), checks the transitive constraint, and only then commits
-// everywhere. Locking is per source, per pair and per cluster store,
-// acquired in a fixed order (source → pairs by ordinal → clusters), so
+// everywhere. Locking is per source, per pair and one commit lock,
+// acquired in a fixed order (source → pairs by ordinal → commit), so
 // inserts into disjoint regions of the topology proceed in parallel
 // and IngestBatch shards a batch across a worker pool.
+//
+// Reads scale independently of ingest: point reads (Lookup, ClusterAt)
+// resolve the topology through an atomically published snapshot, the
+// tuple store through per-source published views, and the cluster
+// partition through the sharded store (shard.go) — no read path takes
+// the commit lock or any hub-global exclusive lock, so reads proceed
+// concurrently with each other and with commits. Cluster enumeration
+// streams (iter.go) instead of materialising the hub under a lock.
 package hub
 
 import (
@@ -72,6 +80,35 @@ type sourceState struct {
 	// attrOf maps integrated attribute names (from the pair specs) to
 	// this source's attribute names, for the merged cross-source view.
 	attrOf map[string]string
+	// keyMu guards the relation's key index for point lookups: Lookup
+	// takes it shared, and the commit path wraps rel.Insert plus the
+	// view republication in it exclusively — so a key hit is always
+	// covered by the view a reader loads afterwards.
+	keyMu sync.RWMutex
+	// view is the published snapshot of the committed tuples. Tuples are
+	// immutable once inserted and the slice prefix a view exposes is
+	// never rewritten, so readers materialise members lock-free from it.
+	view atomic.Pointer[tupleView]
+}
+
+// tupleView is one source's committed-tuple snapshot: everything below
+// len(tuples) is committed and immutable. Republished on every commit.
+type tupleView struct {
+	tuples []relation.Tuple
+}
+
+// publishView re-publishes the source's committed tuples. Callers hold
+// the commit lock (and keyMu exclusively on the insert path).
+func (s *sourceState) publishView() {
+	s.view.Store(&tupleView{tuples: s.rel.Tuples()})
+}
+
+// topoView is the read-path snapshot of the source topology, published
+// atomically by AddSource so point reads resolve source names without
+// touching the topology lock.
+type topoView struct {
+	sources []*sourceState
+	byName  map[string]int
 }
 
 // pairState is one link: the live pairwise federation and its lock.
@@ -86,16 +123,22 @@ type pairState struct {
 
 // Hub is the multi-source federation coordinator.
 type Hub struct {
-	// mu guards the topology (source and pair registration). Inserts and
-	// queries hold it shared; AddSource and Link hold it exclusively.
+	// mu guards the topology (source and pair registration). Inserts
+	// hold it shared; AddSource and Link hold it exclusively. Read paths
+	// use the published topo snapshot instead.
 	mu      sync.RWMutex
 	sources []*sourceState
 	byName  map[string]int
 	pairs   []*pairState
-	// clusterMu guards clusters and every canonical-relation mutation,
-	// so cluster queries see a consistent tuple store.
-	clusterMu sync.Mutex
-	clusters  *clusterSet
+	// topo is the atomically published topology snapshot the read paths
+	// resolve source names through. Republished by AddSource.
+	topo atomic.Pointer[topoView]
+	// commitMu serialises commits: every canonical-relation mutation and
+	// every cluster-store publication happens under it, so the sharded
+	// store has exactly one mutator at a time. Readers never take it —
+	// they go through the per-source views and the store's shard locks.
+	commitMu sync.Mutex
+	store    *shardStore
 	// per is the durability layer (persist.go); nil for a memory-only
 	// hub. Mutators append to the write-ahead log before committing, so
 	// a crash can lose an unacknowledged insert but never resurrect a
@@ -109,7 +152,22 @@ type Hub struct {
 
 // New creates an empty hub.
 func New() *Hub {
-	return &Hub{byName: map[string]int{}, clusters: newClusterSet()}
+	h := &Hub{byName: map[string]int{}, store: newShardStore()}
+	h.topo.Store(&topoView{byName: map[string]int{}})
+	return h
+}
+
+// publishTopo re-publishes the read-path topology snapshot. Callers
+// hold h.mu exclusively.
+func (h *Hub) publishTopo() {
+	t := &topoView{
+		sources: append([]*sourceState(nil), h.sources...),
+		byName:  make(map[string]int, len(h.byName)),
+	}
+	for k, v := range h.byName {
+		t.byName[k] = v
+	}
+	h.topo.Store(t)
 }
 
 // AddSource registers an autonomous source under a unique name. The
@@ -133,13 +191,16 @@ func (h *Hub) AddSource(name string, rel *relation.Relation) error {
 		}
 	}
 	id := len(h.sources)
-	h.sources = append(h.sources, &sourceState{
+	s := &sourceState{
 		id:     id,
 		name:   name,
 		rel:    rel.Clone(),
 		attrOf: map[string]string{},
-	})
+	}
+	s.publishView()
+	h.sources = append(h.sources, s)
 	h.byName[name] = id
+	h.publishTopo()
 	return nil
 }
 
@@ -162,13 +223,16 @@ func (h *Hub) addSourceOwned(name string, rel *relation.Relation) error {
 		return fmt.Errorf("hub: source %q already registered", name)
 	}
 	id := len(h.sources)
-	h.sources = append(h.sources, &sourceState{
+	s := &sourceState{
 		id:     id,
 		name:   name,
 		rel:    rel,
 		attrOf: map[string]string{},
-	})
+	}
+	s.publishView()
+	h.sources = append(h.sources, s)
 	h.byName[name] = id
+	h.publishTopo()
 	return nil
 }
 
@@ -268,18 +332,36 @@ func (h *Hub) resolveLinkLocked(spec PairSpec) (li, ri int, err error) {
 // exclusively.
 func (h *Hub) registerLinkLocked(spec PairSpec, li, ri int, fed *federate.Federation) error {
 	left, right := h.sources[li], h.sources[ri]
-	// Fold the initial matching table into the clusters speculatively:
-	// check-and-apply on a clone, swap in only if every pair is sound.
-	h.clusterMu.Lock()
-	defer h.clusterMu.Unlock()
-	next := h.clusters.clone()
+	// Fold the initial matching table speculatively: seed a scratch
+	// union-find with the current clusters of every involved node,
+	// check-and-union each pair there, and only publish the merged
+	// clusters to the sharded store once every pair proved sound — on
+	// failure the store is untouched.
+	h.commitMu.Lock()
+	defer h.commitMu.Unlock()
+	scratch := newClusterSet()
+	seeded := map[node]bool{}
+	seed := func(n node) {
+		if seeded[n] {
+			return
+		}
+		ms := h.store.membersOf(n)
+		for _, m := range ms {
+			seeded[m] = true
+		}
+		for i := 1; i < len(ms); i++ {
+			scratch.union(ms[0], ms[i])
+		}
+	}
 	for _, pr := range fed.MT().Pairs {
 		a, b := node{src: li, idx: pr.RIndex}, node{src: ri, idx: pr.SIndex}
-		if err := next.checkMerge(a, []node{b}, h.sourceName); err != nil {
+		seed(a)
+		seed(b)
+		if err := scratch.checkMerge(a, []node{b}, h.sourceName); err != nil {
 			return fmt.Errorf("hub: link %q-%q: initial pair (%d,%d): %w",
 				spec.Left, spec.Right, pr.RIndex, pr.SIndex, err)
 		}
-		next.union(a, b)
+		scratch.union(a, b)
 	}
 	if h.per != nil {
 		if err := h.per.appendLink(spec); err != nil {
@@ -291,7 +373,23 @@ func (h *Hub) registerLinkLocked(spec PairSpec, li, ri int, fed *federate.Federa
 	left.pairs = append(left.pairs, p)
 	right.pairs = append(right.pairs, p)
 	recordAttrNames(left, right, spec.Attrs)
-	h.clusters = next
+	// Publish every scratch component that grew past its pre-existing
+	// record (a component equal in size to its first member's record is
+	// that record — memberships only ever grow).
+	byRoot := map[node][]node{}
+	for n := range scratch.parent {
+		byRoot[scratch.find(n)] = append(byRoot[scratch.find(n)], n)
+	}
+	for _, ms := range byRoot {
+		if len(ms) < 2 {
+			continue
+		}
+		if rec := h.store.recOf(ms[0]); rec != nil && len(rec.members) == len(ms) {
+			continue
+		}
+		sortNodes(ms)
+		h.store.publish(ms)
+	}
 	return nil
 }
 
@@ -406,9 +504,9 @@ func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
 	// Phase 2: transitive uniqueness, then commit everywhere. The check
 	// precedes every mutation, so rejection needs no undo; commits
 	// cannot fail under the locks held here.
-	h.clusterMu.Lock()
-	defer h.clusterMu.Unlock()
-	if err := h.clusters.checkMerge(n, partners, h.sourceName); err != nil {
+	h.commitMu.Lock()
+	defer h.commitMu.Unlock()
+	if err := h.store.checkMerge(n, partners, h.sourceName); err != nil {
 		return nil, fmt.Errorf("hub: source %q: %w", source, err)
 	}
 	// Write-ahead: the insert reaches the log before any in-memory
@@ -428,10 +526,19 @@ func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
 			panic(fmt.Sprintf("hub: pair %d commit after successful prepare: %v", src.pairs[i].id, err))
 		}
 	}
-	if err := src.rel.Insert(t); err != nil {
-		panic(fmt.Sprintf("hub: canonical insert after CanInsert: %v", err))
+	// The canonical insert and the view republication share the key
+	// lock, so a reader whose key lookup finds the new tuple always
+	// loads a view that covers it.
+	src.keyMu.Lock()
+	insErr := src.rel.Insert(t)
+	if insErr == nil {
+		src.publishView()
 	}
-	h.clusters.merge(n, partners)
+	src.keyMu.Unlock()
+	if insErr != nil {
+		panic(fmt.Sprintf("hub: canonical insert after CanInsert: %v", insErr))
+	}
+	members := h.store.apply(n, partners)
 	if h.per != nil {
 		h.per.noteCommit(h)
 	}
@@ -439,7 +546,7 @@ func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
 	for _, p := range partners {
 		rec.Matched = append(rec.Matched, h.member(p))
 	}
-	rec.Cluster = h.clusterLocked(n)
+	rec.Cluster = h.clusterOf(n, members)
 	return rec, nil
 }
 
@@ -455,21 +562,59 @@ func (p *pairState) other(si int) int {
 	return p.left
 }
 
-// member materialises a node. Callers hold clusterMu.
+// member materialises a node on the writer side. Callers hold commitMu
+// (every relation mutation happens under it, so direct reads are safe).
 func (h *Hub) member(n node) Member {
 	s := h.sources[n.src]
 	return Member{Source: s.name, Index: n.idx, Tuple: s.rel.Tuple(n.idx)}
 }
 
-// clusterLocked builds the Cluster of a node. Callers hold clusterMu.
-func (h *Hub) clusterLocked(n node) Cluster {
-	ns := append([]node(nil), h.clusters.membersOf(h.clusters.find(n))...)
-	sortNodes(ns)
-	c := Cluster{ID: fmt.Sprintf("%s/%d", h.sources[ns[0].src].name, ns[0].idx)}
-	for _, m := range ns {
+// clusterOf builds the Cluster over a sorted member set (nil means the
+// implicit singleton {n}) on the writer side. Callers hold commitMu.
+func (h *Hub) clusterOf(n node, members []node) Cluster {
+	if len(members) == 0 {
+		members = []node{n}
+	}
+	c := Cluster{ID: fmt.Sprintf("%s/%d", h.sources[members[0].src].name, members[0].idx)}
+	for _, m := range members {
 		c.Members = append(c.Members, h.member(m))
 	}
 	return c
+}
+
+// materialize builds the Cluster over a sorted member set on the read
+// side: each member's tuple comes from its source's published view,
+// which is guaranteed to cover the member because views are published
+// before the cluster record that references them. A record can also
+// name a source registered *after* the caller's topo snapshot was
+// taken (the topology only grows, and the record was published after
+// the source), so the snapshot is upgraded on demand — the current
+// topo is always at least as new as any record already read. Lock-free.
+func (h *Hub) materialize(t *topoView, members []node) Cluster {
+	for _, m := range members {
+		if m.src >= len(t.sources) {
+			t = h.topo.Load()
+			break
+		}
+	}
+	lead := t.sources[members[0].src]
+	c := Cluster{ID: fmt.Sprintf("%s/%d", lead.name, members[0].idx)}
+	for _, m := range members {
+		s := t.sources[m.src]
+		c.Members = append(c.Members, Member{Source: s.name, Index: m.idx, Tuple: s.view.Load().tuples[m.idx]})
+	}
+	return c
+}
+
+// clusterRead resolves and materialises node n's cluster on the read
+// side: one shard read lock around the record lookup, then lock-free
+// tuple access. The record is immutable, so the member set is always a
+// committed partition state — never torn mid-merge.
+func (h *Hub) clusterRead(t *topoView, n node) Cluster {
+	if rec := h.store.read(n); rec != nil {
+		return h.materialize(t, rec.members)
+	}
+	return h.materialize(t, []node{n})
 }
 
 // Insert is the unit of IngestBatch.
@@ -554,97 +699,54 @@ func (h *Hub) SourceRelation(source string) (*relation.Relation, error) {
 	if !ok {
 		return nil, fmt.Errorf("hub: unknown source %q", source)
 	}
-	h.clusterMu.Lock()
-	defer h.clusterMu.Unlock()
-	return h.sources[si].rel.Clone(), nil
+	src := h.sources[si]
+	src.keyMu.RLock()
+	defer src.keyMu.RUnlock()
+	return src.rel.Clone(), nil
 }
 
-// SourceLen returns a source's current tuple count.
+// SourceLen returns a source's current committed tuple count.
 func (h *Hub) SourceLen(source string) (int, error) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	si, ok := h.byName[source]
+	t := h.topo.Load()
+	si, ok := t.byName[source]
 	if !ok {
 		return 0, fmt.Errorf("hub: unknown source %q", source)
 	}
-	h.clusterMu.Lock()
-	defer h.clusterMu.Unlock()
-	return h.sources[si].rel.Len(), nil
+	return len(t.sources[si].view.Load().tuples), nil
 }
 
 // Lookup finds a source tuple by its primary-key values and returns its
-// cluster.
+// cluster. It is a point read: the source's key lock shared for the key
+// probe, one shard lock shared for the cluster record — no hub-global
+// lock, so lookups scale with readers and proceed during ingest.
 func (h *Hub) Lookup(source string, key ...value.Value) (Cluster, error) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	si, ok := h.byName[source]
+	t := h.topo.Load()
+	si, ok := t.byName[source]
 	if !ok {
 		return Cluster{}, fmt.Errorf("hub: unknown source %q", source)
 	}
-	h.clusterMu.Lock()
-	defer h.clusterMu.Unlock()
-	idx := h.sources[si].rel.LookupKey(key...)
+	src := t.sources[si]
+	src.keyMu.RLock()
+	idx := src.rel.LookupKey(key...)
+	src.keyMu.RUnlock()
 	if idx < 0 {
 		return Cluster{}, fmt.Errorf("hub: source %q: no tuple with key %v", source, key)
 	}
-	return h.clusterLocked(node{src: si, idx: idx}), nil
+	return h.clusterRead(t, node{src: si, idx: idx}), nil
 }
 
-// ClusterAt returns the cluster of the tuple at a source position.
+// ClusterAt returns the cluster of the tuple at a source position — a
+// point read, like Lookup.
 func (h *Hub) ClusterAt(source string, idx int) (Cluster, error) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	si, ok := h.byName[source]
+	t := h.topo.Load()
+	si, ok := t.byName[source]
 	if !ok {
 		return Cluster{}, fmt.Errorf("hub: unknown source %q", source)
 	}
-	h.clusterMu.Lock()
-	defer h.clusterMu.Unlock()
-	if idx < 0 || idx >= h.sources[si].rel.Len() {
+	if idx < 0 || idx >= len(t.sources[si].view.Load().tuples) {
 		return Cluster{}, fmt.Errorf("hub: source %q: no tuple %d", source, idx)
 	}
-	return h.clusterLocked(node{src: si, idx: idx}), nil
-}
-
-// Clusters enumerates every global entity cluster — including
-// singletons for tuples matched nowhere — ordered by their smallest
-// member, so the enumeration is deterministic for a given partition
-// regardless of insert order.
-func (h *Hub) Clusters() []Cluster {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	h.clusterMu.Lock()
-	defer h.clusterMu.Unlock()
-	byRoot := map[node][]node{}
-	for si, s := range h.sources {
-		for i := 0; i < s.rel.Len(); i++ {
-			n := node{src: si, idx: i}
-			root := h.clusters.find(n)
-			byRoot[root] = append(byRoot[root], n)
-		}
-	}
-	roots := make([]node, 0, len(byRoot))
-	for root, ns := range byRoot {
-		sortNodes(ns)
-		roots = append(roots, root)
-	}
-	sort.Slice(roots, func(a, b int) bool {
-		na, nb := byRoot[roots[a]][0], byRoot[roots[b]][0]
-		if na.src != nb.src {
-			return na.src < nb.src
-		}
-		return na.idx < nb.idx
-	})
-	out := make([]Cluster, 0, len(roots))
-	for _, root := range roots {
-		ns := byRoot[root]
-		c := Cluster{ID: fmt.Sprintf("%s/%d", h.sources[ns[0].src].name, ns[0].idx)}
-		for _, m := range ns {
-			c.Members = append(c.Members, h.member(m))
-		}
-		out = append(out, c)
-	}
-	return out
+	return h.clusterRead(t, node{src: si, idx: idx}), nil
 }
 
 // MergedEntity is a cluster's single merged record: one value per
@@ -715,25 +817,28 @@ type Stats struct {
 }
 
 // Stats counts sources, links, tuples, pairwise matches and clusters.
+// It is O(sources+pairs): tuple counts come from the published views
+// and the cluster count from the store's running merge counter, so
+// Stats never scans the hub or blocks ingest. Under concurrent ingest
+// the counters are each individually accurate but may straddle a
+// commit; at quiescence they are exact.
 func (h *Hub) Stats() Stats {
 	h.mu.RLock()
-	defer h.mu.RUnlock()
 	st := Stats{Sources: len(h.sources), Pairs: len(h.pairs)}
 	for _, p := range h.pairs {
 		p.mu.Lock()
 		st.Matches += p.fed.MT().Len()
 		p.mu.Unlock()
 	}
-	h.clusterMu.Lock()
-	defer h.clusterMu.Unlock()
-	seen := map[node]bool{}
-	for si, s := range h.sources {
-		st.Tuples += s.rel.Len()
-		for i := 0; i < s.rel.Len(); i++ {
-			seen[h.clusters.find(node{src: si, idx: i})] = true
-		}
+	h.mu.RUnlock()
+	// Load merged before the views: views only grow, so the difference
+	// can transiently overcount clusters but never go negative.
+	merged := h.store.merged.Load()
+	t := h.topo.Load()
+	for _, s := range t.sources {
+		st.Tuples += len(s.view.Load().tuples)
 	}
-	st.Clusters = len(seen)
+	st.Clusters = st.Tuples - int(merged)
 	return st
 }
 

@@ -1,0 +1,247 @@
+// Streaming cluster enumeration: Clusters()'s O(hub)
+// materialise-under-lock is replaced by an iterator that visits nodes
+// in (source registration order, tuple position) order and emits a
+// cluster exactly when the node under the cursor is the cluster's
+// smallest member *inside the iteration cut* — the committed lengths
+// when the walk started. On a quiescent hub that is simply the
+// smallest member, reproducing the classic enumeration order (by
+// smallest member, singletons included) while holding only one shard
+// read lock at a time and materialising one cluster at a time, so
+// enumeration memory is O(largest cluster), not O(hub). Anchoring
+// emission inside the cut matters under concurrent ingest: a cluster
+// whose absolute lead was committed after the cut is still emitted at
+// its oldest in-cut member instead of being skipped toward a node the
+// walk will never visit.
+//
+// Consistency: each emitted cluster is a committed partition state at
+// its visit time (the record is immutable), and one pass's clusters
+// are always pairwise disjoint. Across a long enumeration concurrent
+// ingest may merge clusters behind the cursor; the *entity* then
+// appears in the earlier, smaller committed form the walk emitted
+// before the merge — but a tuple whose cluster merges into a region
+// the walk has already passed can be absent from that pass entirely
+// (its own position is skipped as belonging to an already-visited
+// lead, which was emitted before the tuple joined it). That is the
+// weak consistency inherent to any snapshot-free cursor walk over a
+// live store: per-pass output is sound, not tuple-complete. A
+// quiescent hub enumerates exactly its partition, every tuple
+// included, deterministically.
+//
+// Pagination builds on the same walk: the cursor is a walk position
+// (source/index), and resumption seeks straight to the following node
+// — O(1), not O(offset). ClustersWalk and ClustersPage hand back the
+// exact resume cursor; on a quiescent hub it equals the last cluster's
+// ID.
+package hub
+
+import (
+	"fmt"
+	"iter"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// clustersWalk visits, in canonical order, every cluster with a member
+// inside the cut (the committed source lengths at call time) whose
+// position follows start. fn receives the visit node and the cluster's
+// member set (nil for an implicit singleton) and returns false to stop.
+// Materialisation is left to the caller, so a walk can count or probe
+// clusters without building them.
+func (h *Hub) clustersWalk(t *topoView, start node, fn func(n node, members []node) bool) {
+	lens := make([]int, len(t.sources))
+	for i, s := range t.sources {
+		lens[i] = len(s.view.Load().tuples)
+	}
+	inCut := func(m node) bool {
+		return m.src < len(lens) && m.idx < lens[m.src]
+	}
+	for si := start.src; si < len(t.sources); si++ {
+		lo := 0
+		if si == start.src {
+			lo = start.idx
+		}
+		for i := lo; i < lens[si]; i++ {
+			n := node{src: si, idx: i}
+			rec := h.store.read(n)
+			var members []node
+			if rec != nil {
+				// Emit at the cluster's first in-cut member (n itself is
+				// in the cut, so one exists at or before n).
+				lead := n
+				for _, m := range rec.members {
+					if inCut(m) {
+						lead = m
+						break
+					}
+				}
+				if lead != n {
+					continue // emitted (or to be emitted) at an earlier node
+				}
+				members = rec.members
+			}
+			if !fn(n, members) {
+				return
+			}
+		}
+	}
+}
+
+// ClustersIter streams every global entity cluster — including
+// singletons for tuples matched nowhere — ordered by smallest member.
+// The source lengths are cut when iteration starts; each cluster is a
+// committed state at its visit time (see the package notes on weak
+// consistency under concurrent ingest).
+func (h *Hub) ClustersIter() iter.Seq[Cluster] {
+	seq, err := h.ClustersFrom("")
+	if err != nil {
+		// Unreachable: the empty cursor always parses.
+		panic(err)
+	}
+	return seq
+}
+
+// ClustersFrom streams the clusters whose walk position follows the
+// cursor — a source/index position; "" starts from the beginning. An
+// unknown source or malformed cursor is an error. On a quiescent hub
+// the last cluster's ID is exactly its walk position; to resume a walk
+// that races ingest, use ClustersWalk or ClustersPage instead — their
+// returned cursors track the visit position, whereas a concurrent
+// merge can hand a cluster an ID outside the walk's cut that would
+// rewind this seek and re-serve earlier clusters.
+func (h *Hub) ClustersFrom(cursor string) (iter.Seq[Cluster], error) {
+	t := h.topo.Load()
+	start, err := startFrom(t, cursor)
+	if err != nil {
+		return nil, err
+	}
+	return func(yield func(Cluster) bool) {
+		h.clustersWalk(t, start, func(n node, members []node) bool {
+			if members == nil {
+				members = []node{n}
+			}
+			return yield(h.materialize(t, members))
+		})
+	}, nil
+}
+
+// cursorFor renders the cursor that resumes the walk after visit node
+// n. On a quiescent hub this equals the cluster's ID; under concurrent
+// ingest the two can differ (a merge can hand the cluster a lead
+// outside the cut), and it is the *visit* position that must anchor
+// resumption — a cursor taken from the absolute lead could jump the
+// walk backwards and re-serve clusters already emitted.
+func cursorFor(t *topoView, n node) string {
+	return fmt.Sprintf("%s/%d", t.sources[n.src].name, n.idx)
+}
+
+// ClustersWalk visits the clusters that follow the cursor ("" = from
+// the beginning), passing each materialised cluster together with the
+// cursor that resumes the walk immediately after it; fn returns false
+// to stop. The first skip clusters are counted past without being
+// materialised — the offset form of pagination. It is the primitive
+// ClustersPage and the HTTP front-end paginate with: the resume cursor
+// tracks the walk position, which stays monotone even when concurrent
+// merges move a cluster's ID.
+func (h *Hub) ClustersWalk(cursor string, skip int, fn func(c Cluster, resume string) bool) error {
+	t := h.topo.Load()
+	start, err := startFrom(t, cursor)
+	if err != nil {
+		return err
+	}
+	h.clustersWalk(t, start, func(n node, members []node) bool {
+		if skip > 0 {
+			skip--
+			return true
+		}
+		if members == nil {
+			members = []node{n}
+		}
+		return fn(h.materialize(t, members), cursorFor(t, n))
+	})
+	return nil
+}
+
+// ClustersPage materialises one page of the enumeration: up to limit
+// clusters after the cursor ("" = first page; limit <= 0 means
+// DefaultClustersPageSize). The returned cursor addresses the next
+// page, "" when the enumeration is exhausted. The look-ahead that
+// detects a further page never materialises its cluster.
+func (h *Hub) ClustersPage(cursor string, limit int) ([]Cluster, string, error) {
+	if limit <= 0 {
+		limit = DefaultClustersPageSize
+	}
+	t := h.topo.Load()
+	start, err := startFrom(t, cursor)
+	if err != nil {
+		return nil, "", err
+	}
+	out := make([]Cluster, 0, min(limit, 64))
+	next, lastResume := "", ""
+	h.clustersWalk(t, start, func(n node, members []node) bool {
+		if len(out) == limit {
+			// A further cluster exists: the page is full and the walk
+			// resumes after its last entry's visit position.
+			next = lastResume
+			return false
+		}
+		if members == nil {
+			members = []node{n}
+		}
+		out = append(out, h.materialize(t, members))
+		lastResume = cursorFor(t, n)
+		return true
+	})
+	return out, next, nil
+}
+
+// DefaultClustersPageSize bounds ClustersPage when the caller passes no
+// limit.
+const DefaultClustersPageSize = 256
+
+// Clusters enumerates every global entity cluster into one slice — the
+// materialised form of ClustersIter, deterministic for a given
+// partition regardless of insert order. Prefer ClustersIter or
+// ClustersPage when the hub is large.
+func (h *Hub) Clusters() []Cluster {
+	var out []Cluster
+	for c := range h.ClustersIter() {
+		out = append(out, c)
+	}
+	return out
+}
+
+// startFrom resolves a cursor to the walk's first candidate node: the
+// position immediately after the cursor, or the origin for "".
+func startFrom(t *topoView, cursor string) (node, error) {
+	if cursor == "" {
+		return node{}, nil
+	}
+	after, err := parseCursor(t, cursor)
+	if err != nil {
+		return node{}, err
+	}
+	return node{src: after.src, idx: after.idx + 1}, nil
+}
+
+// parseCursor resolves a cluster ID ("source/index") to its node. The
+// index is everything after the final slash, so source names containing
+// slashes still parse.
+func parseCursor(t *topoView, cursor string) (node, error) {
+	slash := strings.LastIndexByte(cursor, '/')
+	if slash < 0 {
+		return node{}, fmt.Errorf("hub: bad cluster cursor %q (want source/index)", cursor)
+	}
+	name := cursor[:slash]
+	si, ok := t.byName[name]
+	if !ok {
+		return node{}, fmt.Errorf("hub: bad cluster cursor %q: unknown source %q", cursor, name)
+	}
+	idx, err := strconv.Atoi(cursor[slash+1:])
+	// The walk resumes at idx+1, so the maximum int is rejected too —
+	// the increment must not overflow into a negative start position.
+	if err != nil || idx < 0 || idx == math.MaxInt {
+		return node{}, fmt.Errorf("hub: bad cluster cursor %q (want source/index)", cursor)
+	}
+	return node{src: si, idx: idx}, nil
+}

@@ -5,8 +5,12 @@
 package hub
 
 import (
+	"fmt"
+	"time"
+
 	"entityid/internal/datagen"
 	"entityid/internal/relation"
+	"entityid/internal/value"
 )
 
 // SpecFromMultiPair lifts a datagen pair description into a link spec.
@@ -49,4 +53,84 @@ func MultiInserts(w *datagen.MultiWorkload) []Insert {
 		}
 	}
 	return out
+}
+
+// BenchIngestItem is the i-th item of an endless ingest stream over a
+// multi workload: the real items first, then fresh synthetic singleton
+// tuples (matching the MultiGenerate schema, with keys that never
+// collide). The mixed read/ingest serving benchmarks share it through
+// NewServeBench so they always ingest the same workload shape.
+func BenchIngestItem(names []string, items []Insert, i int) Insert {
+	if i < len(items) {
+		return items[i]
+	}
+	k := i - len(items)
+	return Insert{Source: names[k%len(names)], Tuple: relation.Tuple{
+		value.String(fmt.Sprintf("bench-extra-%d", k)),
+		value.String(fmt.Sprintf("%d bench st", k)),
+		value.Null, value.Null,
+	}}
+}
+
+// ServeIngester is the background committer of a mixed read/ingest
+// serving benchmark, started by NewServeBench. Stop it exactly once.
+type ServeIngester struct {
+	stop chan struct{}
+	done chan error
+	n    int
+	ns   int64
+}
+
+// Stop halts the ingester and reports how many tuples it committed,
+// over how long, and the first insert error if one stopped it early.
+func (bi *ServeIngester) Stop() (ingested int, elapsedNS int64, err error) {
+	close(bi.stop)
+	err = <-bi.done
+	return bi.n, bi.ns, err
+}
+
+// NewServeBench builds the mixed-serving benchmark state: a hub with
+// the first half of the workload ingested and a running background
+// ingester streaming the rest — then fresh synthetic singletons — until
+// stopped, so timed reads always overlap a live commit path. Both
+// BenchmarkHubServe and benchreport's serve series run on this one
+// harness, so the mixed-load mechanics of the CI smoke bench and the
+// recorded BENCH_match.json series can never drift apart (their
+// workload configs still differ in scale, so absolute numbers are not
+// comparable across the two).
+func NewServeBench(w *datagen.MultiWorkload) (*Hub, *ServeIngester, error) {
+	h, err := NewFromMulti(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	items := MultiInserts(w)
+	half := len(items) / 2
+	for _, res := range h.IngestBatch(items[:half], 0) {
+		if res.Err != nil {
+			return nil, nil, res.Err
+		}
+	}
+	ing := &ServeIngester{stop: make(chan struct{}), done: make(chan error, 1)}
+	go func() {
+		start := time.Now()
+		finish := func(err error) {
+			ing.ns = time.Since(start).Nanoseconds()
+			ing.done <- err
+		}
+		for i := half; ; i++ {
+			select {
+			case <-ing.stop:
+				finish(nil)
+				return
+			default:
+			}
+			it := BenchIngestItem(w.Names, items, i)
+			if _, err := h.Insert(it.Source, it.Tuple); err != nil {
+				finish(err)
+				return
+			}
+			ing.n++
+		}
+	}()
+	return h, ing, nil
 }

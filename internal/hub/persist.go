@@ -451,9 +451,9 @@ func (h *Hub) SnapshotNow() error {
 	p.snapMu.Lock()
 	defer p.snapMu.Unlock()
 	h.mu.RLock()
-	h.clusterMu.Lock()
+	h.commitMu.Lock()
 	cut := h.cutLocked(p.log.LastSeq())
-	h.clusterMu.Unlock()
+	h.commitMu.Unlock()
 	h.mu.RUnlock()
 	if _, err := p.log.Rotate(); err != nil {
 		return err

@@ -537,9 +537,9 @@ func TestSnapshotRoundTripAndTamperDetection(t *testing.T) {
 	// now valid, so only the federate.Restore verification can catch it.
 	doctor := func(mutate func(*hubSnap)) []byte {
 		h.mu.RLock()
-		h.clusterMu.Lock()
+		h.commitMu.Lock()
 		snap := h.captureLocked()
-		h.clusterMu.Unlock()
+		h.commitMu.Unlock()
 		h.mu.RUnlock()
 		mutate(snap)
 		out, err := encodeSnapshot(snap, 0)

@@ -1,0 +1,257 @@
+// Sharded cluster store: the read-scalable home of the global entity
+// clusters. The union-find of cluster.go is kept for speculative link
+// folding and snapshot refolds; the *served* partition lives here, as a
+// node → cluster-record map striped across lock shards.
+//
+// The design splits the store along the reader/writer asymmetry:
+//
+//   - Cluster records are immutable. A record is the complete, sorted
+//     member set of one cluster; a merge builds a fresh record and
+//     republishes it for every member. A reader that has loaded a
+//     record therefore holds a committed member set with no further
+//     locking — there is nothing it could observe half-updated.
+//
+//   - Readers take only one shard's read lock, and only around the map
+//     lookup itself. Point reads on different shards share nothing;
+//     point reads on the same shard share a read lock. No read path
+//     takes a hub-global lock.
+//
+//   - Writers are already serialised: every mutation runs under the
+//     hub's commit lock (hub.commitMu), so writer-side lookups need no
+//     shard lock at all, and shard write locks are held only for the
+//     map stores that publish a record — never across an O(hub) scan.
+//
+// Readers racing a merge see either the old record or the new one for
+// any given node — never a torn member set. Two reads of different
+// members of a merging cluster may straddle the merge; and in the
+// instant between a tuple's view publication and its merge record
+// landing, a freshly committed tuple can read as a momentary
+// singleton. Every observable member set is therefore monotone-sound:
+// it contains the queried tuple, holds at most one tuple per source,
+// and is a subset of the cluster's eventual membership — the
+// consistency the serving contract promises (see the README).
+//
+// Singletons are implicit: a node with no record is its own cluster,
+// so unmatched inserts publish nothing and touch no shard lock.
+package hub
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// clusterShardCount stripes the node→record map; a power of two so
+// shardOf reduces to a mask. 32 shards keep per-shard reader locks
+// uncontended well past the core counts one process serves.
+const clusterShardCount = 32
+
+// clusterRec is one published cluster: its members sorted by
+// (source ordinal, tuple index). Immutable after publication.
+type clusterRec struct {
+	members []node
+}
+
+// clusterShard is one lock stripe of the store.
+type clusterShard struct {
+	mu  sync.RWMutex
+	rec map[node]*clusterRec
+	// pad spaces shards onto distinct cache lines so reader locks on
+	// neighbouring shards do not false-share.
+	_ [64]byte
+}
+
+// shardStore is the sharded node → cluster map plus the running merge
+// count that makes Stats O(sources) instead of O(hub).
+type shardStore struct {
+	shards [clusterShardCount]clusterShard
+	// merged is Σ (cluster size − 1) over all non-singleton clusters:
+	// the number of tuples clustering has folded away. The live cluster
+	// count is therefore tuples − merged. Updated at publish time under
+	// the commit lock; read atomically by Stats.
+	merged atomic.Int64
+}
+
+func newShardStore() *shardStore {
+	s := &shardStore{}
+	for i := range s.shards {
+		s.shards[i].rec = map[node]*clusterRec{}
+	}
+	return s
+}
+
+// shardOf maps a node onto its lock stripe.
+func shardOf(n node) int {
+	h := uint64(uint32(n.src))*0x9e3779b1 ^ uint64(uint32(n.idx))*0x85ebca77
+	return int((h ^ h>>16) & (clusterShardCount - 1))
+}
+
+// read returns n's published cluster record, or nil for an implicit
+// singleton. Reader-side: takes only n's shard lock, shared, around the
+// map lookup.
+func (s *shardStore) read(n node) *clusterRec {
+	sh := &s.shards[shardOf(n)]
+	sh.mu.RLock()
+	rec := sh.rec[n]
+	sh.mu.RUnlock()
+	return rec
+}
+
+// recOf is the writer-side lookup. Callers hold the hub's commit lock —
+// the store's single-mutator guarantee — so no shard lock is needed:
+// nothing can be writing the map concurrently.
+func (s *shardStore) recOf(n node) *clusterRec {
+	return s.shards[shardOf(n)].rec[n]
+}
+
+// membersOf returns n's current member set (shared; do not mutate).
+// Writer-side.
+func (s *shardStore) membersOf(n node) []node {
+	if rec := s.recOf(n); rec != nil {
+		return rec.members
+	}
+	return []node{n}
+}
+
+// checkMerge verifies that merging node n with the clusters of all
+// partners preserves transitive uniqueness: the combined cluster must
+// not hold two tuples of one source (srcName renders source ordinals
+// for the violation message). n's own current cluster counts. It
+// mutates nothing; a nil return guarantees the subsequent apply is
+// sound. Writer-side.
+func (s *shardStore) checkMerge(n node, partners []node, srcName func(int) string) error {
+	bySrc := map[int]node{}
+	seenRec := map[*clusterRec]bool{}
+	seenOne := map[node]bool{}
+	absorb := func(m node) error {
+		if prev, dup := bySrc[m.src]; dup {
+			return fmt.Errorf("transitive uniqueness violation: tuples %d and %d of source %q would join one cluster",
+				prev.idx, m.idx, srcName(m.src))
+		}
+		bySrc[m.src] = m
+		return nil
+	}
+	fold := func(p node) error {
+		if rec := s.recOf(p); rec != nil {
+			if seenRec[rec] {
+				return nil
+			}
+			seenRec[rec] = true
+			for _, m := range rec.members {
+				if err := absorb(m); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if seenOne[p] {
+			return nil
+		}
+		seenOne[p] = true
+		return absorb(p)
+	}
+	if err := fold(n); err != nil {
+		return err
+	}
+	for _, p := range partners {
+		if err := fold(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// apply merges n with every partner's cluster and publishes the result,
+// returning the merged, sorted member set (nil when n stays an implicit
+// singleton — a matchless insert publishes nothing). Callers have
+// already run checkMerge. Writer-side.
+func (s *shardStore) apply(n node, partners []node) []node {
+	if len(partners) == 0 && s.recOf(n) == nil {
+		return nil
+	}
+	var members []node
+	seenRec := map[*clusterRec]bool{}
+	seenOne := map[node]bool{}
+	add := func(p node) {
+		if rec := s.recOf(p); rec != nil {
+			if !seenRec[rec] {
+				seenRec[rec] = true
+				members = append(members, rec.members...)
+			}
+		} else if !seenOne[p] {
+			seenOne[p] = true
+			members = append(members, p)
+		}
+	}
+	add(n)
+	for _, p := range partners {
+		add(p)
+	}
+	sortNodes(members)
+	s.publish(members)
+	return members
+}
+
+// publish installs one cluster: a fresh immutable record stored for
+// every member, one shard at a time (shard write locks are never
+// nested). A reader of any member sees either its old record or the new
+// one — both committed states. Writer-side; the only place shard write
+// locks are taken.
+func (s *shardStore) publish(members []node) {
+	prev := 0
+	seenRec := map[*clusterRec]bool{}
+	for _, m := range members {
+		if rec := s.recOf(m); rec != nil && !seenRec[rec] {
+			seenRec[rec] = true
+			prev += len(rec.members) - 1
+		}
+	}
+	rec := &clusterRec{members: members}
+	var byShard [clusterShardCount][]node
+	for _, m := range members {
+		byShard[shardOf(m)] = append(byShard[shardOf(m)], m)
+	}
+	for si := range byShard {
+		if len(byShard[si]) == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for _, m := range byShard[si] {
+			sh.rec[m] = rec
+		}
+		sh.mu.Unlock()
+	}
+	s.merged.Add(int64(len(members) - 1 - prev))
+}
+
+// partition returns the canonical non-singleton cluster partition:
+// members sorted by (source, index), clusters sorted by first member —
+// the snapshot/verification form. Every record holds ≥ 2 members by
+// construction, so the records themselves are the partition.
+// Writer-side.
+func (s *shardStore) partition() [][][2]int {
+	seen := map[*clusterRec]bool{}
+	var out [][][2]int
+	for i := range s.shards {
+		for _, rec := range s.shards[i].rec {
+			if seen[rec] {
+				continue
+			}
+			seen[rec] = true
+			c := make([][2]int, len(rec.members))
+			for j, m := range rec.members {
+				c[j] = [2]int{m.src, m.idx}
+			}
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0][0] != out[b][0][0] {
+			return out[a][0][0] < out[b][0][0]
+		}
+		return out[a][0][1] < out[b][0][1]
+	})
+	return out
+}

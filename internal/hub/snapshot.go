@@ -170,7 +170,7 @@ type snapshotCut struct {
 }
 
 // cutLocked builds a cut. Callers hold h.mu (at least shared) and
-// h.clusterMu — the commit locks — so the counts are mutually
+// h.commitMu — the commit locks — so the counts are mutually
 // consistent and consistent with the watermark.
 func (h *Hub) cutLocked(watermark uint64) *snapshotCut {
 	cut := &snapshotCut{watermark: watermark}
@@ -185,23 +185,23 @@ func (h *Hub) cutLocked(watermark uint64) *snapshotCut {
 	return cut
 }
 
-// copySourceTuples copies one source section's tuple headers under a
-// briefly-held cluster lock (tuples are immutable once inserted; only
-// the slice may grow concurrently).
+// copySourceTuples copies one source section's tuple headers from the
+// published view — the view at the cut already covers cs.n and its
+// prefix is immutable, so the copy takes no lock at all and commits
+// never stall behind it.
 func (h *Hub) copySourceTuples(cs cutSource) []relation.Tuple {
-	h.clusterMu.Lock()
-	defer h.clusterMu.Unlock()
+	v := cs.s.view.Load()
 	out := make([]relation.Tuple, cs.n)
-	copy(out, cs.s.rel.Tuples()[:cs.n])
+	copy(out, v.tuples[:cs.n])
 	return out
 }
 
 // copyPairMT copies one pair section's matching-table prefix under a
-// briefly-held cluster lock and sorts it canonically off-lock.
+// briefly-held commit lock and sorts it canonically off-lock.
 func (h *Hub) copyPairMT(cp cutPair) []match.Pair {
-	h.clusterMu.Lock()
+	h.commitMu.Lock()
 	ps := cp.p.fed.PairsPrefix(cp.n)
-	h.clusterMu.Unlock()
+	h.commitMu.Unlock()
 	federate.SortPairs(ps)
 	return ps
 }
@@ -251,17 +251,10 @@ func canonicalPartition(byRoot map[node][]node) [][][2]int {
 }
 
 // partitionLocked returns the canonical non-singleton cluster
-// partition. Callers hold h.clusterMu (and h.mu at least shared).
+// partition of the live store. Callers hold h.commitMu (and h.mu at
+// least shared).
 func (h *Hub) partitionLocked() [][][2]int {
-	byRoot := map[node][]node{}
-	for si, s := range h.sources {
-		for i := 0; i < s.rel.Len(); i++ {
-			n := node{src: si, idx: i}
-			root := h.clusters.find(n)
-			byRoot[root] = append(byRoot[root], n)
-		}
-	}
-	return canonicalPartition(byRoot)
+	return h.store.partition()
 }
 
 // ---------------------------------------------------------------------
@@ -568,13 +561,13 @@ func (s *streamSink) finish(man *snapManifest) error {
 // slice headers are copied, never for the encode or the writes.
 func (h *Hub) SaveSnapshot(w io.Writer) (uint64, error) {
 	h.mu.RLock()
-	h.clusterMu.Lock()
+	h.commitMu.Lock()
 	var watermark uint64
 	if h.per != nil {
 		watermark = h.per.log.LastSeq()
 	}
 	cut := h.cutLocked(watermark)
-	h.clusterMu.Unlock()
+	h.commitMu.Unlock()
 	h.mu.RUnlock()
 	if _, err := h.writeSnapshotV2(cut, &streamSink{w: w}, h.snapChunkBytes, nil); err != nil {
 		return 0, err
@@ -965,9 +958,9 @@ func assembleHub(secs []*decSection) (*Hub, error) {
 		}
 	}
 	h.mu.RLock()
-	h.clusterMu.Lock()
+	h.commitMu.Lock()
 	refolded := h.partitionLocked()
-	h.clusterMu.Unlock()
+	h.commitMu.Unlock()
 	h.mu.RUnlock()
 	if !partitionsEqual(refolded, clusters) {
 		return nil, fmt.Errorf("hub: load snapshot: cluster store does not match the refolded pairwise matching tables")

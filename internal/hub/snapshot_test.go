@@ -81,9 +81,9 @@ func TestSnapshotMultiChunkBeyondV1FrameCap(t *testing.T) {
 
 	// Format 1 cannot hold this hub in one frame.
 	h.mu.RLock()
-	h.clusterMu.Lock()
+	h.commitMu.Lock()
 	v1 := h.captureLocked()
-	h.clusterMu.Unlock()
+	h.commitMu.Unlock()
 	h.mu.RUnlock()
 	if _, err := encodeSnapshot(v1, 0); err == nil {
 		t.Fatal("format-1 encoder fit a hub beyond the frame cap; grow the workload")
@@ -306,10 +306,10 @@ func TestFormatV1SnapshotStillLoads(t *testing.T) {
 	}
 	// Write the legacy single-frame snapshot exactly as PR 3 did.
 	h.mu.RLock()
-	h.clusterMu.Lock()
+	h.commitMu.Lock()
 	snap := h.captureLocked()
 	watermark := h.per.log.LastSeq()
-	h.clusterMu.Unlock()
+	h.commitMu.Unlock()
 	h.mu.RUnlock()
 	frame, err := encodeSnapshot(snap, watermark)
 	if err != nil {

@@ -45,7 +45,7 @@ type pairSnap struct {
 }
 
 // captureLocked copies the hub state into a format-1 snapshot payload.
-// Callers hold h.mu (at least shared) and h.clusterMu. Retained for the
+// Callers hold h.mu (at least shared) and h.commitMu. Retained for the
 // compatibility tests and the bench baseline; the production path
 // captures per-section instead (snapshot.go).
 func (h *Hub) captureLocked() *hubSnap {
@@ -94,13 +94,13 @@ func encodeSnapshot(snap *hubSnap, watermark uint64) ([]byte, error) {
 // defining limitation, and the reason new snapshots are chunked.
 func (h *Hub) EncodeLegacySnapshot() ([]byte, error) {
 	h.mu.RLock()
-	h.clusterMu.Lock()
+	h.commitMu.Lock()
 	snap := h.captureLocked()
 	var watermark uint64
 	if h.per != nil {
 		watermark = h.per.log.LastSeq()
 	}
-	h.clusterMu.Unlock()
+	h.commitMu.Unlock()
 	h.mu.RUnlock()
 	return encodeSnapshot(snap, watermark)
 }
