@@ -17,6 +17,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,13 +27,16 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"entityid/internal/admit"
 	"entityid/internal/datagen"
 	"entityid/internal/experiments"
 	"entityid/internal/hub"
 	"entityid/internal/match"
 	"entityid/internal/relation"
+	"entityid/internal/wal/errfs"
 )
 
 func main() {
@@ -147,6 +151,23 @@ type benchRecord struct {
 	ServeIngestPerSec    float64 `json:"serve_ingest_tuples_per_sec"`
 	ClustersStreamPerSec float64 `json:"clusters_stream_per_sec"`
 	ClustersStreamPages  int     `json:"clusters_stream_pages"`
+
+	// Degraded serving (PR 6): point reads against a hub whose disk is
+	// failing (every write answers ENOSPC through the errfs injector, so
+	// the hub is read-only with ingest rejected typedly). The read rate
+	// should be of the same order as healthy single-reader serving —
+	// degradation is not allowed to tax the read path.
+	DegradedReadsPerSec float64 `json:"degraded_reads_per_sec"`
+
+	// Admission control under synthetic overload: many more workers than
+	// gate slots hammer the ingest gate; the shed rate is the fraction
+	// turned away (each turned-away request is a fast 429, not a queue
+	// entry), and admitted throughput is what got through the gate.
+	OverloadWorkers  int     `json:"overload_workers"`
+	OverloadCapacity int     `json:"overload_capacity"`
+	OverloadAdmitted int64   `json:"overload_admitted"`
+	OverloadShed     int64   `json:"overload_shed"`
+	OverloadShedRate float64 `json:"overload_shed_rate"`
 }
 
 // runBenchJSON times matching-table construction and the full Figure 3
@@ -502,6 +523,110 @@ func runBenchJSON(path string, w io.Writer) int {
 		return 1
 	}
 
+	// Degraded serving: stand up a durable hub on an injectable
+	// filesystem, ingest the canonical workload, kill the disk (every
+	// write ENOSPC), confirm ingest is rejected typedly, then time point
+	// reads against the read-only hub.
+	degDir, err := os.MkdirTemp("", "entityid-benchdegraded")
+	if err != nil {
+		fmt.Fprintf(w, "benchjson: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(degDir)
+	fsErr := errfs.New(nil)
+	gh, _, err := hub.Open(degDir, hub.Options{FS: fsErr})
+	if err != nil {
+		fmt.Fprintf(w, "benchjson: degraded hub: %v\n", err)
+		return 1
+	}
+	for k, name := range mw.Names {
+		if err := gh.AddSource(name, relation.New(mw.Relations[k].Schema())); err != nil {
+			fmt.Fprintf(w, "benchjson: degraded hub: %v\n", err)
+			return 1
+		}
+	}
+	for i := 0; i < len(mw.Names); i++ {
+		for j := i + 1; j < len(mw.Names); j++ {
+			if err := gh.Link(hub.SpecFromMultiPair(mw.Pair(i, j))); err != nil {
+				fmt.Fprintf(w, "benchjson: degraded hub: %v\n", err)
+				return 1
+			}
+		}
+	}
+	for _, res := range gh.IngestBatch(items, 0) {
+		if res.Err != nil {
+			fmt.Fprintf(w, "benchjson: degraded ingest: %v\n", res.Err)
+			return 1
+		}
+	}
+	fsErr.Inject(errfs.Rule{Op: errfs.OpWrite, Err: syscall.ENOSPC})
+	fresh := datagen.MustMultiGenerate(datagen.MultiConfig{
+		Sources: 1, Entities: 1, PresenceFrac: 1, Seed: 2026,
+	})
+	if _, err := gh.Insert(mw.Names[0], fresh.Relations[0].Tuples()[0].Clone()); !errors.Is(err, hub.ErrDegraded) {
+		fmt.Fprintf(w, "benchjson: insert on failing disk = %v, want ErrDegraded\n", err)
+		return 1
+	}
+	degNames := gh.SourceNames()
+	const degradedReads = 200000
+	var degReadErr error
+	degNS := best(3, func() {
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < degradedReads; i++ {
+			src := degNames[rng.Intn(len(degNames))]
+			n, err := gh.SourceLen(src)
+			if err != nil {
+				degReadErr = err
+				return
+			}
+			if n == 0 {
+				continue
+			}
+			if _, err := gh.ClusterAt(src, rng.Intn(n)); err != nil {
+				degReadErr = err
+				return
+			}
+		}
+	})
+	if degReadErr != nil {
+		fmt.Fprintf(w, "benchjson: degraded reads: %v\n", degReadErr)
+		return 1
+	}
+	rec.DegradedReadsPerSec = float64(degradedReads) / (float64(degNS) / 1e9)
+	fsErr.Clear()
+	gh.Close() // the log may still be poisoned mid-close; the dir is scratch
+
+	// Overload shedding: 32 workers against a 4-slot gate, each admitted
+	// request doing one point read as stand-in work.
+	rec.OverloadWorkers, rec.OverloadCapacity = 32, 4
+	gate := admit.New(rec.OverloadCapacity)
+	var owg sync.WaitGroup
+	for wk := 0; wk < rec.OverloadWorkers; wk++ {
+		owg.Add(1)
+		go func(wk int) {
+			defer owg.Done()
+			rng := rand.New(rand.NewSource(int64(500 + wk)))
+			for i := 0; i < 2000; i++ {
+				if !gate.TryAcquire() {
+					continue
+				}
+				src := degNames[rng.Intn(len(degNames))]
+				if n, err := lastHub.SourceLen(src); err == nil && n > 0 {
+					lastHub.ClusterAt(src, rng.Intn(n))
+				}
+				// Yield while holding the slot so requests genuinely
+				// overlap even on a single-core runner — otherwise each
+				// admission completes within one scheduler slice and the
+				// gate never fills.
+				runtime.Gosched()
+				gate.Release()
+			}
+		}(wk)
+	}
+	owg.Wait()
+	rec.OverloadAdmitted, rec.OverloadShed = gate.Counts()
+	rec.OverloadShedRate = float64(rec.OverloadShed) / float64(rec.OverloadAdmitted+rec.OverloadShed)
+
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fmt.Fprintf(w, "benchjson: %v\n", err)
@@ -512,13 +637,14 @@ func runBenchJSON(path string, w io.Writer) int {
 		fmt.Fprintf(w, "benchjson: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(w, "wrote %s: build %.1fx, counts %.1fx (engine vs naive, %d×%d grid, GOMAXPROCS=%d); hub ingest %.0f tuples/sec (%d sources); serving reads %.0f/sec at %d readers (%.2fx vs 1 reader) with ingest at %.0f tuples/sec; clusters stream %.0f/sec over %d pages; WAL replay %.0f records/sec (%d records); snapshot 1%%-changed writes %.1f%% of full (%d of %d bytes, %d sections reused); chunked recovery %.1fms vs single-frame %.1fms\n",
+	fmt.Fprintf(w, "wrote %s: build %.1fx, counts %.1fx (engine vs naive, %d×%d grid, GOMAXPROCS=%d); hub ingest %.0f tuples/sec (%d sources); serving reads %.0f/sec at %d readers (%.2fx vs 1 reader) with ingest at %.0f tuples/sec; clusters stream %.0f/sec over %d pages; WAL replay %.0f records/sec (%d records); snapshot 1%%-changed writes %.1f%% of full (%d of %d bytes, %d sections reused); chunked recovery %.1fms vs single-frame %.1fms; degraded reads %.0f/sec on a dead disk; overload shed %.0f%% (%d workers vs %d slots)\n",
 		path, rec.BuildSpeedup, rec.CountsSpeedup, rec.RTuples, rec.STuples, rec.GoMaxProcs,
 		rec.HubTuplesPerSec, rec.HubSources,
 		rec.ServeReadsPerSec, rec.ServeReaders, rec.ServeReadScaling, rec.ServeIngestPerSec,
 		rec.ClustersStreamPerSec, rec.ClustersStreamPages,
 		rec.ReplayRecsPerSec, rec.ReplayRecords,
 		100*rec.SnapIncrRatio, rec.SnapIncrBytes, rec.SnapFullBytes, rec.SnapSectionsReused,
-		float64(rec.RecoverChunkedNS)/1e6, float64(rec.RecoverV1FrameNS)/1e6)
+		float64(rec.RecoverChunkedNS)/1e6, float64(rec.RecoverV1FrameNS)/1e6,
+		rec.DegradedReadsPerSec, 100*rec.OverloadShedRate, rec.OverloadWorkers, rec.OverloadCapacity)
 	return 0
 }

@@ -64,6 +64,22 @@
 //	                   truncated page), omitted or 0 streams everything
 //	GET  /v1/stats
 //	GET  /healthz
+//	GET  /readyz
+//
+// # Failure modes and admission control
+//
+// Ingest is admission-controlled: at most -ingest-concurrency insert
+// requests run at once, and a request finding no free slot is shed
+// immediately with 429 and a Retry-After header instead of queueing.
+// When the hub's disk fails persistently (ENOSPC, EIO) the hub enters
+// a degraded read-only mode: reads and cluster streaming keep serving,
+// while ingest and control-plane writes answer 503 with Retry-After
+// until background recovery probes find the disk healthy again.
+// /readyz reports ready/degraded/poisoned plus the draining flag with
+// a JSON body (503 unless fully ready), so load balancers can stop
+// routing ingest before liveness fails; /healthz stays a pure liveness
+// check. A handler panic is recovered into a clean JSON 500 with the
+// stack logged server-side.
 //
 // Attribute kinds are string (default), int, float, bool. Tuple values
 // are JSON scalars matching the declared kind; null means NULL. JSON
@@ -85,13 +101,16 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"entityid"
+	"entityid/internal/admit"
 	"entityid/internal/rules"
 	"entityid/internal/value"
 )
@@ -105,6 +124,7 @@ func main() {
 		syncEvery     = flag.Int("sync-every", 0, "fsync the write-ahead log every N appends, batching each ingest batch into one sync (0: leave durability between snapshots to the page cache)")
 		maxInsertBody = flag.Int64("max-insert-body", defaultMaxInsertBody, "largest /v1/insert request body in bytes (0: unlimited)")
 		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests to finish")
+		ingestConc    = flag.Int("ingest-concurrency", 64, "max concurrent /v1/insert requests; excess is shed with 429 + Retry-After (0: unlimited)")
 	)
 	flag.Parse()
 	if *maxInsertBody < 0 {
@@ -138,6 +158,7 @@ func main() {
 		log.Fatalf("entityidd: %v", err)
 	}
 	srv.maxInsertBody = *maxInsertBody
+	srv.gate = admit.New(*ingestConc)
 	// inflight counts handlers between entry and return, so shutdown
 	// can hold the hub open until the last one is truly out — even when
 	// the drain timeout forces connections closed under them.
@@ -170,6 +191,10 @@ func main() {
 		// last handler to actually return — a handler can never observe
 		// a closed hub.
 		log.Printf("entityidd: %v: draining in-flight requests", s)
+		// Flip /readyz to draining and start shedding new ingest before
+		// the listener stops: a load balancer polling readiness sees the
+		// drain as soon as it starts.
+		srv.draining.Store(true)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("entityidd: drain: %v (severing connections)", err)
@@ -214,6 +239,14 @@ type server struct {
 	mux *http.ServeMux
 	// maxInsertBody caps /v1/insert request bodies (0: unlimited).
 	maxInsertBody int64
+	// gate bounds concurrent ingest requests; excess is shed with 429.
+	gate *admit.Gate
+	// draining flips when shutdown starts: /readyz answers 503 and new
+	// ingest is refused while in-flight requests finish.
+	draining atomic.Bool
+	// health reports the hub's health; a seam so tests can simulate
+	// degraded state without a real disk fault.
+	health func() entityid.HubHealth
 
 	mu      sync.RWMutex
 	schemas map[string][]attrInfo
@@ -245,6 +278,8 @@ func newServerFor(h *entityid.Hub) (*server, error) {
 		hub:           h,
 		mux:           http.NewServeMux(),
 		maxInsertBody: defaultMaxInsertBody,
+		gate:          admit.New(0),
+		health:        h.Health,
 		schemas:       map[string][]attrInfo{},
 		keyKinds:      map[string][]value.Kind{},
 	}
@@ -274,11 +309,94 @@ func newServerFor(h *entityid.Hub) (*server, error) {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s, nil
 }
 
+// ServeHTTP dispatches through the mux with panic recovery: a handler
+// panic logs the stack and answers a clean JSON 500 instead of
+// net/http tearing the connection down mid-response.
+// http.ErrAbortHandler keeps its contract (re-panicked, connection
+// severed).
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec)
+		}
+		log.Printf("entityidd: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+		// Best effort: if the handler already wrote a response, the
+		// status is gone and this write lands in the body or fails.
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("internal server error"))
+	}()
 	s.mux.ServeHTTP(w, r)
+}
+
+// handleReadyz is the routing-readiness probe (distinct from the
+// /healthz liveness check): 200 only when the hub is read-write and
+// the server is not draining, 503 with the same JSON body otherwise —
+// so a load balancer can stop routing ingest while reads still work
+// and the process is still alive.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	h := s.health()
+	status := h.State.String()
+	if s.draining.Load() {
+		status = "draining"
+	}
+	body := map[string]any{
+		"status": status,
+		"hub":    h.State.String(),
+	}
+	if h.Cause != "" {
+		body["cause"] = h.Cause
+		body["since"] = h.Since.UTC().Format(time.RFC3339)
+		body["probes"] = h.Probes
+	}
+	code := http.StatusOK
+	if status != "ready" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+// admitIngest applies admission control to an ingest request: shed
+// with 503 while draining or while the hub is not read-write, shed
+// with 429 when the concurrency gate is full. On true the caller holds
+// a gate slot and must Release it.
+func (s *server) admitIngest(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, errors.New("draining: ingest not accepted"))
+		return false
+	}
+	if h := s.health(); h.State != entityid.HubReady {
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("hub %s: ingest suspended (%s)", h.State, h.Cause))
+		return false
+	}
+	if !s.gate.TryAcquire() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Errorf("ingest concurrency limit (%d) reached", s.gate.Limit()))
+		return false
+	}
+	return true
+}
+
+// httpHubError maps a hub mutation failure to its status: a degraded
+// or poisoned hub answers 503 with Retry-After (the client should back
+// off and retry elsewhere), anything else keeps the handler's status.
+func httpHubError(w http.ResponseWriter, fallback int, err error) {
+	if errors.Is(err, entityid.ErrHubDegraded) || errors.Is(err, entityid.ErrHubPoisoned) {
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	httpError(w, fallback, err)
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
@@ -339,7 +457,7 @@ func (s *server) handleSources(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.hub.AddSource(req.Name, rel); err != nil {
-		httpError(w, http.StatusConflict, err)
+		httpHubError(w, http.StatusConflict, err)
 		return
 	}
 	infos := make([]attrInfo, len(attrs))
@@ -411,7 +529,7 @@ func (s *server) handleLinks(w http.ResponseWriter, r *http.Request) {
 		spec.AddIdentityRule(rule)
 	}
 	if err := s.hub.Link(spec); err != nil {
-		httpError(w, http.StatusConflict, err)
+		httpHubError(w, http.StatusConflict, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"left": req.Left, "right": req.Right})
@@ -424,6 +542,12 @@ type insertLine struct {
 }
 
 func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	// Admission first: shed while draining or degraded (503) or when
+	// the concurrency gate is full (429) — never queue.
+	if !s.admitIngest(w) {
+		return
+	}
+	defer s.gate.Release()
 	// Read the whole NDJSON batch, ingest it through the hub's worker
 	// pool, stream per-line results back in input order.
 	var items []entityid.HubInsert

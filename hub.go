@@ -31,6 +31,7 @@ package entityid
 
 import (
 	"iter"
+	"time"
 
 	"entityid/internal/hub"
 	"entityid/internal/ilfd"
@@ -60,6 +61,35 @@ type HubInsertResult = hub.InsertResult
 
 // HubStats summarises a hub.
 type HubStats = hub.Stats
+
+// HubHealth is a point-in-time snapshot of a durable hub's health
+// state machine: ready (read-write), degraded (read-only while the
+// disk is sick, with background recovery probes), or poisoned
+// (fail-closed until restart).
+type HubHealth = hub.Health
+
+// HubState is the hub's health state.
+type HubState = hub.State
+
+// Health states. A persistent I/O failure (ENOSPC, EIO, read-only
+// remount) moves a durable hub Ready→Degraded; a successful recovery
+// probe moves it back; a commit-path invariant violation moves it to
+// the terminal Poisoned state.
+const (
+	HubReady    = hub.StateReady
+	HubDegraded = hub.StateDegraded
+	HubPoisoned = hub.StatePoisoned
+)
+
+// ErrHubDegraded matches (via errors.Is) every ingest rejection issued
+// while the hub is degraded: reads keep serving, writes fail fast
+// until the disk heals.
+var ErrHubDegraded = hub.ErrDegraded
+
+// ErrHubPoisoned matches every ingest rejection issued after a
+// commit-path invariant violation; the hub serves reads but refuses
+// writes until a restart replays the log.
+var ErrHubPoisoned = hub.ErrPoisoned
 
 // MergedEntity is a cluster's merged cross-source record.
 type MergedEntity = hub.MergedEntity
@@ -149,8 +179,10 @@ func NewHub() *Hub {
 type HubOption func(*hubOptions)
 
 type hubOptions struct {
-	snapshotEvery int
-	syncEvery     int
+	snapshotEvery   int
+	syncEvery       int
+	probeBackoff    time.Duration
+	probeBackoffMax time.Duration
 }
 
 // WithSnapshotEvery sets how many committed inserts elapse between
@@ -173,6 +205,17 @@ func WithSyncEvery(n int) HubOption {
 	return func(o *hubOptions) { o.syncEvery = n }
 }
 
+// WithProbeBackoff shapes the degraded-mode recovery probe loop: after
+// a persistent I/O failure degrades the hub to read-only, the first
+// probe fires after base, each failed probe doubles the delay, and max
+// caps it. Zero values keep the defaults (500ms base, 15s cap).
+func WithProbeBackoff(base, max time.Duration) HubOption {
+	return func(o *hubOptions) {
+		o.probeBackoff = base
+		o.probeBackoffMax = max
+	}
+}
+
 // OpenHub opens (or creates) a durable hub rooted at dir. Every
 // committed mutation — source registration, pair link, tuple insert —
 // is appended to a CRC-guarded write-ahead log before it is applied,
@@ -186,7 +229,12 @@ func OpenHub(dir string, opts ...HubOption) (*Hub, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	inner, info, err := hub.Open(dir, hub.Options{SnapshotEvery: o.snapshotEvery, SyncEvery: o.syncEvery})
+	inner, info, err := hub.Open(dir, hub.Options{
+		SnapshotEvery:   o.snapshotEvery,
+		SyncEvery:       o.syncEvery,
+		ProbeBackoff:    o.probeBackoff,
+		ProbeBackoffMax: o.probeBackoffMax,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -291,6 +339,13 @@ func (h *Hub) Merged(c EntityCluster, strategy MergeStrategy) (*MergedEntity, er
 // Stats summarises the hub.
 func (h *Hub) Stats() HubStats {
 	return h.inner.Stats()
+}
+
+// Health reports the hub's current health state: ready, degraded
+// (read-only, recovery probes running) or poisoned (fail-closed until
+// restart). A memory-only hub is always ready.
+func (h *Hub) Health() HubHealth {
+	return h.inner.Health()
 }
 
 // SourceNames lists the registered sources in registration order.

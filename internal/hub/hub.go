@@ -148,6 +148,9 @@ type Hub struct {
 	// (0 means wal.DefaultChunkPayload); set by Open from Options and by
 	// tests exercising the multi-chunk paths at small scale.
 	snapChunkBytes int
+	// health is the degraded-mode state machine (degraded.go): ingest
+	// fails fast while the disk is sick, reads keep serving.
+	health healthState
 }
 
 // New creates an empty hub.
@@ -180,6 +183,9 @@ func (h *Hub) AddSource(name string, rel *relation.Relation) error {
 	if rel == nil {
 		return fmt.Errorf("hub: source %q: nil relation", name)
 	}
+	if err := h.healthErr(); err != nil {
+		return fmt.Errorf("hub: source %q: %w", name, err)
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if _, dup := h.byName[name]; dup {
@@ -187,7 +193,7 @@ func (h *Hub) AddSource(name string, rel *relation.Relation) error {
 	}
 	if h.per != nil {
 		if err := h.per.appendAddSource(name, rel); err != nil {
-			return fmt.Errorf("hub: source %q: %w", name, err)
+			return fmt.Errorf("hub: source %q: %w", name, h.ingestFailed(err))
 		}
 	}
 	id := len(h.sources)
@@ -242,6 +248,9 @@ func (h *Hub) addSourceOwned(name string, rel *relation.Relation) error {
 // closed) and fold into the global clusters without a transitive
 // uniqueness violation; on any failure the hub is unchanged.
 func (h *Hub) Link(spec PairSpec) error {
+	if err := h.healthErr(); err != nil {
+		return fmt.Errorf("hub: link %q-%q: %w", spec.Left, spec.Right, err)
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.linkLocked(spec, nil)
@@ -365,7 +374,7 @@ func (h *Hub) registerLinkLocked(spec PairSpec, li, ri int, fed *federate.Federa
 	}
 	if h.per != nil {
 		if err := h.per.appendLink(spec); err != nil {
-			return fmt.Errorf("hub: link %q-%q: %w", spec.Left, spec.Right, err)
+			return fmt.Errorf("hub: link %q-%q: %w", spec.Left, spec.Right, h.ingestFailed(err))
 		}
 	}
 	p := &pairState{id: len(h.pairs), left: li, right: ri, fed: fed, spec: spec}
@@ -458,6 +467,12 @@ type Receipt struct {
 // pairwise §3.2 uniqueness or consistency violation, transitive
 // cluster-uniqueness violation) leave the hub exactly as it was.
 func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
+	// Degraded/poisoned fast path: fail before taking any lock, so a
+	// sick disk turns ingest into an immediate typed rejection instead
+	// of a queue behind the failure.
+	if err := h.healthErr(); err != nil {
+		return nil, fmt.Errorf("hub: source %q: %w", source, err)
+	}
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	si, ok := h.byName[source]
@@ -513,17 +528,23 @@ func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
 	// commit. A failed append rejects the insert with the hub unchanged
 	// (at worst a torn, unacknowledged record reaches disk — recovery's
 	// CRC check drops it), so replaying the log can never resurrect a
-	// rejected insert or observe a torn commit.
+	// rejected insert or observe a torn commit. A persistent failure
+	// (ENOSPC, EIO, unusable log) additionally degrades the hub to
+	// read-only; the rejection is typed either way.
 	if h.per != nil {
 		if err := h.per.appendInsert(source, t); err != nil {
-			return nil, fmt.Errorf("hub: source %q: %w", source, err)
+			return nil, fmt.Errorf("hub: source %q: %w", source, h.ingestFailed(err))
 		}
 	}
 	for i, pd := range pendings {
 		if _, err := pd.Commit(); err != nil {
-			// Unreachable under the locking discipline; surface loudly
-			// rather than continue with a torn multi-pair state.
-			panic(fmt.Sprintf("hub: pair %d commit after successful prepare: %v", src.pairs[i].id, err))
+			// Unreachable under the locking discipline. If it fires
+			// anyway, in-memory pairwise state is torn mid-commit while
+			// the WAL already holds the record: poison the hub —
+			// fail-closed ingest, reads keep serving the published
+			// views, restart replays the log into a consistent state.
+			return nil, fmt.Errorf("hub: source %q: %w", source,
+				h.poison(fmt.Errorf("pair %d commit after successful prepare: %v", src.pairs[i].id, err)))
 		}
 	}
 	// The canonical insert and the view republication share the key
@@ -536,7 +557,11 @@ func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
 	}
 	src.keyMu.Unlock()
 	if insErr != nil {
-		panic(fmt.Sprintf("hub: canonical insert after CanInsert: %v", insErr))
+		// Same invariant class as the pair-commit failure above: the
+		// pairwise federations committed but the canonical relation
+		// refused a tuple CanInsert accepted. Poison instead of panic.
+		return nil, fmt.Errorf("hub: source %q: %w", source,
+			h.poison(fmt.Errorf("canonical insert after CanInsert: %v", insErr)))
 	}
 	members := h.store.apply(n, partners)
 	if h.per != nil {

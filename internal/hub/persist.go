@@ -35,6 +35,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"entityid/internal/relation"
 	"entityid/internal/wal"
@@ -66,7 +67,24 @@ type Options struct {
 	// (0 means wal.DefaultChunkPayload). Also bounds the seed-tuple
 	// batches of chunked AddSource log records.
 	ChunkBytes int
+	// FS is the filesystem the durability stack performs every file
+	// operation through; nil means the real one (wal.OS). Tests inject
+	// internal/wal/errfs here to drive ENOSPC/EIO/fsync stalls into
+	// chosen call points.
+	FS wal.FS
+	// ProbeBackoff and ProbeBackoffMax shape the degraded-mode
+	// recovery probe loop: the first probe fires after ProbeBackoff,
+	// each failure doubles the delay, capped at ProbeBackoffMax.
+	// Zero values mean 500ms and 15s.
+	ProbeBackoff    time.Duration
+	ProbeBackoffMax time.Duration
 }
+
+// Default recovery-probe backoff bounds.
+const (
+	defaultProbeBackoff    = 500 * time.Millisecond
+	defaultProbeBackoffMax = 15 * time.Second
+)
 
 // RecoveryInfo reports what Open reconstructed.
 type RecoveryInfo struct {
@@ -104,28 +122,32 @@ type SnapshotStats struct {
 // past the snapshot watermark, and attaches the logger so subsequent
 // mutations are persisted. The returned hub must be Closed.
 func Open(dir string, opts Options) (*Hub, *RecoveryInfo, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = wal.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
 	}
 	// The flock comes first: until it is held, a live writer may own
 	// this directory and every file in it — including an in-flight
 	// snapshot temp — so nothing may be read or removed yet.
-	l, err := wal.Open(dir)
+	l, err := wal.OpenFS(dir, fsys)
 	if err != nil {
 		return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
 	}
 	// Leftover temp files are interrupted snapshot writes by a now dead
 	// writer (we hold the lock); the committed snapshot (if any) is
 	// intact, so the temps are garbage.
-	os.Remove(filepath.Join(dir, snapshotTmp))
-	os.Remove(filepath.Join(dir, snapshotManTmp))
+	fsys.Remove(filepath.Join(dir, snapshotTmp))
+	fsys.Remove(filepath.Join(dir, snapshotManTmp))
 
 	info := &RecoveryInfo{}
 	var h *Hub
 	var prevMan *snapManifest
-	switch man, err := readManifest(dir); {
+	switch man, err := readManifestFS(fsys, dir); {
 	case err == nil:
-		h, err = loadSnapshotSections(dir, man)
+		h, err = loadSnapshotSections(fsys, dir, man)
 		if err != nil {
 			l.Close()
 			return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
@@ -136,7 +158,7 @@ func Open(dir string, opts Options) (*Hub, *RecoveryInfo, error) {
 	case os.IsNotExist(err):
 		// No manifest: fall back to a legacy format-1 snapshot, then to
 		// an empty hub.
-		f, ferr := os.Open(filepath.Join(dir, snapshotFile))
+		f, ferr := fsys.Open(filepath.Join(dir, snapshotFile))
 		switch {
 		case ferr == nil:
 			h, info.Watermark, err = LoadSnapshot(f)
@@ -159,7 +181,7 @@ func Open(dir string, opts Options) (*Hub, *RecoveryInfo, error) {
 	// Sweep section files no committed manifest references — debris of
 	// snapshot attempts a crash interrupted before their manifest
 	// rename.
-	if err := sweepSections(dir, prevMan); err != nil {
+	if err := sweepSections(fsys, dir, prevMan); err != nil {
 		l.Close()
 		return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
 	}
@@ -193,17 +215,31 @@ func Open(dir string, opts Options) (*Hub, *RecoveryInfo, error) {
 	info.Replayed = n
 	info.LastSeq = l.LastSeq()
 	h.snapChunkBytes = opts.ChunkBytes
+	probe, probeMax := opts.ProbeBackoff, opts.ProbeBackoffMax
+	if probe <= 0 {
+		probe = defaultProbeBackoff
+	}
+	if probeMax <= 0 {
+		probeMax = defaultProbeBackoffMax
+	}
 	h.per = &walLogger{
-		log: l, dir: dir, every: opts.SnapshotEvery,
+		log: l, fs: fsys, dir: dir, every: opts.SnapshotEvery,
 		syncEvery: opts.SyncEvery, chunkBytes: opts.ChunkBytes,
-		prevMan: prevMan,
+		prevMan: prevMan, hub: h,
+		probeBase: probe, probeMax: probeMax,
+		done: make(chan struct{}),
 	}
 	return h, info, nil
 }
 
 // readManifest reads and validates the committed manifest file.
 func readManifest(dir string) (*snapManifest, error) {
-	data, err := os.ReadFile(filepath.Join(dir, snapshotManifest))
+	return readManifestFS(wal.OS, dir)
+}
+
+// readManifestFS is readManifest over an injectable filesystem.
+func readManifestFS(fsys wal.FS, dir string) (*snapManifest, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, snapshotManifest))
 	if err != nil {
 		return nil, err
 	}
@@ -222,9 +258,9 @@ func secPath(dir, hash string) string {
 // sweepSections removes section files the manifest does not reference
 // (man may be nil: remove them all). The caller holds the directory
 // lock.
-func sweepSections(dir string, man *snapManifest) error {
+func sweepSections(fsys wal.FS, dir string, man *snapManifest) error {
 	secdir := filepath.Join(dir, snapSecDir)
-	ents, err := os.ReadDir(secdir)
+	ents, err := fsys.ReadDir(secdir)
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -244,7 +280,7 @@ func sweepSections(dir string, man *snapManifest) error {
 		if keep[e.Name()] {
 			continue
 		}
-		if err := os.Remove(filepath.Join(secdir, e.Name())); err != nil {
+		if err := fsys.Remove(filepath.Join(secdir, e.Name())); err != nil {
 			return err
 		}
 	}
@@ -254,7 +290,7 @@ func sweepSections(dir string, man *snapManifest) error {
 // loadSnapshotSections rebuilds a hub from a manifest's section files,
 // decoding independent sections in parallel and verifying each file's
 // content hash, chunk count and item counts against the manifest.
-func loadSnapshotSections(dir string, man *snapManifest) (*Hub, error) {
+func loadSnapshotSections(fsys wal.FS, dir string, man *snapManifest) (*Hub, error) {
 	secs := make([]*decSection, len(man.Sections))
 	errs := make([]error, len(man.Sections))
 	var wg sync.WaitGroup
@@ -265,7 +301,7 @@ func loadSnapshotSections(dir string, man *snapManifest) (*Hub, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			secs[i], errs[i] = readSectionFile(dir, i, want)
+			secs[i], errs[i] = readSectionFile(fsys, dir, i, want)
 		}(i, want)
 	}
 	wg.Wait()
@@ -278,8 +314,8 @@ func loadSnapshotSections(dir string, man *snapManifest) (*Hub, error) {
 }
 
 // readSectionFile streams one section file through the chunk decoder.
-func readSectionFile(dir string, sec int, want snapSection) (*decSection, error) {
-	f, err := os.Open(secPath(dir, want.Hash))
+func readSectionFile(fsys wal.FS, dir string, sec int, want snapSection) (*decSection, error) {
+	f, err := fsys.Open(secPath(dir, want.Hash))
 	if err != nil {
 		return nil, fmt.Errorf("snapshot section: %w", err)
 	}
@@ -456,9 +492,18 @@ func (h *Hub) SnapshotNow() error {
 	h.commitMu.Unlock()
 	h.mu.RUnlock()
 	if _, err := p.log.Rotate(); err != nil {
+		if isPersistentIO(err) {
+			h.degrade(err)
+		}
 		return err
 	}
-	return p.writeSnapshot(h, cut)
+	if err := p.writeSnapshot(h, cut); err != nil {
+		if isPersistentIO(err) {
+			h.degrade(err)
+		}
+		return err
+	}
+	return nil
 }
 
 // LastSnapshot reports what the most recent completed snapshot wrote
@@ -477,10 +522,23 @@ func (h *Hub) LastSnapshot() SnapshotStats {
 // snapshotting.
 type walLogger struct {
 	log        *wal.Log
+	fs         wal.FS
 	dir        string
 	every      int
 	syncEvery  int
 	chunkBytes int
+	// hub is the owner, so persistence failures discovered off the
+	// ingest path (group-commit fsync, background snapshots) can
+	// degrade it too.
+	hub *Hub
+	// probeBase/probeMax bound the degraded-mode recovery backoff;
+	// probing guards the singleton probe loop, done stops it (and is
+	// closed exactly once, by close or quiesce).
+	probeBase time.Duration
+	probeMax  time.Duration
+	probing   atomic.Bool
+	done      chan struct{}
+	doneOnce  sync.Once
 	// sinceSnap counts committed inserts since the last snapshot
 	// trigger.
 	sinceSnap atomic.Int64
@@ -631,9 +689,14 @@ func (p *walLogger) appendInsert(source string, t relation.Tuple) error {
 
 func (p *walLogger) fail(err error) {
 	p.errMu.Lock()
-	defer p.errMu.Unlock()
 	if p.bgErr == nil {
 		p.bgErr = err
+	}
+	p.errMu.Unlock()
+	// A persistent background failure (fsync ENOSPC, snapshot EIO)
+	// degrades the hub just like an ingest-path append failure.
+	if p.hub != nil && isPersistentIO(err) {
+		p.hub.degrade(err)
 	}
 }
 
@@ -680,6 +743,7 @@ func (p *walLogger) noteCommit(h *Hub) {
 // snapsecs/, carrying unchanged sections forward from the previous
 // manifest, and commits by atomically renaming the manifest.
 type dirSink struct {
+	fs  wal.FS
 	dir string
 	// prevByID indexes the previous manifest's sections by identity
 	// (kind + name/left/right), so carry-forward planning is O(1) per
@@ -689,8 +753,8 @@ type dirSink struct {
 }
 
 // newDirSink indexes the previous manifest (nil for a full write).
-func newDirSink(dir string, prev *snapManifest) *dirSink {
-	s := &dirSink{dir: dir}
+func newDirSink(fsys wal.FS, dir string, prev *snapManifest) *dirSink {
+	s := &dirSink{fs: fsys, dir: dir}
 	if prev != nil {
 		s.prevByID = make(map[string]snapSection, len(prev.Sections))
 		for _, sec := range prev.Sections {
@@ -716,7 +780,7 @@ func (s *dirSink) reuse(meta *snapSection) bool {
 	if meta.Kind != secClusters && !meta.sameContent(prev) {
 		return false
 	}
-	if _, err := os.Stat(secPath(s.dir, prev.Hash)); err != nil {
+	if _, err := s.fs.Stat(secPath(s.dir, prev.Hash)); err != nil {
 		return false
 	}
 	if meta.Kind == secClusters {
@@ -730,10 +794,10 @@ func (s *dirSink) reuse(meta *snapSection) bool {
 
 func (s *dirSink) write(meta *snapSection, body *sectionBody, budget int) error {
 	secdir := filepath.Join(s.dir, snapSecDir)
-	if err := os.MkdirAll(secdir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(secdir, 0o755); err != nil {
 		return fmt.Errorf("hub: snapshot: %w", err)
 	}
-	tmp, err := os.CreateTemp(secdir, "sec-*.tmp")
+	tmp, err := s.fs.CreateTemp(secdir, "sec-*.tmp")
 	if err != nil {
 		return fmt.Errorf("hub: snapshot: %w", err)
 	}
@@ -741,21 +805,21 @@ func (s *dirSink) write(meta *snapSection, body *sectionBody, budget int) error 
 	sw := wal.NewSectionWriter(tmp)
 	if err := writeSectionChunks(sw, body, budget); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		s.fs.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		s.fs.Remove(tmpName)
 		return fmt.Errorf("hub: snapshot: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		s.fs.Remove(tmpName)
 		return fmt.Errorf("hub: snapshot: %w", err)
 	}
 	meta.Chunks, meta.Bytes, meta.Hash = sw.Chunks(), sw.Bytes(), sw.Sum()
-	if err := os.Rename(tmpName, secPath(s.dir, meta.Hash)); err != nil {
-		os.Remove(tmpName)
+	if err := s.fs.Rename(tmpName, secPath(s.dir, meta.Hash)); err != nil {
+		s.fs.Remove(tmpName)
 		return fmt.Errorf("hub: snapshot: %w", err)
 	}
 	s.stats.SectionsWritten++
@@ -770,15 +834,15 @@ func (s *dirSink) finish(man *snapManifest) error {
 	}
 	// The section files (and their directory entry) must be durable
 	// before the manifest that references them commits.
-	syncDir(filepath.Join(s.dir, snapSecDir))
+	syncDir(s.fs, filepath.Join(s.dir, snapSecDir))
 	tmp := filepath.Join(s.dir, snapshotManTmp)
-	if err := writeFileSync(tmp, frame); err != nil {
+	if err := writeFileSync(s.fs, tmp, frame); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotManifest)); err != nil {
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, snapshotManifest)); err != nil {
 		return fmt.Errorf("hub: snapshot: %w", err)
 	}
-	syncDir(s.dir)
+	syncDir(s.fs, s.dir)
 	s.stats.BytesWritten += int64(len(frame))
 	s.stats.Watermark = man.Watermark
 	return nil
@@ -787,16 +851,16 @@ func (s *dirSink) finish(man *snapManifest) error {
 // syncDir best-effort fsyncs a directory so renames within it are
 // durable (errors are ignored: some filesystems reject directory
 // fsync, and the rename itself is still atomic).
-func syncDir(path string) {
-	if d, err := os.Open(path); err == nil {
+func syncDir(fsys wal.FS, path string) {
+	if d, err := fsys.Open(path); err == nil {
 		d.Sync()
 		d.Close()
 	}
 }
 
 // writeFileSync writes and fsyncs a file.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+func writeFileSync(fsys wal.FS, path string, data []byte) error {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("hub: snapshot: %w", err)
 	}
@@ -819,7 +883,7 @@ func writeFileSync(path string, data []byte) error {
 // manifest — then sweeps stale files and truncates the log segments the
 // snapshot covers. Callers hold snapMu.
 func (p *walLogger) writeSnapshot(h *Hub, cut *snapshotCut) error {
-	sink := newDirSink(p.dir, p.prevMan)
+	sink := newDirSink(p.fs, p.dir, p.prevMan)
 	man, err := h.writeSnapshotV2(cut, sink, p.chunkBytes, p.snapSectionHook)
 	if err != nil {
 		return err
@@ -830,14 +894,81 @@ func (p *walLogger) writeSnapshot(h *Hub, cut *snapshotCut) error {
 	p.statsMu.Unlock()
 	// The manifest is committed: the legacy single-frame snapshot (if
 	// any) and sections only older manifests referenced are now stale.
-	os.Remove(filepath.Join(p.dir, snapshotFile))
-	if err := sweepSections(p.dir, man); err != nil {
+	p.fs.Remove(filepath.Join(p.dir, snapshotFile))
+	if err := sweepSections(p.fs, p.dir, man); err != nil {
 		return fmt.Errorf("hub: snapshot: %w", err)
 	}
 	return p.log.RemoveThrough(cut.watermark)
 }
 
+// startProbes launches the degraded-mode recovery loop (at most one at
+// a time): capped exponential backoff between probes, stop on recovery
+// or when the logger shuts down. Called by Hub.degrade.
+func (p *walLogger) startProbes(h *Hub) {
+	if p.done == nil || !p.probing.CompareAndSwap(false, true) {
+		return
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer p.probing.Store(false)
+		delay := p.probeBase
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.done:
+				return
+			case <-t.C:
+			}
+			if State(h.health.state.Load()) != StateDegraded {
+				return // poisoned or already recovered; nothing to probe for
+			}
+			h.noteProbe()
+			if err := p.probe(); err == nil {
+				h.recoverHealth()
+				return
+			}
+			delay *= 2
+			if delay > p.probeMax {
+				delay = p.probeMax
+			}
+			t.Reset(delay)
+		}
+	}()
+}
+
+// probe checks whether the disk accepts writes again: a small canary
+// file is written, fsynced and removed next to the log, then the log
+// itself is healed (retrying the rollback of the append that degraded
+// us and fsyncing the segment). Only when both succeed is the episode
+// over — a canary that fits in a nearly-full disk must not resurrect a
+// log whose own sync still fails.
+func (p *walLogger) probe() error {
+	canary := filepath.Join(p.dir, "probe.canary")
+	f, err := p.fs.OpenFile(canary, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8<<10)
+	_, err = f.Write(buf)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if rerr := p.fs.Remove(canary); err == nil {
+		err = rerr
+	}
+	if err != nil {
+		return err
+	}
+	return p.log.Heal()
+}
+
 func (p *walLogger) close() error {
+	p.stopProbes()
 	p.wg.Wait()
 	err := p.failed()
 	if cerr := p.log.Close(); err == nil {
@@ -846,12 +977,20 @@ func (p *walLogger) close() error {
 	return err
 }
 
+// stopProbes tells the recovery loop to exit; safe to call repeatedly.
+func (p *walLogger) stopProbes() {
+	if p.done != nil {
+		p.doneOnce.Do(func() { close(p.done) })
+	}
+}
+
 // quiesce simulates the tail end of a process death for crash-recovery
 // tests: it waits out any in-flight background snapshot (a real crash
 // kills that goroutine; in-process it must drain before the directory
 // is reopened) and releases the directory lock the way the kernel
 // releases a dead process's flock. The hub must not be used afterwards.
 func (p *walLogger) quiesce() {
+	p.stopProbes()
 	p.wg.Wait()
 	p.log.DropLock()
 }

@@ -1,0 +1,303 @@
+// Package errfs is a fault-injecting wal.FS for the chaos harness: it
+// wraps a real filesystem and fails chosen operations with chosen
+// errors — ENOSPC on the third write to a WAL segment, EIO on the
+// fsync of a snapshot section, a stalled Sync — so tests can drive the
+// durability stack into every failure branch deterministically and
+// then heal it by clearing the rules.
+//
+// Faults are expressed as rules. A rule matches an operation kind
+// (write, sync, open, rename, ...), optionally a path substring, and
+// fires after a per-rule countdown, for a bounded or unbounded number
+// of hits. All methods are safe for concurrent use.
+package errfs
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"entityid/internal/wal"
+)
+
+// Op identifies the operation class a rule matches.
+type Op string
+
+// Operation classes. OpWrite and OpSync match calls on files opened
+// through the wrapped FS; the rest match FS-level calls.
+const (
+	OpOpenFile   Op = "openfile"
+	OpOpen       Op = "open"
+	OpCreateTemp Op = "createtemp"
+	OpRename     Op = "rename"
+	OpRemove     Op = "remove"
+	OpMkdirAll   Op = "mkdirall"
+	OpReadDir    Op = "readdir"
+	OpReadFile   Op = "readfile"
+	OpStat       Op = "stat"
+	OpWrite      Op = "write"
+	OpSync       Op = "sync"
+	OpTruncate   Op = "truncate"
+	OpClose      Op = "close"
+)
+
+// Rule describes one injected fault.
+type Rule struct {
+	// Op is the operation class the rule matches.
+	Op Op
+	// PathContains restricts the rule to paths containing this
+	// substring; empty matches every path.
+	PathContains string
+	// After skips this many matching calls before the rule starts
+	// firing (After=2 lets two calls through, fails the third).
+	After int
+	// Count bounds how many calls the rule fails once armed; 0 means
+	// every matching call fails until the rule is cleared.
+	Count int
+	// Err is the error to return. Required unless Stall is set.
+	Err error
+	// Stall, when non-zero, makes the matched call sleep this long
+	// before proceeding (or before failing, if Err is also set) —
+	// the shape of a hung fsync.
+	Stall time.Duration
+	// Partial, for OpWrite only, makes the matched write persist this
+	// many bytes before reporting Err — the shape of a torn write on
+	// a filling disk.
+	Partial int
+}
+
+// FS wraps an inner wal.FS with injected faults.
+type FS struct {
+	inner wal.FS
+
+	mu     sync.Mutex
+	rules  []*liveRule
+	faults int
+}
+
+type liveRule struct {
+	Rule
+	seen  int // matching calls observed
+	fired int // matching calls failed
+}
+
+// New wraps inner (wal.OS when nil).
+func New(inner wal.FS) *FS {
+	if inner == nil {
+		inner = wal.OS
+	}
+	return &FS{inner: inner}
+}
+
+// Inject adds fault rules. Rules are independent: each call is checked
+// against all of them and the first armed match fires.
+func (e *FS) Inject(rules ...Rule) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range rules {
+		rc := r
+		e.rules = append(e.rules, &liveRule{Rule: rc})
+	}
+}
+
+// Clear drops every rule — the disk is healthy again.
+func (e *FS) Clear() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rules = nil
+}
+
+// Faults reports how many operations have been failed so far.
+func (e *FS) Faults() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.faults
+}
+
+// check consults the rules for an (op, path) call. It returns the
+// error to inject (nil to let the call through) plus any stall and
+// partial-write byte count.
+func (e *FS) check(op Op, path string) (err error, stall time.Duration, partial int, hasPartial bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range e.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		r.fired++
+		if r.Err != nil {
+			e.faults++
+		}
+		if r.Op == OpWrite && r.Partial > 0 {
+			return r.Err, r.Stall, r.Partial, true
+		}
+		return r.Err, r.Stall, 0, false
+	}
+	return nil, 0, 0, false
+}
+
+func (e *FS) fsCall(op Op, path string) error {
+	err, stall, _, _ := e.check(op, path)
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	return err
+}
+
+// OpenFile implements wal.FS.
+func (e *FS) OpenFile(name string, flag int, perm os.FileMode) (wal.File, error) {
+	if err := e.fsCall(OpOpenFile, name); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	f, err := e.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{File: f, fs: e}, nil
+}
+
+// Open implements wal.FS.
+func (e *FS) Open(name string) (wal.File, error) {
+	if err := e.fsCall(OpOpen, name); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	f, err := e.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{File: f, fs: e}, nil
+}
+
+// CreateTemp implements wal.FS.
+func (e *FS) CreateTemp(dir, pattern string) (wal.File, error) {
+	if err := e.fsCall(OpCreateTemp, dir); err != nil {
+		return nil, &os.PathError{Op: "createtemp", Path: dir, Err: err}
+	}
+	f, err := e.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &file{File: f, fs: e}, nil
+}
+
+// Rename implements wal.FS.
+func (e *FS) Rename(oldpath, newpath string) error {
+	if err := e.fsCall(OpRename, oldpath); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return e.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements wal.FS.
+func (e *FS) Remove(name string) error {
+	if err := e.fsCall(OpRemove, name); err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return e.inner.Remove(name)
+}
+
+// MkdirAll implements wal.FS.
+func (e *FS) MkdirAll(path string, perm os.FileMode) error {
+	if err := e.fsCall(OpMkdirAll, path); err != nil {
+		return &os.PathError{Op: "mkdir", Path: path, Err: err}
+	}
+	return e.inner.MkdirAll(path, perm)
+}
+
+// ReadDir implements wal.FS.
+func (e *FS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := e.fsCall(OpReadDir, name); err != nil {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	return e.inner.ReadDir(name)
+}
+
+// ReadFile implements wal.FS.
+func (e *FS) ReadFile(name string) ([]byte, error) {
+	if err := e.fsCall(OpReadFile, name); err != nil {
+		return nil, &os.PathError{Op: "read", Path: name, Err: err}
+	}
+	return e.inner.ReadFile(name)
+}
+
+// Stat implements wal.FS.
+func (e *FS) Stat(name string) (os.FileInfo, error) {
+	if err := e.fsCall(OpStat, name); err != nil {
+		return nil, &os.PathError{Op: "stat", Path: name, Err: err}
+	}
+	return e.inner.Stat(name)
+}
+
+// file wraps an open file so writes, syncs, truncates and closes pass
+// through the rule table under the file's name.
+type file struct {
+	wal.File
+	fs *FS
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	err, stall, partial, hasPartial := f.fs.check(OpWrite, f.File.Name())
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	if err != nil {
+		if hasPartial {
+			n := partial
+			if n > len(p) {
+				n = len(p)
+			}
+			if n > 0 {
+				if wn, werr := f.File.Write(p[:n]); werr != nil {
+					return wn, werr
+				}
+			}
+			return n, &os.PathError{Op: "write", Path: f.File.Name(), Err: err}
+		}
+		return 0, &os.PathError{Op: "write", Path: f.File.Name(), Err: err}
+	}
+	return f.File.Write(p)
+}
+
+func (f *file) Sync() error {
+	err, stall, _, _ := f.fs.check(OpSync, f.File.Name())
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	if err != nil {
+		return &os.PathError{Op: "sync", Path: f.File.Name(), Err: err}
+	}
+	return f.File.Sync()
+}
+
+func (f *file) Truncate(size int64) error {
+	err, stall, _, _ := f.fs.check(OpTruncate, f.File.Name())
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	if err != nil {
+		return &os.PathError{Op: "truncate", Path: f.File.Name(), Err: err}
+	}
+	return f.File.Truncate(size)
+}
+
+func (f *file) Close() error {
+	err, stall, _, _ := f.fs.check(OpClose, f.File.Name())
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	if err != nil {
+		_ = f.File.Close()
+		return &os.PathError{Op: "close", Path: f.File.Name(), Err: err}
+	}
+	return f.File.Close()
+}

@@ -1,0 +1,129 @@
+package errfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestAfterAndCount(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil)
+	fs.Inject(Rule{Op: OpWrite, After: 2, Count: 1, Err: syscall.ENOSPC})
+
+	f, err := fs.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d should pass: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("boom")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 3 = %v, want ENOSPC", err)
+	}
+	if _, err := f.Write([]byte("ok again")); err != nil {
+		t.Fatalf("write 4 should pass after Count exhausted: %v", err)
+	}
+	if got := fs.Faults(); got != 1 {
+		t.Fatalf("Faults() = %d, want 1", got)
+	}
+}
+
+func TestPathFilterAndClear(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil)
+	fs.Inject(Rule{Op: OpSync, PathContains: "wal-", Err: syscall.EIO})
+
+	seg, err := fs.OpenFile(filepath.Join(dir, "wal-00000001.log"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	other, err := fs.OpenFile(filepath.Join(dir, "manifest"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+
+	if err := seg.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("segment sync = %v, want EIO", err)
+	}
+	if err := other.Sync(); err != nil {
+		t.Fatalf("manifest sync should pass: %v", err)
+	}
+	fs.Clear()
+	if err := seg.Sync(); err != nil {
+		t.Fatalf("segment sync after Clear should pass: %v", err)
+	}
+}
+
+func TestPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil)
+	fs.Inject(Rule{Op: OpWrite, Count: 1, Err: syscall.ENOSPC, Partial: 3})
+
+	path := filepath.Join(dir, "p")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("hello world"))
+	if n != 3 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("partial write = (%d, %v), want (3, ENOSPC)", n, err)
+	}
+	f.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hel" {
+		t.Fatalf("on-disk bytes = %q, want %q", b, "hel")
+	}
+}
+
+func TestStall(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil)
+	fs.Inject(Rule{Op: OpSync, Count: 1, Stall: 30 * time.Millisecond})
+
+	f, err := fs.OpenFile(filepath.Join(dir, "s"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("stalled sync should still succeed: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("sync returned after %v, want ≥30ms stall", d)
+	}
+}
+
+func TestFSLevelOps(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil)
+	fs.Inject(
+		Rule{Op: OpRename, Err: syscall.EIO},
+		Rule{Op: OpOpenFile, PathContains: "blocked", Err: syscall.ENOSPC},
+	)
+
+	if err := os.WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("rename = %v, want EIO", err)
+	}
+	if _, err := fs.OpenFile(filepath.Join(dir, "blocked.log"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("openfile = %v, want ENOSPC", err)
+	}
+	if _, err := fs.OpenFile(filepath.Join(dir, "fine.log"), os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
+		t.Fatalf("non-matching openfile should pass: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+// FS is the injectable file-system seam under the durability stack:
+// every file operation the log and the hub's snapshot writer perform
+// goes through it, so tests can substitute a fault-injecting
+// implementation (internal/wal/errfs) and drive ENOSPC, EIO and fsync
+// stalls into any chosen call point — the deterministic fault surface
+// the crash harness needs. Production code uses OS, which delegates
+// straight to package os.
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the durability stack uses. Fd is
+// required for the directory flock.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Fd() uintptr
+}
+
+// FS abstracts the file-system operations of the log and the snapshot
+// writer. Implementations must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens a file with the given flags and mode (os.OpenFile).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens a file read-only (os.Open).
+	Open(name string) (File, error)
+	// CreateTemp creates a fresh temp file in dir (os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically renames a file (os.Rename).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (os.Remove).
+	Remove(name string) error
+	// MkdirAll creates a directory tree (os.MkdirAll).
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists a directory (os.ReadDir).
+	ReadDir(name string) ([]os.DirEntry, error)
+	// ReadFile reads a whole file (os.ReadFile).
+	ReadFile(name string) ([]byte, error)
+	// Stat stats a path (os.Stat).
+	Stat(name string) (os.FileInfo, error)
+}
+
+// OS is the production FS: direct delegation to package os.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Open(name string) (File, error)           { return os.Open(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+func (osFS) Rename(oldpath, newpath string) error        { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                    { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)  { return os.ReadDir(name) }
+func (osFS) ReadFile(name string) ([]byte, error)        { return os.ReadFile(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)       { return os.Stat(name) }

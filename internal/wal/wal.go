@@ -231,6 +231,12 @@ func parseFrame(line []byte) (Record, string) {
 // process that died mid-write.
 var ErrTornWrite = fmt.Errorf("wal: injected torn write (log crashed)")
 
+// ErrLogUnusable marks the sticky append-poison state: a failed append
+// could not be rolled back, so the segment tail holds garbage and every
+// further append is refused until Heal succeeds. It is classified as a
+// persistent storage failure by the hub's degraded-mode machinery.
+var ErrLogUnusable = fmt.Errorf("wal: log unusable until healed")
+
 // Log is a segmented on-disk record log. All methods are safe for
 // concurrent use; Replay must run before the first Append of a session.
 // A Log holds an exclusive flock on the directory for its lifetime, so
@@ -238,11 +244,13 @@ var ErrTornWrite = fmt.Errorf("wal: injected torn write (log crashed)")
 type Log struct {
 	mu     sync.Mutex
 	dir    string
-	f      *os.File // active segment
-	lock   *os.File // flock'd wal.lock
-	seq    uint64   // last durable sequence number
-	oldest uint64   // first sequence number still present in segments
-	off    int64    // byte length of the active segment's good prefix
+	fs     FS   // file-system seam (OS in production, errfs in chaos tests)
+	f      File // active segment
+	lock   File // flock'd wal.lock
+	seq    uint64 // last durable sequence number
+	oldest uint64 // first sequence number still present in segments
+	first  uint64 // first sequence number of the active segment (its name)
+	off    int64  // byte length of the active segment's good prefix
 	// syncedSeq/syncedOff track the last record known forced to stable
 	// storage (updated by Sync, Rotate and Close): the prefix a
 	// power-loss crash model may assume survives. Records beyond them
@@ -266,8 +274,8 @@ type Log struct {
 // open file description, so they exclude a second opener in the same
 // process as well as in another one, and the kernel releases them when
 // the process dies — a crashed writer never wedges its directory.
-func lockDir(dir string) (*os.File, error) {
-	lf, err := os.OpenFile(filepath.Join(dir, "wal.lock"), os.O_CREATE|os.O_RDWR, 0o644)
+func lockDir(fsys FS, dir string) (File, error) {
+	lf, err := fsys.OpenFile(filepath.Join(dir, "wal.lock"), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -297,8 +305,8 @@ func parseSegName(name string) (uint64, bool) {
 }
 
 // segments lists the segment first-sequence ordinals in dir, sorted.
-func segments(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+func segments(fsys FS, dir string) ([]uint64, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -312,22 +320,26 @@ func segments(dir string) ([]uint64, error) {
 	return firsts, nil
 }
 
-// Open opens (creating if necessary) the log in dir. It scans the
-// segments in order, verifying every record; on the first sign of
+// Open opens (creating if necessary) the log in dir using the real OS
+// file system. OpenFS injects a different one (fault injection).
+func Open(dir string) (*Log, error) { return OpenFS(dir, OS) }
+
+// OpenFS opens the log in dir over an injectable file system. It scans
+// the segments in order, verifying every record; on the first sign of
 // damage it truncates that segment to its last good record, renames any
 // later segments out of the way (suffix ".dead" — unreachable records
 // are preserved for forensics, never silently deleted), and records the
 // damage for Damage(). The writer resumes after the last good record.
-func Open(dir string) (*Log, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func OpenFS(dir string, fsys FS) (*Log, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	lock, err := lockDir(dir)
+	lock, err := lockDir(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, lock: lock, torn: -1}
-	firsts, err := segments(dir)
+	l := &Log{dir: dir, fs: fsys, lock: lock, torn: -1}
+	firsts, err := segments(fsys, dir)
 	if err != nil {
 		lock.Close()
 		return nil, fmt.Errorf("wal: %w", err)
@@ -351,33 +363,22 @@ func Open(dir string) (*Log, error) {
 				l.seq = first - 1
 			}
 		} else if first != l.seq+1 {
-			l.damage = &CorruptError{Reason: fmt.Sprintf(
-				"%s: segment starts at sequence %d, expected %d (lost records)",
-				segName(first), first, l.seq+1)}
-			for _, later := range firsts[i:] {
-				dead := filepath.Join(dir, segName(later))
-				if err := os.Rename(dead, dead+".dead"); err != nil {
-					return nil, fmt.Errorf("wal: %w", err)
-				}
-			}
+			reason := fmt.Sprintf("%s: segment starts at sequence %d, expected %d (lost records)",
+				segName(first), first, l.seq+1)
+			l.damage = &CorruptError{Reason: reason + preserveSegments(fsys, dir, firsts[i:])}
 			break
 		}
 		active = first
 		path := filepath.Join(dir, segName(first))
-		last, off, dmg, err := scanSegment(path, l.seq)
+		last, off, dmg, err := scanSegment(fsys, path, l.seq)
 		if err != nil {
 			return nil, err
 		}
 		l.seq = last
 		if dmg != nil {
+			dmg.Reason += preserveSegments(fsys, dir, firsts[i+1:])
 			l.damage = dmg
 			truncateTo = off
-			for _, later := range firsts[i+1:] {
-				dead := filepath.Join(dir, segName(later))
-				if err := os.Rename(dead, dead+".dead"); err != nil {
-					return nil, fmt.Errorf("wal: %w", err)
-				}
-			}
 			break
 		}
 	}
@@ -385,8 +386,9 @@ func Open(dir string) (*Log, error) {
 	if len(firsts) > 0 {
 		l.oldest = firsts[0]
 	}
+	l.first = active
 	path := filepath.Join(dir, segName(active))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -410,12 +412,30 @@ func Open(dir string) (*Log, error) {
 	return l, nil
 }
 
+// preserveSegments renames segments that replay can no longer reach
+// out of the way (suffix ".dead": preserved for forensics, never
+// silently deleted). A rename failure does not abort the open — the
+// writer still resumes safely from the last good record — but it is
+// surfaced in the returned damage note, because the unreachable records
+// were NOT preserved out of the way: the stale file stays in place, is
+// re-detected (and the rename retried) on every subsequent open, and
+// Rotate refuses to append over it.
+func preserveSegments(fsys FS, dir string, firsts []uint64) (note string) {
+	for _, later := range firsts {
+		dead := filepath.Join(dir, segName(later))
+		if err := fsys.Rename(dead, dead+".dead"); err != nil {
+			note += fmt.Sprintf("; preserving %s as .dead failed: %v", segName(later), err)
+		}
+	}
+	return note
+}
+
 // scanSegment decodes one segment. prevSeq is the last sequence number
 // of the preceding segment; a first record that does not continue it is
 // damage (lost records). It returns the last good seq, the byte offset
 // past the last good record, and any damage found.
-func scanSegment(path string, prevSeq uint64) (uint64, int64, *CorruptError, error) {
-	f, err := os.Open(path)
+func scanSegment(fsys FS, path string, prevSeq uint64) (uint64, int64, *CorruptError, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, 0, nil, fmt.Errorf("wal: %w", err)
 	}
@@ -473,12 +493,12 @@ func (l *Log) OldestSeq() uint64 {
 func (l *Log) Replay(after uint64, fn func(Record) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	firsts, err := segments(l.dir)
+	firsts, err := segments(l.fs, l.dir)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	for _, first := range firsts {
-		f, err := os.Open(filepath.Join(l.dir, segName(first)))
+		f, err := l.fs.Open(filepath.Join(l.dir, segName(first)))
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
@@ -542,7 +562,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		// appends are refused.
 		if n > 0 {
 			if terr := l.f.Truncate(l.off); terr != nil {
-				l.fail = fmt.Errorf("wal: append failed (%v) and rollback failed (%v): log is unusable", err, terr)
+				l.fail = fmt.Errorf("%w: append failed (%w) and rollback failed (%v)", ErrLogUnusable, err, terr)
 				return 0, l.fail
 			}
 		}
@@ -556,26 +576,50 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 // Rotate syncs and closes the active segment and starts a fresh one, so
 // the snapshot covering everything up to the returned watermark can
 // truncate the old segments. The watermark is the last sequence number
-// of the closed segment.
+// of the closed segment. A Rotate that fails before the segment swap
+// leaves the old segment active and fully usable.
 func (l *Log) Rotate() (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, fmt.Errorf("wal: rotate closed log")
 	}
+	if l.fail != nil {
+		return 0, l.fail
+	}
 	if err := l.f.Sync(); err != nil {
 		return 0, fmt.Errorf("wal: %w", err)
 	}
-	if err := l.f.Close(); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
+	l.syncedSeq, l.syncedOff = l.seq, l.off
+	if l.first == l.seq+1 {
+		// The active segment holds no records yet: rotating would
+		// re-create the very same file name. Keep it.
+		return l.seq, nil
 	}
-	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.seq+1)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	next := filepath.Join(l.dir, segName(l.seq+1))
+	if _, serr := l.fs.Stat(next); serr == nil {
+		// A stale file occupies the next segment name — a .dead
+		// preservation that failed during a damaged open. Appending
+		// after its contents would corrupt the log, so preservation
+		// must succeed before rotation can proceed.
+		if err := l.fs.Rename(next, next+".dead"); err != nil {
+			return 0, fmt.Errorf("wal: rotate: stale segment %s cannot be preserved: %w", segName(l.seq+1), err)
+		}
+	}
+	f, err := l.fs.OpenFile(next, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("wal: %w", err)
 	}
+	old := l.f
 	l.f = f
+	l.first = l.seq + 1
 	l.off = 0
 	l.syncedSeq, l.syncedOff = l.seq, 0
+	if err := old.Close(); err != nil {
+		// The swap already happened and the old segment was synced; the
+		// close failure is surfaced but the log remains consistent.
+		return 0, fmt.Errorf("wal: %w", err)
+	}
 	return l.seq, nil
 }
 
@@ -584,7 +628,7 @@ func (l *Log) Rotate() (uint64, error) {
 func (l *Log) RemoveThrough(seq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	firsts, err := segments(l.dir)
+	firsts, err := segments(l.fs, l.dir)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -594,7 +638,7 @@ func (l *Log) RemoveThrough(seq uint64) error {
 		if firsts[i+1]-1 > seq {
 			break
 		}
-		if err := os.Remove(filepath.Join(l.dir, segName(firsts[i]))); err != nil {
+		if err := l.fs.Remove(filepath.Join(l.dir, segName(firsts[i]))); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
 		keep = i + 1
@@ -602,6 +646,35 @@ func (l *Log) RemoveThrough(seq uint64) error {
 	if len(firsts) > 0 {
 		l.oldest = firsts[keep]
 	}
+	return nil
+}
+
+// Heal attempts to restore a log whose appends are failing: the sticky
+// rollback-failure poison is retried (truncating the active segment
+// back to its last good record) and the segment is fsynced. On success
+// the log accepts appends again with every acknowledged record intact —
+// the degraded hub's recovery probe calls this once the disk answers
+// again. A log dead from an injected torn write stays dead: that state
+// models a crashed process, not a sick disk.
+func (l *Log) Heal() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: heal closed log")
+	}
+	if l.torn == -2 {
+		return ErrTornWrite
+	}
+	if l.fail != nil {
+		if err := l.f.Truncate(l.off); err != nil {
+			return fmt.Errorf("wal: heal: %w", err)
+		}
+		l.fail = nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: heal: %w", err)
+	}
+	l.syncedSeq, l.syncedOff = l.seq, l.off
 	return nil
 }
 
