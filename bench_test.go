@@ -25,8 +25,9 @@ import (
 	"entityid/internal/ilfd"
 	"entityid/internal/integrate"
 	"entityid/internal/match"
-	"entityid/internal/metrics"
+	"entityid/internal/obs"
 	"entityid/internal/paperdata"
+	"entityid/internal/quality"
 	"entityid/internal/relation"
 	"entityid/internal/schema"
 	"entityid/internal/value"
@@ -191,7 +192,7 @@ func BenchmarkFigure1Correspondence(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		sc := metrics.Evaluate(res.MT, w.Truth)
+		sc := quality.Evaluate(res.MT, w.Truth)
 		if !sc.Sound() {
 			b.Fatalf("unsound: %s", sc)
 		}
@@ -446,6 +447,42 @@ func BenchmarkHubIngest(b *testing.B) {
 			b.ReportMetric(float64(len(items))*float64(b.N)/b.Elapsed().Seconds(), "tuples/sec")
 		})
 	}
+}
+
+// BenchmarkObsOverhead is the observability-overhead series: the
+// 4-source BenchmarkHubIngest workload with the obs clock disabled
+// (baseline — counters still tick, but histogram and slow-op timing
+// capture is off) against the fully instrumented default. Compare the
+// two tuples/sec metrics; instrumentation must stay within a few
+// percent. BENCH_match.json (benchreport -benchjson) tracks the same
+// ratio across PRs.
+func BenchmarkObsOverhead(b *testing.B) {
+	w := datagen.MustMultiGenerate(datagen.MultiConfig{
+		Sources: 4, Entities: 300, PresenceFrac: 0.6,
+		HomonymRate: 0.1, MissingPhone: 0.1, DirtyPhone: 0.2, Seed: 1004,
+	})
+	items := hub.MultiInserts(w)
+	ingest := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h, err := hub.NewFromMulti(w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, res := range h.IngestBatch(items, 0) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(items))*float64(b.N)/b.Elapsed().Seconds(), "tuples/sec")
+	}
+	b.Run("baseline-obs-off", func(b *testing.B) {
+		obs.SetEnabled(false)
+		defer obs.SetEnabled(true)
+		b.ResetTimer()
+		ingest(b)
+	})
+	b.Run("instrumented", ingest)
 }
 
 // BenchmarkHubServe is S9: mixed read/ingest serving through the hub.

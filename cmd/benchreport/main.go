@@ -35,6 +35,7 @@ import (
 	"entityid/internal/experiments"
 	"entityid/internal/hub"
 	"entityid/internal/match"
+	"entityid/internal/obs"
 	"entityid/internal/relation"
 	"entityid/internal/wal/errfs"
 )
@@ -159,6 +160,17 @@ type benchRecord struct {
 	// degradation is not allowed to tax the read path.
 	DegradedReadsPerSec float64 `json:"degraded_reads_per_sec"`
 
+	// Observability overhead (PR 7): the hub ingest workload with the
+	// obs clock disabled (baseline — counters still tick, histogram and
+	// slow-op timing capture off) vs the fully instrumented default.
+	// The ratio prices the observability plane; it must stay within a
+	// few percent of 1.0.
+	ObsBaselineNS      int64   `json:"obs_baseline_ingest_ns"`
+	ObsInstrumentedNS  int64   `json:"obs_instrumented_ingest_ns"`
+	ObsBaselineTPS     float64 `json:"obs_baseline_tuples_per_sec"`
+	ObsInstrumentedTPS float64 `json:"obs_instrumented_tuples_per_sec"`
+	ObsOverheadRatio   float64 `json:"obs_overhead_ratio"`
+
 	// Admission control under synthetic overload: many more workers than
 	// gate slots hammer the ingest gate; the shed rate is the fraction
 	// turned away (each turned-away request is a fast 429, not a queue
@@ -271,6 +283,42 @@ func runBenchJSON(path string, w io.Writer) int {
 	rec.HubMatches = hubStats.Matches
 	rec.HubClusters = hubStats.Clusters
 	rec.HubTuplesPerSec = float64(len(items)) / (float64(rec.HubIngestNS) / 1e9)
+
+	// Observability overhead: the identical ingest, first with the obs
+	// clock disabled and then fully instrumented, best of 5 each —
+	// back-to-back so both sides see the same cache and GC state.
+	ingestOnce := func() error {
+		h, err := hub.NewFromMulti(mw)
+		if err != nil {
+			return err
+		}
+		for _, res := range h.IngestBatch(items, 0) {
+			if res.Err != nil {
+				return res.Err
+			}
+		}
+		return nil
+	}
+	var obsErr error
+	obs.SetEnabled(false)
+	rec.ObsBaselineNS = best(5, func() {
+		if err := ingestOnce(); err != nil {
+			obsErr = err
+		}
+	})
+	obs.SetEnabled(true)
+	rec.ObsInstrumentedNS = best(5, func() {
+		if err := ingestOnce(); err != nil {
+			obsErr = err
+		}
+	})
+	if obsErr != nil {
+		fmt.Fprintf(w, "benchjson: obs overhead: %v\n", obsErr)
+		return 1
+	}
+	rec.ObsBaselineTPS = float64(len(items)) / (float64(rec.ObsBaselineNS) / 1e9)
+	rec.ObsInstrumentedTPS = float64(len(items)) / (float64(rec.ObsInstrumentedNS) / 1e9)
+	rec.ObsOverheadRatio = float64(rec.ObsInstrumentedNS) / float64(rec.ObsBaselineNS)
 
 	// Mixed serving: point cluster reads race live ingest, once with a
 	// single reader and once with GOMAXPROCS readers. The ingester
@@ -637,9 +685,10 @@ func runBenchJSON(path string, w io.Writer) int {
 		fmt.Fprintf(w, "benchjson: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(w, "wrote %s: build %.1fx, counts %.1fx (engine vs naive, %d×%d grid, GOMAXPROCS=%d); hub ingest %.0f tuples/sec (%d sources); serving reads %.0f/sec at %d readers (%.2fx vs 1 reader) with ingest at %.0f tuples/sec; clusters stream %.0f/sec over %d pages; WAL replay %.0f records/sec (%d records); snapshot 1%%-changed writes %.1f%% of full (%d of %d bytes, %d sections reused); chunked recovery %.1fms vs single-frame %.1fms; degraded reads %.0f/sec on a dead disk; overload shed %.0f%% (%d workers vs %d slots)\n",
+	fmt.Fprintf(w, "wrote %s: build %.1fx, counts %.1fx (engine vs naive, %d×%d grid, GOMAXPROCS=%d); hub ingest %.0f tuples/sec (%d sources); obs overhead %.1f%% (%.0f instrumented vs %.0f baseline tuples/sec); serving reads %.0f/sec at %d readers (%.2fx vs 1 reader) with ingest at %.0f tuples/sec; clusters stream %.0f/sec over %d pages; WAL replay %.0f records/sec (%d records); snapshot 1%%-changed writes %.1f%% of full (%d of %d bytes, %d sections reused); chunked recovery %.1fms vs single-frame %.1fms; degraded reads %.0f/sec on a dead disk; overload shed %.0f%% (%d workers vs %d slots)\n",
 		path, rec.BuildSpeedup, rec.CountsSpeedup, rec.RTuples, rec.STuples, rec.GoMaxProcs,
 		rec.HubTuplesPerSec, rec.HubSources,
+		100*(rec.ObsOverheadRatio-1), rec.ObsInstrumentedTPS, rec.ObsBaselineTPS,
 		rec.ServeReadsPerSec, rec.ServeReaders, rec.ServeReadScaling, rec.ServeIngestPerSec,
 		rec.ClustersStreamPerSec, rec.ClustersStreamPages,
 		rec.ReplayRecsPerSec, rec.ReplayRecords,

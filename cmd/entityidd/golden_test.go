@@ -84,6 +84,26 @@ type goldenResponse struct {
 	Body        any    `json:"body"`
 }
 
+// scrubRequestID replaces the per-request random request_id with a
+// fixed placeholder so error bodies stay pinnable.
+func scrubRequestID(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, e := range t {
+			if k == "request_id" {
+				t[k] = "REDACTED"
+			} else {
+				t[k] = scrubRequestID(e)
+			}
+		}
+	case []any:
+		for i, e := range t {
+			t[i] = scrubRequestID(e)
+		}
+	}
+	return v
+}
+
 func TestServerGolden(t *testing.T) {
 	srv := newServer()
 	for _, st := range goldenScript {
@@ -110,13 +130,13 @@ func TestServerGolden(t *testing.T) {
 				}
 				lines = append(lines, v)
 			}
-			got.Body = lines
+			got.Body = scrubRequestID(lines)
 		} else {
 			var v any
 			if err := json.Unmarshal([]byte(raw), &v); err != nil {
 				t.Fatalf("%s: bad JSON body %q: %v", st.name, raw, err)
 			}
-			got.Body = v
+			got.Body = scrubRequestID(v)
 		}
 		rendered, err := json.MarshalIndent(got, "", "  ")
 		if err != nil {

@@ -111,6 +111,7 @@ import (
 
 	"entityid"
 	"entityid/internal/admit"
+	ihub "entityid/internal/hub"
 	"entityid/internal/rules"
 	"entityid/internal/value"
 )
@@ -125,6 +126,8 @@ func main() {
 		maxInsertBody = flag.Int64("max-insert-body", defaultMaxInsertBody, "largest /v1/insert request body in bytes (0: unlimited)")
 		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests to finish")
 		ingestConc    = flag.Int("ingest-concurrency", 64, "max concurrent /v1/insert requests; excess is shed with 429 + Retry-After (0: unlimited)")
+		debugAddr     = flag.String("debug-addr", "", "operator-only listen address serving /metrics, /debug/slow and /debug/pprof (empty: disabled; pprof is never on the main port)")
+		slowOpThresh  = flag.Duration("slow-op-threshold", 100*time.Millisecond, "commits slower than this are recorded with per-stage timings at /debug/slow (0: disabled)")
 	)
 	flag.Parse()
 	if *maxInsertBody < 0 {
@@ -159,6 +162,15 @@ func main() {
 	}
 	srv.maxInsertBody = *maxInsertBody
 	srv.gate = admit.New(*ingestConc)
+	ihub.SlowOps.SetThreshold(*slowOpThresh)
+	if *debugAddr != "" {
+		dbg, dbgAddr, err := startDebugServer(*debugAddr)
+		if err != nil {
+			log.Fatalf("entityidd: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("entityidd: debug listener (metrics, slow-ops, pprof) on %s", dbgAddr)
+	}
 	// inflight counts handlers between entry and return, so shutdown
 	// can hold the hub open until the last one is truly out — even when
 	// the drain timeout forces connections closed under them.
@@ -247,6 +259,12 @@ type server struct {
 	// health reports the hub's health; a seam so tests can simulate
 	// degraded state without a real disk fault.
 	health func() entityid.HubHealth
+	// lastSnapshot reports the latest snapshot; a seam so tests can
+	// exercise /readyz snapshot-age reporting without a data dir.
+	lastSnapshot func() entityid.HubSnapshotStats
+	// logf writes the access log and panic reports; a seam so tests can
+	// capture log output.
+	logf func(format string, args ...any)
 
 	mu      sync.RWMutex
 	schemas map[string][]attrInfo
@@ -280,6 +298,8 @@ func newServerFor(h *entityid.Hub) (*server, error) {
 		maxInsertBody: defaultMaxInsertBody,
 		gate:          admit.New(0),
 		health:        h.Health,
+		lastSnapshot:  h.LastSnapshot,
+		logf:          log.Printf,
 		schemas:       map[string][]attrInfo{},
 		keyKinds:      map[string][]value.Kind{},
 	}
@@ -310,15 +330,32 @@ func newServerFor(h *entityid.Hub) (*server, error) {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", handleMetrics)
+	s.mux.HandleFunc("GET /debug/slow", handleSlow)
 	return s, nil
 }
 
-// ServeHTTP dispatches through the mux with panic recovery: a handler
+// ServeHTTP dispatches through the mux with a request ID, per-route
+// metrics, a structured access log line, and panic recovery: a handler
 // panic logs the stack and answers a clean JSON 500 instead of
 // net/http tearing the connection down mid-response.
 // http.ErrAbortHandler keeps its contract (re-panicked, connection
 // severed).
+//
+// An incoming X-Request-ID is honored (so a proxy's ID correlates
+// across hops); otherwise one is generated. Either way the ID is set
+// on the response before dispatch, which also makes it available to
+// httpError for inclusion in error bodies.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rid := r.Header.Get("X-Request-ID")
+	if rid == "" {
+		rid = newRequestID()
+	}
+	w.Header().Set("X-Request-ID", rid)
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	mHTTPInFlight.Add(1)
+	defer mHTTPInFlight.Add(-1)
 	defer func() {
 		rec := recover()
 		if rec == nil {
@@ -327,12 +364,25 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if rec == http.ErrAbortHandler {
 			panic(rec)
 		}
-		log.Printf("entityidd: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+		mHTTPPanics.Inc()
+		s.logf("entityidd: panic serving %s %s request_id=%s: %v\n%s", r.Method, r.URL.Path, rid, rec, debug.Stack())
 		// Best effort: if the handler already wrote a response, the
 		// status is gone and this write lands in the body or fails.
-		httpError(w, http.StatusInternalServerError, fmt.Errorf("internal server error"))
+		httpError(sw, http.StatusInternalServerError, fmt.Errorf("internal server error"))
 	}()
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sw, r)
+	// r.Pattern is the mux pattern that matched (Go 1.22+); empty means
+	// 404/405 — collapse those so unmatched paths cannot grow the label
+	// space.
+	route := r.Pattern
+	if route == "" {
+		route = "unmatched"
+	}
+	dur := time.Since(start)
+	mHTTPRequests.With(route, fmt.Sprintf("%dxx", sw.code/100)).Inc()
+	mHTTPSeconds.With(route).Observe(dur)
+	s.logf("entityidd: access method=%s path=%s route=%q status=%d bytes=%d dur_ms=%.3f request_id=%s",
+		r.Method, r.URL.Path, route, sw.code, sw.bytes, float64(dur)/float64(time.Millisecond), rid)
 }
 
 // handleReadyz is the routing-readiness probe (distinct from the
@@ -347,8 +397,13 @@ func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		status = "draining"
 	}
 	body := map[string]any{
-		"status": status,
-		"hub":    h.State.String(),
+		"status":         status,
+		"hub":            h.State.String(),
+		"uptime_seconds": time.Since(processStart).Seconds(),
+	}
+	if snap := s.lastSnapshot(); !snap.Taken.IsZero() {
+		body["last_snapshot_age_seconds"] = time.Since(snap.Taken).Seconds()
+		body["last_snapshot_watermark"] = snap.Watermark
 	}
 	if h.Cause != "" {
 		body["cause"] = h.Cause
@@ -402,7 +457,14 @@ func httpHubError(w http.ResponseWriter, fallback int, err error) {
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	// The middleware stamps the request ID on the response header before
+	// dispatch; echoing it in the error body lets a client quote one
+	// string in a support report.
+	if rid := w.Header().Get("X-Request-ID"); rid != "" {
+		body["request_id"] = rid
+	}
+	json.NewEncoder(w).Encode(body)
 }
 
 // bodyErrStatus maps a request-body read/decode failure to its status:

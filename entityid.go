@@ -49,7 +49,7 @@ import (
 	"entityid/internal/ilfd"
 	"entityid/internal/integrate"
 	"entityid/internal/match"
-	"entityid/internal/metrics"
+	"entityid/internal/quality"
 	"entityid/internal/relation"
 	"entityid/internal/resolve"
 	"entityid/internal/rules"
@@ -320,9 +320,9 @@ func (r *Result) MatchingPairs() []Pair {
 func (r *Result) Classify(i, j int) Verdict { return r.inner.Classify(i, j) }
 
 // Partition tallies the three verdicts over all pairs (Figure 3).
-func (r *Result) Partition() metrics.Partition {
+func (r *Result) Partition() quality.Partition {
 	m, n, u := r.inner.Counts()
-	return metrics.Partition{Matching: m, NotMatching: n, Undetermined: u}
+	return quality.Partition{Matching: m, NotMatching: n, Undetermined: u}
 }
 
 // ExtendedR returns R′, the source relation extended with derived

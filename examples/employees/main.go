@@ -23,7 +23,7 @@ import (
 	"entityid"
 	"entityid/internal/baselines"
 	"entityid/internal/match"
-	"entityid/internal/metrics"
+	"entityid/internal/quality"
 )
 
 func main() {
@@ -66,7 +66,7 @@ func demo(w io.Writer) error {
 	}
 	// Ground truth: north territory belongs to the St. Paul office, so
 	// the performance row is the *second* J. Smith (HR row 1).
-	truth := metrics.TruthSet{
+	truth := quality.TruthSet{
 		{1, 0}: true, {2, 1}: true, {3, 2}: true,
 	}
 
@@ -79,7 +79,7 @@ func demo(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sc := metrics.Evaluate(mt, truth)
+	sc := quality.Evaluate(mt, truth)
 	fmt.Fprintf(w, "matches: %d, score: %s\n", mt.Len(), sc)
 	wrong := 0
 	for _, p := range mt.Pairs {
@@ -116,7 +116,7 @@ func demo(w io.Writer) error {
 		return err
 	}
 	fmt.Fprint(w, res.RenderMatchingTable())
-	ours := metrics.Evaluate(&match.Table{Pairs: res.MatchingPairs()}, truth)
+	ours := quality.Evaluate(&match.Table{Pairs: res.MatchingPairs()}, truth)
 	fmt.Fprintf(w, "score: %s\n", ours)
 	if !ours.Sound() {
 		return fmt.Errorf("our matching is unsound: %s", ours)

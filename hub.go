@@ -365,6 +365,19 @@ func (h *Hub) Checkpoint() error {
 	return h.inner.SnapshotNow()
 }
 
+// HubSnapshotStats reports what the most recent snapshot wrote and
+// when it committed.
+type HubSnapshotStats = hub.SnapshotStats
+
+// LastSnapshot reports the most recent completed snapshot: its WAL
+// watermark, what it wrote, and when it committed (Taken is seeded
+// from the on-disk manifest after OpenHub, so snapshot age survives
+// restarts). The zero value means no snapshot exists — always the
+// case for a memory-only hub.
+func (h *Hub) LastSnapshot() HubSnapshotStats {
+	return h.inner.LastSnapshot()
+}
+
 // Close quiesces background snapshotting and closes the write-ahead
 // log. It is a no-op on a memory-only hub.
 func (h *Hub) Close() error {

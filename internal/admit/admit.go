@@ -6,7 +6,22 @@
 // growing latency without bound.
 package admit
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"entityid/internal/obs"
+)
+
+// Process-global gate metrics: entityidd runs one gate, so the
+// aggregate view a scrape wants matches the gate's own counters.
+var (
+	mInFlight = obs.Default.Gauge("admit_inflight",
+		"Ingest requests currently holding an admission slot")
+	mAdmitted = obs.Default.Counter("admit_admitted_total",
+		"Ingest requests admitted through the gate")
+	mShed = obs.Default.Counter("admit_shed_total",
+		"Ingest requests shed for lack of a free slot")
+)
 
 // Gate is a non-blocking concurrency limiter. The zero value is
 // unusable; construct with New.
@@ -28,14 +43,18 @@ func New(limit int) *Gate {
 func (g *Gate) TryAcquire() bool {
 	if g.limit <= 0 {
 		g.admitted.Add(1)
+		mAdmitted.Inc()
 		return true
 	}
 	if g.inflight.Add(1) > g.limit {
 		g.inflight.Add(-1)
 		g.shed.Add(1)
+		mShed.Inc()
 		return false
 	}
 	g.admitted.Add(1)
+	mAdmitted.Inc()
+	mInFlight.Add(1)
 	return true
 }
 
@@ -45,6 +64,7 @@ func (g *Gate) Release() {
 		return
 	}
 	g.inflight.Add(-1)
+	mInFlight.Add(-1)
 }
 
 // InFlight reports the currently held slots.

@@ -25,7 +25,7 @@ import (
 
 	"entityid/internal/ilfd"
 	"entityid/internal/match"
-	"entityid/internal/metrics"
+	"entityid/internal/quality"
 	"entityid/internal/relation"
 	"entityid/internal/rules"
 	"entityid/internal/schema"
@@ -99,7 +99,7 @@ type Workload struct {
 	// Entities is the ground-truth universe.
 	Entities []Entity
 	// Truth maps (R index, S index) pairs modeling the same entity.
-	Truth metrics.TruthSet
+	Truth quality.TruthSet
 	// RToEntity and SToEntity map tuple positions to entity IDs.
 	RToEntity, SToEntity []int
 	// ILFDs holds the generated knowledge: the full speciality→cuisine
@@ -223,7 +223,7 @@ func Generate(cfg Config) (*Workload, error) {
 		R:        relation.New(rSchema),
 		S:        relation.New(sSchema),
 		Entities: entities,
-		Truth:    metrics.TruthSet{},
+		Truth:    quality.TruthSet{},
 		Attrs: []match.AttrMap{
 			{Name: "name", R: "name", S: "name"},
 			{Name: "street", R: "street", S: ""},

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"entityid/internal/match"
-	"entityid/internal/metrics"
+	"entityid/internal/quality"
 )
 
 func TestValidate(t *testing.T) {
@@ -116,7 +116,7 @@ func TestEndToEndSoundness(t *testing.T) {
 	if err := res.Verify(); err != nil {
 		t.Fatalf("Verify: %v", err)
 	}
-	sc := metrics.Evaluate(res.MT, w.Truth)
+	sc := quality.Evaluate(res.MT, w.Truth)
 	if !sc.Sound() {
 		t.Errorf("unsound result: %s", sc)
 	}
@@ -138,7 +138,7 @@ func TestZeroCoverageMatchesNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc := metrics.Evaluate(res.MT, w.Truth)
+	sc := quality.Evaluate(res.MT, w.Truth)
 	if sc.TruePos != 0 || sc.FalsePos != 0 {
 		t.Errorf("zero coverage matched: %s", sc)
 	}
@@ -153,7 +153,7 @@ func TestFullCoverageFullRecall(t *testing.T) {
 	if err := res.Verify(); err != nil {
 		t.Fatalf("Verify: %v", err)
 	}
-	sc := metrics.Evaluate(res.MT, w.Truth)
+	sc := quality.Evaluate(res.MT, w.Truth)
 	if sc.Recall() != 1 {
 		t.Errorf("full coverage recall = %g (%s)", sc.Recall(), sc)
 	}

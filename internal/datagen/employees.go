@@ -6,7 +6,7 @@ import (
 
 	"entityid/internal/ilfd"
 	"entityid/internal/match"
-	"entityid/internal/metrics"
+	"entityid/internal/quality"
 	"entityid/internal/relation"
 	"entityid/internal/schema"
 	"entityid/internal/value"
@@ -68,7 +68,7 @@ type EmployeeWorkload struct {
 	// Sales(name, territory, quota_met), key (name, territory).
 	HR, Sales *relation.Relation
 	Employees []Employee
-	Truth     metrics.TruthSet
+	Truth     quality.TruthSet
 	// ILFDs: territory=X → office=Y for the known fraction.
 	ILFDs  ilfd.Set
 	Attrs  []match.AttrMap
@@ -155,7 +155,7 @@ func GenerateEmployees(cfg EmployeeConfig) (*EmployeeWorkload, error) {
 		HR:        relation.New(hrSchema),
 		Sales:     relation.New(salesSchema),
 		Employees: emps,
-		Truth:     metrics.TruthSet{},
+		Truth:     quality.TruthSet{},
 		Attrs: []match.AttrMap{
 			{Name: "name", R: "name", S: "name"},
 			{Name: "office", R: "office", S: ""},

@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"entityid/internal/match"
-	"entityid/internal/metrics"
+	"entityid/internal/quality"
 )
 
 func TestEmployeeValidate(t *testing.T) {
@@ -87,7 +87,7 @@ func TestEmployeeEndToEnd(t *testing.T) {
 	if err := res.Verify(); err != nil {
 		t.Fatalf("Verify: %v", err)
 	}
-	sc := metrics.Evaluate(res.MT, w.Truth)
+	sc := quality.Evaluate(res.MT, w.Truth)
 	if !sc.Sound() {
 		t.Errorf("unsound employee matching: %s", sc)
 	}
@@ -110,7 +110,7 @@ func TestEmployeeFullKnowledge(t *testing.T) {
 	if err := res.Verify(); err != nil {
 		t.Fatalf("Verify: %v", err)
 	}
-	sc := metrics.Evaluate(res.MT, w.Truth)
+	sc := quality.Evaluate(res.MT, w.Truth)
 	if sc.Recall() != 1 || !sc.Sound() {
 		t.Errorf("full knowledge: %s", sc)
 	}

@@ -7,8 +7,8 @@ import (
 	"entityid/internal/baselines"
 	"entityid/internal/datagen"
 	"entityid/internal/match"
-	"entityid/internal/metrics"
 	"entityid/internal/paperdata"
+	"entityid/internal/quality"
 	"entityid/internal/rules"
 	"entityid/internal/value"
 )
@@ -38,7 +38,7 @@ func Figure1() Report {
 		rep.Check = err
 		return rep
 	}
-	sc := metrics.Evaluate(res.MT, w.Truth)
+	sc := quality.Evaluate(res.MT, w.Truth)
 	fmt.Fprintf(&b, "universe: %d entities; %d modeled in R, %d in S, %d in both (truth pairs)\n",
 		len(w.Entities), w.R.Len(), w.S.Len(), len(w.Truth))
 	fmt.Fprintf(&b, "matching table: %d pairs — %s\n", res.MT.Len(), sc)

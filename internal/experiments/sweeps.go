@@ -11,8 +11,8 @@ import (
 	"entityid/internal/federate"
 	"entityid/internal/ilfd"
 	"entityid/internal/match"
-	"entityid/internal/metrics"
 	"entityid/internal/paperdata"
+	"entityid/internal/quality"
 	"entityid/internal/relation"
 	"entityid/internal/schema"
 	"entityid/internal/value"
@@ -46,7 +46,7 @@ func ScalingMatch() Report {
 			rep.Check = fmt.Errorf("n=%d: %w", n, err)
 			return rep
 		}
-		sc := metrics.Evaluate(res.MT, w.Truth)
+		sc := quality.Evaluate(res.MT, w.Truth)
 		fmt.Fprintf(&b, "%8d  %5d  %5d  %5d  %9.3f  %6.3f  %s\n",
 			n, w.R.Len(), w.S.Len(), res.MT.Len(), sc.Precision(), sc.Recall(), elapsed.Round(time.Microsecond))
 		if !sc.Sound() {
@@ -134,8 +134,8 @@ func BaselineQuality() Report {
 			rep.Check = err
 			return rep
 		}
-		oursScore := metrics.Evaluate(res.MT, w.Truth)
-		row := func(name string, sc metrics.Score) {
+		oursScore := quality.Evaluate(res.MT, w.Truth)
+		row := func(name string, sc quality.Score) {
 			fmt.Fprintf(&b, "%8.2f  %-24s  %5d  %2d  %9.3f  %6.3f\n",
 				rate, name, sc.TruePos+sc.FalsePos, sc.FalsePos, sc.Precision(), sc.Recall())
 		}
@@ -150,14 +150,14 @@ func BaselineQuality() Report {
 			Key: []baselines.AttrPair{{R: "name", S: "name"}}, AllowNonKey: true,
 		}
 		if mt, err := loose.Match(w.R, w.S); err == nil {
-			row("name-equality", metrics.Evaluate(mt, w.Truth))
+			row("name-equality", quality.Evaluate(mt, w.Truth))
 		}
 		// Probabilistic key on name.
 		pk := baselines.ProbabilisticKey{
 			Key: []baselines.AttrPair{{R: "name", S: "name"}}, Threshold: 0.6,
 		}
 		if mt, err := pk.Match(w.R, w.S); err == nil {
-			row("probabilistic-key", metrics.Evaluate(mt, w.Truth))
+			row("probabilistic-key", quality.Evaluate(mt, w.Truth))
 		}
 		// Probabilistic attributes on name+phone.
 		pa := baselines.ProbabilisticAttr{
@@ -167,7 +167,7 @@ func BaselineQuality() Report {
 			Threshold: 0.99,
 		}
 		if mt, err := pa.Match(w.R, w.S); err == nil {
-			row("probabilistic-attribute", metrics.Evaluate(mt, w.Truth))
+			row("probabilistic-attribute", quality.Evaluate(mt, w.Truth))
 		}
 		b.WriteByte('\n')
 	}

@@ -170,6 +170,7 @@ func (h *Hub) degrade(cause error) {
 	h.health.since = time.Now()
 	h.health.probes = 0
 	h.health.mu.Unlock()
+	mHealthState.Set(int64(StateDegraded))
 	if h.per != nil {
 		h.per.startProbes(h)
 	}
@@ -189,6 +190,7 @@ func (h *Hub) poison(cause error) error {
 		h.health.state.Store(int32(StatePoisoned))
 		h.health.cause = cause
 		h.health.since = time.Now()
+		mHealthState.Set(int64(StatePoisoned))
 	}
 	return &PoisonedError{Cause: h.health.cause}
 }
@@ -205,6 +207,8 @@ func (h *Hub) recoverHealth() {
 	h.health.since = time.Now()
 	h.health.probes = 0
 	h.health.recoveries++
+	mHealthState.Set(int64(StateReady))
+	mRecoveries.Inc()
 }
 
 // noteProbe counts a recovery probe attempt.
@@ -212,6 +216,7 @@ func (h *Hub) noteProbe() {
 	h.health.mu.Lock()
 	h.health.probes++
 	h.health.mu.Unlock()
+	mProbes.Inc()
 }
 
 // isPersistentIO classifies a persistence failure as the kind that will

@@ -44,6 +44,7 @@ import (
 	"entityid/internal/federate"
 	"entityid/internal/ilfd"
 	"entityid/internal/match"
+	"entityid/internal/obs"
 	"entityid/internal/relation"
 	"entityid/internal/resolve"
 	"entityid/internal/rules"
@@ -471,8 +472,25 @@ func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
 	// sick disk turns ingest into an immediate typed rejection instead
 	// of a queue behind the failure.
 	if err := h.healthErr(); err != nil {
+		ingestUnavailable.Inc()
 		return nil, fmt.Errorf("hub: source %q: %w", source, err)
 	}
+	op := obs.StartOp("insert", source)
+	rec, err := h.insert(source, t, &op)
+	total := op.Finish(SlowOps)
+	if err != nil {
+		ingestRejected.Inc()
+		return nil, err
+	}
+	ingestOK.Inc()
+	if total > 0 {
+		mIngestSeconds.Observe(total)
+	}
+	return rec, nil
+}
+
+// insert is Insert's locked body; op marks its commit stages.
+func (h *Hub) insert(source string, t relation.Tuple, op *obs.Op) (*Receipt, error) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	si, ok := h.byName[source]
@@ -504,6 +522,7 @@ func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
 			pd, err = p.fed.PrepareS(t)
 		}
 		if err != nil {
+			mUniqueness.Inc()
 			return nil, fmt.Errorf("hub: source %q vs %q: %w", source, h.sources[p.other(si)].name, err)
 		}
 		for _, pr := range pd.Pairs() {
@@ -522,8 +541,10 @@ func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
 	h.commitMu.Lock()
 	defer h.commitMu.Unlock()
 	if err := h.store.checkMerge(n, partners, h.sourceName); err != nil {
+		mUniqueness.Inc()
 		return nil, fmt.Errorf("hub: source %q: %w", source, err)
 	}
+	observeStage(stagePrepare, op.Stage("prepare"))
 	// Write-ahead: the insert reaches the log before any in-memory
 	// commit. A failed append rejects the insert with the hub unchanged
 	// (at worst a torn, unacknowledged record reaches disk — recovery's
@@ -536,6 +557,7 @@ func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
 			return nil, fmt.Errorf("hub: source %q: %w", source, h.ingestFailed(err))
 		}
 	}
+	observeStage(stageWalAppend, op.Stage("wal_append"))
 	for i, pd := range pendings {
 		if _, err := pd.Commit(); err != nil {
 			// Unreachable under the locking discipline. If it fires
@@ -563,7 +585,12 @@ func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
 		return nil, fmt.Errorf("hub: source %q: %w", source,
 			h.poison(fmt.Errorf("canonical insert after CanInsert: %v", insErr)))
 	}
+	observeStage(stageApply, op.Stage("apply"))
 	members := h.store.apply(n, partners)
+	if len(partners) > 0 {
+		mClusterMerges.Inc()
+	}
+	observeStage(stageClusterFold, op.Stage("cluster_fold"))
 	if h.per != nil {
 		h.per.noteCommit(h)
 	}
@@ -667,6 +694,7 @@ func (h *Hub) IngestBatch(items []Insert, workers int) []InsertResult {
 	if workers > len(items) {
 		workers = len(items)
 	}
+	mBatchSize.ObserveVal(int64(len(items)))
 	out := make([]InsertResult, len(items))
 	var next atomic.Int64
 	var wg sync.WaitGroup

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"entityid/internal/obs"
 	"entityid/internal/relation"
 	"entityid/internal/wal"
 )
@@ -114,6 +115,11 @@ type SnapshotStats struct {
 	// sections into re-encoded vs carried forward by reference.
 	SectionsWritten int
 	SectionsReused  int
+	// Taken is when the snapshot committed. After Open with no snapshot
+	// written yet this session, it is seeded from the on-disk
+	// manifest's modification time (zero if no snapshot exists at all),
+	// so last-snapshot age survives restarts.
+	Taken time.Time
 }
 
 // Open opens (or creates) a durable hub rooted at dir: it loads the
@@ -228,6 +234,15 @@ func Open(dir string, opts Options) (*Hub, *RecoveryInfo, error) {
 		prevMan: prevMan, hub: h,
 		probeBase: probe, probeMax: probeMax,
 		done: make(chan struct{}),
+	}
+	if prevMan != nil {
+		// Seed last-snapshot age across restarts from the committed
+		// manifest's mtime; byte/section figures stay zero — nothing was
+		// written this session.
+		if fi, serr := fsys.Stat(filepath.Join(dir, snapshotManifest)); serr == nil {
+			h.per.stats.Taken = fi.ModTime()
+			h.per.stats.Watermark = prevMan.Watermark
+		}
 	}
 	return h, info, nil
 }
@@ -883,6 +898,23 @@ func writeFileSync(fsys wal.FS, path string, data []byte) error {
 // manifest — then sweeps stale files and truncates the log segments the
 // snapshot covers. Callers hold snapMu.
 func (p *walLogger) writeSnapshot(h *Hub, cut *snapshotCut) error {
+	start := obs.Now()
+	if err := p.writeSnapshotLocked(h, cut); err != nil {
+		snapshotFail.Inc()
+		return err
+	}
+	snapshotOK.Inc()
+	mSnapshotSeconds.Since(start)
+	p.statsMu.Lock()
+	st := p.stats
+	p.statsMu.Unlock()
+	mSnapshotBytes.Add(uint64(st.BytesWritten))
+	mSnapSectionsWritten.Add(uint64(st.SectionsWritten))
+	mSnapSectionsReused.Add(uint64(st.SectionsReused))
+	return nil
+}
+
+func (p *walLogger) writeSnapshotLocked(h *Hub, cut *snapshotCut) error {
 	sink := newDirSink(p.fs, p.dir, p.prevMan)
 	man, err := h.writeSnapshotV2(cut, sink, p.chunkBytes, p.snapSectionHook)
 	if err != nil {
@@ -891,6 +923,7 @@ func (p *walLogger) writeSnapshot(h *Hub, cut *snapshotCut) error {
 	p.prevMan = man
 	p.statsMu.Lock()
 	p.stats = sink.stats
+	p.stats.Taken = time.Now()
 	p.statsMu.Unlock()
 	// The manifest is committed: the legacy single-frame snapshot (if
 	// any) and sections only older manifests referenced are now stale.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"iter"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"entityid/internal/datagen"
 	"entityid/internal/hub"
 	"entityid/internal/match"
+	"entityid/internal/obs"
 	"entityid/internal/relation"
 	"entityid/internal/schema"
 	"entityid/internal/value"
@@ -454,5 +456,73 @@ func TestPageCursorTracksWalkPosition(t *testing.T) {
 	}
 	if len(page) != 1 || page[0].ID != "b/1" || next != "" {
 		t.Fatalf("page after b/0: %d clusters, next %q", len(page), next)
+	}
+}
+
+// TestMetricsScrapeDuringIngest hammers the process-wide registry's
+// exposition while a batch commits through the worker pool: under
+// -race this pins down that every metric the ingest path touches is
+// scrape-safe, and that each scrape is internally consistent enough to
+// parse (non-empty, newline-terminated, core families present).
+func TestMetricsScrapeDuringIngest(t *testing.T) {
+	w := datagen.MustMultiGenerate(datagen.MultiConfig{
+		Sources: 3, Entities: 120, PresenceFrac: 0.7, HomonymRate: 0.2,
+		MissingPhone: 0.1, DirtyPhone: 0.2, Seed: 31,
+	})
+	h, err := hub.NewFromMulti(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := hub.MultiInserts(w)
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	scrapes := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !done.Load() {
+			var sb strings.Builder
+			if err := obs.Default.WritePrometheus(&sb); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+			text := sb.String()
+			if text == "" || !strings.HasSuffix(text, "\n") {
+				t.Errorf("scrape output malformed: %q...", text[:min(len(text), 80)])
+				return
+			}
+			scrapes++
+		}
+	}()
+	for i, res := range h.IngestBatch(items, 4) {
+		if res.Err != nil {
+			t.Fatalf("insert %d: %v", i, res.Err)
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if scrapes == 0 {
+		t.Fatal("no scrapes ran during ingest")
+	}
+	var sb strings.Builder
+	if err := obs.Default.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, family := range []string{
+		"hub_ingest_total", "hub_ingest_commit_seconds",
+		"hub_ingest_stage_seconds", "hub_ingest_batch_size",
+		"hub_health_state",
+	} {
+		if !strings.Contains(text, "# TYPE "+family+" ") {
+			t.Errorf("core family %s missing from exposition", family)
+		}
+	}
+	if !strings.Contains(text, `hub_ingest_total{outcome="ok"}`) {
+		t.Error("no ok-outcome ingest sample after a committed batch")
 	}
 }

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerThresholdFiltering(t *testing.T) {
+	tr := NewTracer(8, 50*time.Millisecond)
+	op := StartOp("fast", "")
+	op.Stage("a")
+	op.Finish(tr)
+	if got := len(tr.Snapshot()); got != 0 {
+		t.Fatalf("fast op recorded: %d traces", got)
+	}
+	op = StartOp("slow", "src-1")
+	time.Sleep(60 * time.Millisecond)
+	op.Stage("a")
+	op.Stage("b")
+	total := op.Finish(tr)
+	if total < 60*time.Millisecond {
+		t.Fatalf("total %v < sleep", total)
+	}
+	traces := tr.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("slow op not recorded: %d traces", len(traces))
+	}
+	got := traces[0]
+	if got.Op != "slow" || got.Detail != "src-1" {
+		t.Fatalf("trace identity = %q/%q", got.Op, got.Detail)
+	}
+	if len(got.Stages) != 2 || got.Stages[0].Name != "a" || got.Stages[1].Name != "b" {
+		t.Fatalf("stages = %+v", got.Stages)
+	}
+	if got.Stages[0].Dur < 60*time.Millisecond {
+		t.Fatalf("stage a absorbed %v, want >= sleep", got.Stages[0].Dur)
+	}
+	if tr.Recorded() != 1 {
+		t.Fatalf("recorded = %d, want 1", tr.Recorded())
+	}
+}
+
+func TestTracerZeroThresholdDisables(t *testing.T) {
+	tr := NewTracer(4, 0)
+	op := StartOp("x", "")
+	op.Finish(tr)
+	if len(tr.Snapshot()) != 0 {
+		t.Fatal("threshold 0 recorded a trace")
+	}
+	tr.SetThreshold(time.Nanosecond)
+	if tr.Threshold() != time.Nanosecond {
+		t.Fatalf("threshold = %v", tr.Threshold())
+	}
+	op = StartOp("y", "")
+	time.Sleep(time.Millisecond)
+	op.Finish(tr)
+	if len(tr.Snapshot()) != 1 {
+		t.Fatal("raised threshold did not record")
+	}
+}
+
+func TestTracerRingWrapNewestFirst(t *testing.T) {
+	tr := NewTracer(3, time.Nanosecond)
+	for i := 0; i < 5; i++ {
+		op := StartOp("op", string(rune('a'+i)))
+		time.Sleep(time.Millisecond)
+		op.Finish(tr)
+	}
+	traces := tr.Snapshot()
+	if len(traces) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(traces))
+	}
+	// Newest first: e, d, c survive; a and b were overwritten.
+	for i, want := range []string{"e", "d", "c"} {
+		if traces[i].Detail != want {
+			t.Fatalf("trace[%d] = %q, want %q", i, traces[i].Detail, want)
+		}
+	}
+	if tr.Recorded() != 5 {
+		t.Fatalf("recorded = %d, want 5", tr.Recorded())
+	}
+}
+
+func TestOpStageOverflowDropped(t *testing.T) {
+	tr := NewTracer(1, time.Nanosecond)
+	op := StartOp("many", "")
+	time.Sleep(time.Millisecond)
+	for i := 0; i < maxStages+4; i++ {
+		op.Stage("s")
+	}
+	op.Finish(tr)
+	traces := tr.Snapshot()
+	if len(traces) != 1 {
+		t.Fatal("op not recorded")
+	}
+	if len(traces[0].Stages) != maxStages {
+		t.Fatalf("stages = %d, want capped at %d", len(traces[0].Stages), maxStages)
+	}
+}
+
+func TestOpFinishNilTracer(t *testing.T) {
+	op := StartOp("x", "")
+	if d := op.Finish(nil); d <= 0 {
+		t.Fatalf("nil-tracer finish total = %v", d)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(16, time.Nanosecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				op := StartOp("op", "w")
+				op.Stage("a")
+				op.Finish(tr)
+				if i%50 == 0 {
+					tr.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Recorded() != 1600 {
+		t.Fatalf("recorded = %d, want 1600", tr.Recorded())
+	}
+	if len(tr.Snapshot()) != 16 {
+		t.Fatalf("ring = %d, want full 16", len(tr.Snapshot()))
+	}
+}
+
+// TestTracerNoGoroutines pins down the design constraint that the
+// slow-op ring runs entirely on callers' stacks: constructing a tracer
+// and recording into it must not leave any goroutine behind.
+func TestTracerNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	tr := NewTracer(64, time.Nanosecond)
+	for i := 0; i < 100; i++ {
+		op := StartOp("op", "")
+		op.Stage("a")
+		op.Finish(tr)
+	}
+	tr.Snapshot()
+	// Allow unrelated runtime goroutines to settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew: %d -> %d", before, runtime.NumGoroutine())
+}
+
+func BenchmarkOpFastPath(b *testing.B) {
+	tr := NewTracer(128, 100*time.Millisecond)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		op := StartOp("insert", "bench")
+		op.Stage("prepare")
+		op.Stage("wal_append")
+		op.Stage("apply")
+		op.Stage("cluster_fold")
+		op.Finish(tr)
+	}
+}

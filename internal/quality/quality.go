@@ -1,8 +1,8 @@
-// Package metrics scores entity-identification results against ground
+// Package quality scores entity-identification results against ground
 // truth: precision, recall, F1, soundness violations (the false
 // positives §3.2's soundness property forbids) and the undetermined
 // fraction (§3.3's completeness gap).
-package metrics
+package quality
 
 import (
 	"fmt"

@@ -42,6 +42,8 @@ import (
 	"strconv"
 	"sync"
 	"syscall"
+
+	"entityid/internal/obs"
 )
 
 const (
@@ -244,9 +246,9 @@ var ErrLogUnusable = fmt.Errorf("wal: log unusable until healed")
 type Log struct {
 	mu     sync.Mutex
 	dir    string
-	fs     FS   // file-system seam (OS in production, errfs in chaos tests)
-	f      File // active segment
-	lock   File // flock'd wal.lock
+	fs     FS     // file-system seam (OS in production, errfs in chaos tests)
+	f      File   // active segment
+	lock   File   // flock'd wal.lock
 	seq    uint64 // last durable sequence number
 	oldest uint64 // first sequence number still present in segments
 	first  uint64 // first sequence number of the active segment (its name)
@@ -519,6 +521,7 @@ func (l *Log) Replay(after uint64, fn func(Record) error) error {
 				f.Close()
 				return err
 			}
+			mReplayRecords.Inc()
 		}
 		f.Close()
 	}
@@ -535,6 +538,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		return 0, fmt.Errorf("wal: append to closed log")
 	}
 	if l.fail != nil {
+		mAppendErrors.Inc()
 		return 0, l.fail
 	}
 	frame, err := EncodeRecord(l.seq+1, payload)
@@ -543,16 +547,19 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	}
 	switch {
 	case l.torn == -2:
+		mAppendErrors.Inc()
 		return 0, ErrTornWrite
 	case l.torn == 0:
 		// Simulate the process dying mid-write: half a frame reaches the
 		// file, the append is never acknowledged, and the log is dead.
 		l.f.Write(frame[:len(frame)/2])
 		l.torn = -2
+		mAppendErrors.Inc()
 		return 0, ErrTornWrite
 	case l.torn > 0:
 		l.torn--
 	}
+	start := obs.Now()
 	if n, err := l.f.Write(frame); err != nil {
 		// A short write (disk full, I/O error) may have landed partial
 		// frame bytes. Roll the segment back to the last good record so
@@ -563,13 +570,19 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		if n > 0 {
 			if terr := l.f.Truncate(l.off); terr != nil {
 				l.fail = fmt.Errorf("%w: append failed (%w) and rollback failed (%v)", ErrLogUnusable, err, terr)
+				mPoisonTotal.Inc()
+				mAppendErrors.Inc()
 				return 0, l.fail
 			}
 		}
+		mAppendErrors.Inc()
 		return 0, fmt.Errorf("wal: %w", err)
 	}
 	l.off += int64(len(frame))
 	l.seq++
+	mAppendTotal.Inc()
+	mAppendBytes.Add(uint64(len(frame)))
+	mAppendSeconds.Since(start)
 	return l.seq, nil
 }
 
@@ -587,6 +600,7 @@ func (l *Log) Rotate() (uint64, error) {
 	if l.fail != nil {
 		return 0, l.fail
 	}
+	start := obs.Now()
 	if err := l.f.Sync(); err != nil {
 		return 0, fmt.Errorf("wal: %w", err)
 	}
@@ -620,6 +634,7 @@ func (l *Log) Rotate() (uint64, error) {
 		// close failure is surfaced but the log remains consistent.
 		return 0, fmt.Errorf("wal: %w", err)
 	}
+	mRotateSeconds.Since(start)
 	return l.seq, nil
 }
 
@@ -675,6 +690,7 @@ func (l *Log) Heal() error {
 		return fmt.Errorf("wal: heal: %w", err)
 	}
 	l.syncedSeq, l.syncedOff = l.seq, l.off
+	mHealTotal.Inc()
 	return nil
 }
 
@@ -685,9 +701,12 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return nil
 	}
+	start := obs.Now()
 	if err := l.f.Sync(); err != nil {
+		mFsyncErrors.Inc()
 		return fmt.Errorf("wal: %w", err)
 	}
+	mFsyncSeconds.Since(start)
 	l.syncedSeq, l.syncedOff = l.seq, l.off
 	return nil
 }
