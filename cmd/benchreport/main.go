@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -37,6 +38,8 @@ import (
 	"entityid/internal/match"
 	"entityid/internal/obs"
 	"entityid/internal/relation"
+	"entityid/internal/schema"
+	"entityid/internal/value"
 	"entityid/internal/wal/errfs"
 )
 
@@ -118,6 +121,19 @@ type benchRecord struct {
 	HubClusters     int     `json:"hub_clusters"`
 	HubIngestNS     int64   `json:"hub_ingest_ns"`
 	HubTuplesPerSec float64 `json:"hub_tuples_per_sec"`
+
+	// Streaming dataflow ingest (PR 8): the same canonical workload
+	// through IngestStream — per-item acks through the resident
+	// pipeline stages, same commit semantics — which must hold up
+	// against the batch path; plus a 100k-tuple bulk stream over a
+	// lazily generated single-source feed, whose peak heap growth is
+	// the pipeline's memory story (the hub state itself plus bounded
+	// stage buffers, never an O(stream) ingest queue).
+	StreamIngestNS     int64   `json:"ingest_stream_ns"`
+	StreamTuplesPerSec float64 `json:"ingest_stream_tuples_per_sec"`
+	StreamBulkTuples   int     `json:"stream_bulk_tuples"`
+	StreamBulkPerSec   float64 `json:"stream_bulk_tuples_per_sec"`
+	StreamBulkPeakHeap int64   `json:"stream_bulk_peak_heap_bytes"`
 
 	// WAL replay: recovery of the same hub workload from its
 	// write-ahead log alone (no snapshot), i.e. cold-start cost per
@@ -283,6 +299,100 @@ func runBenchJSON(path string, w io.Writer) int {
 	rec.HubMatches = hubStats.Matches
 	rec.HubClusters = hubStats.Clusters
 	rec.HubTuplesPerSec = float64(len(items)) / (float64(rec.HubIngestNS) / 1e9)
+
+	// Streaming ingest: the identical workload through the dataflow
+	// pipeline with per-item results, best of 3.
+	var pipeErr error
+	rec.StreamIngestNS = best(3, func() {
+		h, err := hub.NewFromMulti(mw)
+		if err != nil {
+			pipeErr = err
+			return
+		}
+		in := make(chan hub.Insert, 256)
+		go func() {
+			defer close(in)
+			for _, it := range items {
+				in <- it
+			}
+		}()
+		for res := range h.IngestStream(context.Background(), in, hub.StreamOptions{}) {
+			if res.Err != nil {
+				pipeErr = res.Err
+				return
+			}
+		}
+	})
+	if pipeErr != nil {
+		fmt.Fprintf(w, "benchjson: stream ingest: %v\n", pipeErr)
+		return 1
+	}
+	rec.StreamTuplesPerSec = float64(len(items)) / (float64(rec.StreamIngestNS) / 1e9)
+
+	// Bulk stream: 100k lazily generated single-source tuples — the
+	// feeder materialises nothing, so peak heap is hub state plus the
+	// pipeline's bounded buffers. Sampled heap is a trajectory metric:
+	// a regression to O(body) ingest buffering roughly doubles it.
+	rec.StreamBulkTuples = 100_000
+	bh := hub.New()
+	if err := bh.AddSource("bulk", relation.New(schema.MustNew("bulk", []schema.Attribute{
+		{Name: "id", Kind: value.KindString},
+		{Name: "name", Kind: value.KindString},
+	}, []string{"id"}))); err != nil {
+		fmt.Fprintf(w, "benchjson: bulk stream: %v\n", err)
+		return 1
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	baseHeap := ms.HeapAlloc
+	peakHeap := baseHeap
+	sampStop := make(chan struct{})
+	var samp sync.WaitGroup
+	samp.Add(1)
+	go func() {
+		defer samp.Done()
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampStop:
+				return
+			case <-tick.C:
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peakHeap {
+					peakHeap = m.HeapAlloc
+				}
+			}
+		}
+	}()
+	bulkIn := make(chan hub.Insert, 256)
+	go func() {
+		defer close(bulkIn)
+		for i := 0; i < rec.StreamBulkTuples; i++ {
+			bulkIn <- hub.Insert{Source: "bulk", Tuple: relation.Tuple{
+				value.String(fmt.Sprintf("bulk-%d", i)),
+				value.String(fmt.Sprintf("entity %d", i)),
+			}}
+		}
+	}()
+	bulkStart := time.Now()
+	var bulkErr error
+	for res := range bh.IngestStream(context.Background(), bulkIn, hub.StreamOptions{}) {
+		if res.Err != nil {
+			bulkErr = res.Err
+		}
+	}
+	bulkNS := time.Since(bulkStart).Nanoseconds()
+	close(sampStop)
+	samp.Wait()
+	if bulkErr != nil {
+		fmt.Fprintf(w, "benchjson: bulk stream: %v\n", bulkErr)
+		return 1
+	}
+	rec.StreamBulkPerSec = float64(rec.StreamBulkTuples) / (float64(bulkNS) / 1e9)
+	rec.StreamBulkPeakHeap = int64(peakHeap - baseHeap)
 
 	// Observability overhead: the identical ingest, first with the obs
 	// clock disabled and then fully instrumented, best of 5 each —
@@ -685,9 +795,10 @@ func runBenchJSON(path string, w io.Writer) int {
 		fmt.Fprintf(w, "benchjson: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(w, "wrote %s: build %.1fx, counts %.1fx (engine vs naive, %d×%d grid, GOMAXPROCS=%d); hub ingest %.0f tuples/sec (%d sources); obs overhead %.1f%% (%.0f instrumented vs %.0f baseline tuples/sec); serving reads %.0f/sec at %d readers (%.2fx vs 1 reader) with ingest at %.0f tuples/sec; clusters stream %.0f/sec over %d pages; WAL replay %.0f records/sec (%d records); snapshot 1%%-changed writes %.1f%% of full (%d of %d bytes, %d sections reused); chunked recovery %.1fms vs single-frame %.1fms; degraded reads %.0f/sec on a dead disk; overload shed %.0f%% (%d workers vs %d slots)\n",
+	fmt.Fprintf(w, "wrote %s: build %.1fx, counts %.1fx (engine vs naive, %d×%d grid, GOMAXPROCS=%d); hub ingest %.0f tuples/sec (%d sources); stream ingest %.0f tuples/sec, %d-tuple bulk stream %.0f tuples/sec at +%.1f MiB peak heap; obs overhead %.1f%% (%.0f instrumented vs %.0f baseline tuples/sec); serving reads %.0f/sec at %d readers (%.2fx vs 1 reader) with ingest at %.0f tuples/sec; clusters stream %.0f/sec over %d pages; WAL replay %.0f records/sec (%d records); snapshot 1%%-changed writes %.1f%% of full (%d of %d bytes, %d sections reused); chunked recovery %.1fms vs single-frame %.1fms; degraded reads %.0f/sec on a dead disk; overload shed %.0f%% (%d workers vs %d slots)\n",
 		path, rec.BuildSpeedup, rec.CountsSpeedup, rec.RTuples, rec.STuples, rec.GoMaxProcs,
 		rec.HubTuplesPerSec, rec.HubSources,
+		rec.StreamTuplesPerSec, rec.StreamBulkTuples, rec.StreamBulkPerSec, float64(rec.StreamBulkPeakHeap)/(1<<20),
 		100*(rec.ObsOverheadRatio-1), rec.ObsInstrumentedTPS, rec.ObsBaselineTPS,
 		rec.ServeReadsPerSec, rec.ServeReaders, rec.ServeReadScaling, rec.ServeIngestPerSec,
 		rec.ClustersStreamPerSec, rec.ClustersStreamPages,

@@ -29,7 +29,9 @@
 // forward untouched between snapshots, and hubs of any size snapshot
 // without hitting a single-record ceiling. Against power loss (where
 // the page cache itself is forfeit), -sync-every N additionally fsyncs
-// the log every N appends, batching each ingest batch into one sync.
+// the log every N appends, with the ingest pipeline batching the
+// remainder into one sync per flush epoch (each time its input drains,
+// and at every stream's end).
 //
 // # Serving
 //
@@ -37,15 +39,33 @@
 // arrive within a deadline (slowloris guard), bodies are size-capped
 // (-max-insert-body for ingest, a fixed 1MB for control requests), and
 // SIGINT/SIGTERM drain in-flight requests (refusing new connections)
-// before the hub is checkpointed and closed. /v1/clusters streams one
-// cluster per NDJSON line with bounded memory — the enumeration never
-// materialises the hub — flushes periodically, stops as soon as the
-// client disconnects, and paginates: pass limit=N for one page and
-// resume with the returned next_cursor (the ID of the last cluster
-// seen); offset=N skips N clusters first. Under concurrent ingest the
-// enumeration is weakly consistent (each line is a committed cluster
-// state at its visit time); on a quiescent hub it is exact and
-// deterministic.
+// before the hub is checkpointed and closed.
+//
+// /v1/insert streams both ways: request lines decode as they arrive
+// off the wire and flow through the hub's dataflow ingest pipeline
+// (bounded stages with backpressure — a slow disk or consumer stalls
+// the client's upload, never the server's memory), and one ack line
+// streams back per input line, in input order, flushed per line while
+// the body trickles and every 64 lines during a sustained bulk load.
+// Acks are per line: a line that fails tuple parsing or hub admission
+// is reported in place ({"ok":false,...}) without aborting the stream;
+// a malformed-JSON line or a body hitting -max-insert-body ends the
+// response with a final {"ok":false,...,"terminal":true} line, and
+// lines acked before it remain committed (the pre-pipeline server
+// rejected such bodies whole with 400/413 — that contract required
+// buffering the entire body and is gone). A client disconnect cancels
+// the stream and leaves exactly the acked prefix, plus at most the
+// bounded in-flight window, committed — acknowledged lines are never
+// lost, unacknowledged tails never half-apply.
+//
+// /v1/clusters streams one cluster per NDJSON line with bounded memory
+// — the enumeration never materialises the hub — flushes periodically,
+// stops as soon as the client disconnects, and paginates: pass limit=N
+// for one page and resume with the returned next_cursor (the ID of the
+// last cluster seen); offset=N skips N clusters first. Under
+// concurrent ingest the enumeration is weakly consistent (each line is
+// a committed cluster state at its visit time); on a quiescent hub it
+// is exact and deterministic.
 //
 // API (all bodies JSON; /v1/insert and /v1/clusters stream NDJSON):
 //
@@ -241,6 +261,10 @@ const (
 	// clustersFlushEvery bounds how many NDJSON cluster lines buffer
 	// before an explicit flush, so long enumerations stream progressively.
 	clustersFlushEvery = 64
+	// insertFlushEvery bounds how many /v1/insert ack lines buffer
+	// before an explicit flush during a sustained bulk load; when the
+	// request body trickles, acks flush as soon as the decoder idles.
+	insertFlushEvery = 64
 )
 
 // server is the HTTP front-end over one hub. It keeps its own
@@ -603,6 +627,43 @@ type insertLine struct {
 	Tuple  []any  `json:"tuple"`
 }
 
+// insertLineMeta carries one body line's fate from the decoder to the
+// writer, in line order: a parse error reported in place, a terminal
+// stream failure (malformed framing, body cap), or a line that went to
+// the hub — whose outcome is the next result off the pipeline, since
+// the pipeline preserves order.
+type insertLineMeta struct {
+	err      error
+	terminal bool
+	hub      bool
+}
+
+// streamReadError rewrites a body read failure for the terminal result
+// line, naming the ingest cap when that is what cut the stream off.
+func streamReadError(err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return fmt.Errorf("request body exceeds %d bytes: stream truncated (lines before the cap were processed)", mbe.Limit)
+	}
+	return err
+}
+
+// handleInsert streams the NDJSON ingest body through the hub's
+// dataflow pipeline: lines decode as they arrive off the wire, commit
+// in order with bounded in-flight work, and each result line is
+// written — and periodically flushed — while later lines are still
+// being read. Nothing buffers O(body).
+//
+// Contract (since the pipelined ingest path): acks are per line. A
+// line that fails to parse is reported in place without aborting the
+// stream; a malformed-JSON line or a body over -max-insert-body
+// terminates the stream with a final {"ok":false,...,"terminal":true}
+// line — lines already acked by then are committed and stay committed.
+// (Previously such bodies were rejected whole with 400/413 after a
+// full-body buffer; that whole-batch contract is gone with the batch
+// barrier that made it possible.) A client disconnect cancels the
+// pipeline stream mid-flight and leaves exactly the acked prefix — and
+// at most a bounded in-flight window past it — committed.
 func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	// Admission first: shed while draining or degraded (503) or when
 	// the concurrency gate is full (429) — never queue.
@@ -610,81 +671,154 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.gate.Release()
-	// Read the whole NDJSON batch, ingest it through the hub's worker
-	// pool, stream per-line results back in input order.
-	var items []entityid.HubInsert
-	var parseErrs []error
 	if s.maxInsertBody > 0 {
 		r.Body = http.MaxBytesReader(w, r.Body, s.maxInsertBody)
 	}
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	// Lines parse as they stream (no second buffered copy of the body),
-	// but a malformed line only *records* its error: the scan always
-	// drains, so a body truncated at the size cap (or by a broken
-	// connection) is reported as such — and rejected whole, never
-	// partially ingested — rather than as the parse error its torn
-	// final line happens to produce.
-	var malformed error
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || malformed != nil {
-			continue
+	ctx := r.Context()
+	in := make(chan entityid.HubInsert)
+	metas := make(chan insertLineMeta, insertFlushEvery)
+	// Decoder: scan the body incrementally, parse each line, and hand
+	// valid tuples to the pipeline. Every send selects on ctx so a
+	// disconnected client never wedges the scan. The meta always
+	// precedes its item, so the writer can pair hub results with lines.
+	go func() {
+		defer close(in)
+		defer close(metas)
+		sendMeta := func(m insertLineMeta) bool {
+			select {
+			case metas <- m:
+				return true
+			case <-ctx.Done():
+				return false
+			}
 		}
-		var in insertLine
-		if err := json.Unmarshal([]byte(line), &in); err != nil {
-			malformed = fmt.Errorf("line %d: %w", lineNo, err)
-			if s.maxInsertBody <= 0 {
-				// No size cap installed, so there is no truncation to
-				// disambiguate — and no bound on the drain. Fail fast.
-				httpError(w, http.StatusBadRequest, malformed)
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var il insertLine
+			if err := json.Unmarshal([]byte(line), &il); err != nil {
+				// Malformed framing: nothing after this line can be
+				// trusted (it may be a torn tail). Terminal. If the tear
+				// came from a read failure — the body cap truncating
+				// mid-line is the common case — report that instead of
+				// the confusing partial-JSON error.
+				terr := error(fmt.Errorf("line %d: %w", lineNo, err))
+				if !sc.Scan() {
+					if serr := sc.Err(); serr != nil {
+						terr = streamReadError(serr)
+					}
+				}
+				sendMeta(insertLineMeta{err: terr, terminal: true})
 				return
 			}
-			continue
+			t, err := s.toTuple(il.Source, il.Tuple)
+			if err != nil {
+				// Tuple-level error: reported in place, stream continues.
+				if !sendMeta(insertLineMeta{err: fmt.Errorf("line %d: %w", lineNo, err)}) {
+					return
+				}
+				continue
+			}
+			if !sendMeta(insertLineMeta{hub: true}) {
+				return
+			}
+			select {
+			case in <- entityid.HubInsert{Source: il.Source, Tuple: t}:
+			case <-ctx.Done():
+				return
+			}
 		}
-		t, err := s.toTuple(in.Source, in.Tuple)
-		items = append(items, entityid.HubInsert{Source: in.Source, Tuple: t})
-		parseErrs = append(parseErrs, err)
-	}
-	if err := sc.Err(); err != nil {
-		httpError(w, bodyErrStatus(err), err)
-		return
-	}
-	if malformed != nil {
-		httpError(w, http.StatusBadRequest, malformed)
-		return
-	}
-	// Pre-filter lines whose tuples failed to parse: they are reported
-	// in place without reaching the hub.
-	valid := make([]entityid.HubInsert, 0, len(items))
-	for i, it := range items {
-		if parseErrs[i] == nil {
-			valid = append(valid, it)
+		if err := sc.Err(); err != nil {
+			sendMeta(insertLineMeta{err: streamReadError(err), terminal: true})
 		}
-	}
-	results := s.hub.IngestBatch(valid, 0)
+	}()
+	results := s.hub.IngestStream(ctx, in, entityid.HubStreamOptions{})
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	// Commit the 200 and push headers now: acks stream per line, so a
+	// client reading the response before it finishes sending the body
+	// (the normal pipelined pattern) must not wait on the first result.
+	// Full duplex is required first — without it net/http drains the
+	// rest of the request body before the first response write, which
+	// deadlocks against a client that reads acks as it sends.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
 	enc := json.NewEncoder(w)
-	vi := 0
-	for i := range items {
-		if parseErrs[i] != nil {
-			enc.Encode(map[string]any{"ok": false, "error": parseErrs[i].Error()})
-			continue
+	// dead flags a failed response write (client gone): stop writing but
+	// keep draining metas and results so the decoder and pipeline wind
+	// down through their normal paths.
+	dead := false
+	emit := func(v any) {
+		if dead {
+			return
 		}
-		res := results[vi]
-		vi++
-		if res.Err != nil {
-			enc.Encode(map[string]any{"ok": false, "error": res.Err.Error()})
-			continue
+		if err := enc.Encode(v); err != nil {
+			dead = true
 		}
-		enc.Encode(map[string]any{
-			"ok":      true,
-			"index":   res.Receipt.Index,
-			"matched": membersJSON(res.Receipt.Matched),
-			"cluster": s.clusterJSON(res.Receipt.Cluster, ""),
-		})
+	}
+	pending := 0
+	flush := func() {
+		if flusher != nil && !dead && pending > 0 {
+			flusher.Flush()
+		}
+		pending = 0
+	}
+	for {
+		var m insertLineMeta
+		var ok bool
+		select {
+		case m, ok = <-metas:
+		default:
+			// The decoder has no line ready (client is trickling):
+			// flush what's written so interactive streams see per-line
+			// acks, then wait.
+			flush()
+			m, ok = <-metas
+		}
+		if !ok {
+			break
+		}
+		switch {
+		case m.terminal:
+			emit(map[string]any{"ok": false, "error": m.err.Error(), "terminal": true})
+		case m.err != nil:
+			emit(map[string]any{"ok": false, "error": m.err.Error()})
+		default:
+			res, rok := <-results
+			if !rok {
+				// The pipeline closed early (canceled): nothing more to ack.
+				dead = true
+				continue
+			}
+			if res.Err != nil {
+				emit(map[string]any{"ok": false, "error": res.Err.Error()})
+			} else {
+				emit(map[string]any{
+					"ok":      true,
+					"index":   res.Receipt.Index,
+					"matched": membersJSON(res.Receipt.Matched),
+					"cluster": s.clusterJSON(res.Receipt.Cluster, ""),
+				})
+			}
+		}
+		pending++
+		if pending >= insertFlushEvery {
+			flush()
+		}
+	}
+	// Drain any residual results (cancellation races) so the pipeline's
+	// pump is never left blocked on an unread channel.
+	for range results {
 	}
 }
 

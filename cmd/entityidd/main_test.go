@@ -1,14 +1,17 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"entityid/internal/value"
 )
@@ -92,8 +95,8 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 
 	// Streaming ingest. The zagat tuples commit first in their own
-	// batch: IngestBatch runs a worker pool, so match targets must be
-	// committed before the batch whose "matched" output the test pins.
+	// request; the pipeline commits lines in order, so the cross-source
+	// request's "matched" output below is deterministic.
 	code, results := ndjson(t, srv, "POST", "/v1/insert", strings.Join([]string{
 		`{"source":"zagat","tuple":["villagewok","wash ave","chinese","612-0001"]}`,
 		`{"source":"zagat","tuple":["goldenleaf","lake st","chinese","612-0002"]}`,
@@ -270,8 +273,10 @@ func TestJSONToValueIntRange(t *testing.T) {
 	}
 }
 
-// TestInsertBodyCap pins the ingest size cap: a body past
-// -max-insert-body is refused with 413 and nothing reaches the hub.
+// TestInsertBodyCap pins the streaming ingest size cap: a body past
+// -max-insert-body is truncated at the cap — lines before it are acked
+// and committed, and the stream ends with a terminal error line instead
+// of a whole-body 413 (headers are long gone by then).
 func TestInsertBodyCap(t *testing.T) {
 	srv := newServer()
 	srv.maxInsertBody = 256
@@ -280,19 +285,87 @@ func TestInsertBodyCap(t *testing.T) {
 	for i := 0; b.Len() < 1024; i++ {
 		fmt.Fprintf(&b, `{"source":"a","tuple":["row-%d"]}`+"\n", i)
 	}
-	req := httptest.NewRequest("POST", "/v1/insert", strings.NewReader(b.String()))
-	rw := httptest.NewRecorder()
-	srv.ServeHTTP(rw, req)
-	if rw.Code != http.StatusRequestEntityTooLarge {
-		t.Fatalf("oversized insert body: %d %s", rw.Code, rw.Body.String())
+	code, lines := ndjson(t, srv, "POST", "/v1/insert", b.String())
+	if code != http.StatusOK || len(lines) == 0 {
+		t.Fatalf("oversized insert body: %d, %d lines", code, len(lines))
 	}
-	if code, stats := do(t, srv, "GET", "/v1/stats", ""); code != http.StatusOK || stats["tuples"].(float64) != 0 {
-		t.Fatalf("tuples leaked past the rejected body: %v", stats)
+	last := lines[len(lines)-1]
+	if last["terminal"] != true || !strings.Contains(last["error"].(string), "exceeds 256 bytes") {
+		t.Fatalf("missing terminal cap error: %v", last)
 	}
-	// Control-plane bodies have their own (fixed) cap.
+	acked := 0
+	for _, ln := range lines[:len(lines)-1] {
+		if ln["ok"] != true {
+			t.Fatalf("pre-cap line not acked: %v", ln)
+		}
+		acked++
+	}
+	if acked == 0 {
+		t.Fatalf("no lines acked before the cap: %v", lines)
+	}
+	// Every acked line is committed; nothing past the cap leaked in.
+	if code, stats := do(t, srv, "GET", "/v1/stats", ""); code != http.StatusOK || stats["tuples"].(float64) != float64(acked) {
+		t.Fatalf("committed tuples != acked lines (%d): %v", acked, stats)
+	}
+	// Control-plane bodies have their own (fixed) cap and still 413.
 	huge := `{"name":"big","attrs":[{"name":"` + strings.Repeat("x", maxControlBody) + `"}]}`
 	if code, _ := do(t, srv, "POST", "/v1/sources", huge); code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized source body: %d", code)
+	}
+}
+
+// TestInsertClientDisconnect pins the mid-stream disconnect contract: a
+// client that vanishes leaves the hub with exactly the acked prefix —
+// the handler stops pulling, cancels the pipeline stream, and exits
+// without wedging any goroutine.
+func TestInsertClientDisconnect(t *testing.T) {
+	srv := newServer()
+	do(t, srv, "POST", "/v1/sources", `{"name":"a","attrs":[{"name":"id"}],"key":["id"]}`)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/insert", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	// Feed a few lines, read their acks so we know they were committed,
+	// then walk away mid-stream with the body still open.
+	const fed = 3
+	go func() {
+		for i := 0; i < fed; i++ {
+			fmt.Fprintf(pw, `{"source":"a","tuple":["row-%d"]}`+"\n", i)
+		}
+	}()
+	sc := bufio.NewScanner(resp.Body)
+	for i := 0; i < fed; i++ {
+		if !sc.Scan() {
+			t.Fatalf("ack %d never arrived: %v", i, sc.Err())
+		}
+		m := map[string]any{}
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil || m["ok"] != true {
+			t.Fatalf("ack %d: %q (%v)", i, sc.Text(), err)
+		}
+	}
+	resp.Body.Close()
+	pw.CloseWithError(io.ErrClosedPipe)
+
+	// The handler unwinds on its own; only the acked prefix is durable
+	// state. Poll briefly: disconnect propagation is asynchronous.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, stats := do(t, srv, "GET", "/v1/stats", "")
+		if code == http.StatusOK && stats["tuples"].(float64) == fed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("acked prefix not settled: %v", stats)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -80,6 +80,10 @@ func (sw *statusWriter) Flush() {
 	}
 }
 
+// Unwrap lets http.ResponseController reach the underlying connection
+// through the wrapper (the insert handler needs EnableFullDuplex).
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
 // handleMetrics serves the process-wide registry in the Prometheus
 // text exposition format.
 func handleMetrics(w http.ResponseWriter, _ *http.Request) {

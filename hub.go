@@ -30,6 +30,7 @@ package entityid
 // pre-crash state (see Checkpoint and Close).
 
 import (
+	"context"
 	"iter"
 	"time"
 
@@ -58,6 +59,13 @@ type HubInsert = hub.Insert
 
 // HubInsertResult is one IngestBatch outcome, in input order.
 type HubInsertResult = hub.InsertResult
+
+// HubStreamOptions configures Hub.IngestStream.
+type HubStreamOptions = hub.StreamOptions
+
+// HubStreamResult is one Hub.IngestStream outcome, delivered in input
+// (Seq) order.
+type HubStreamResult = hub.StreamResult
 
 // HubStats summarises a hub.
 type HubStats = hub.Stats
@@ -271,11 +279,26 @@ func (h *Hub) Insert(source string, t Tuple) (*HubReceipt, error) {
 	return h.inner.Insert(source, t)
 }
 
-// IngestBatch streams a batch of inserts through a worker pool
-// (workers <= 0 means GOMAXPROCS), reporting per-item results in input
-// order.
+// IngestBatch runs a batch of inserts through the resident ingest
+// pipeline, reporting per-item results in input order; commits happen
+// strictly in input order. workers is retained for compatibility and
+// ignored. For unbounded or incremental input, prefer IngestStream.
 func (h *Hub) IngestBatch(items []HubInsert, workers int) []HubInsertResult {
 	return h.inner.IngestBatch(items, workers)
+}
+
+// IngestStream feeds an insert stream through the hub's resident
+// dataflow pipeline: items are read from in until it closes or ctx is
+// canceled, committed strictly in input order with write-ahead
+// durability per item, and each outcome is delivered on the returned
+// channel (closed after the last). At most HubStreamOptions.Window
+// items (default 64) are in flight between feeder and consumer, so a
+// slow result consumer backpressures the stream at bounded memory.
+// Cancellation leaves an acked-prefix-committed hub: every delivered
+// result is committed, and the committed set is always a prefix of the
+// submitted order.
+func (h *Hub) IngestStream(ctx context.Context, in <-chan HubInsert, opts HubStreamOptions) <-chan HubStreamResult {
+	return h.inner.IngestStream(ctx, in, opts)
 }
 
 // Lookup finds a source tuple by its primary-key values and returns

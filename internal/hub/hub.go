@@ -21,8 +21,10 @@
 // Prepare), checks the transitive constraint, and only then commits
 // everywhere. Locking is per source, per pair and one commit lock,
 // acquired in a fixed order (source → pairs by ordinal → commit), so
-// inserts into disjoint regions of the topology proceed in parallel
-// and IngestBatch shards a batch across a worker pool.
+// inserts into disjoint regions of the topology proceed in parallel.
+// Bulk ingest is streaming: IngestStream (pipeline.go) flows tuples
+// through resident bounded-channel stages — validate, WAL-encode,
+// commit — with backpressure, and IngestBatch rides the same stages.
 //
 // Reads scale independently of ingest: point reads (Lookup, ClusterAt)
 // resolve the topology through an atomically published snapshot, the
@@ -35,7 +37,6 @@ package hub
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -145,6 +146,10 @@ type Hub struct {
 	// a crash can lose an unacknowledged insert but never resurrect a
 	// rejected one or tear a committed one.
 	per *walLogger
+	// pipe is the resident streaming-ingest machinery (pipeline.go):
+	// stages spawn when the first stream or multi-item batch attaches
+	// and exit when the last detaches.
+	pipe pipeline
 	// snapChunkBytes overrides the snapshot chunk payload budget
 	// (0 means wal.DefaultChunkPayload); set by Open from Options and by
 	// tests exercising the multi-chunk paths at small scale.
@@ -468,6 +473,15 @@ type Receipt struct {
 // pairwise §3.2 uniqueness or consistency violation, transitive
 // cluster-uniqueness violation) leave the hub exactly as it was.
 func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
+	return h.insertTraced(source, t, nil)
+}
+
+// insertTraced is the traced commit path shared by Insert and the
+// pipeline's commit stage: health fast path, slow-op tracing, outcome
+// counters. payload, when non-nil, is the pre-encoded WAL record for
+// this exact (source, tuple) — the encode stage produces it so the
+// write-ahead append needs no marshaling under the locks.
+func (h *Hub) insertTraced(source string, t relation.Tuple, payload []byte) (*Receipt, error) {
 	// Degraded/poisoned fast path: fail before taking any lock, so a
 	// sick disk turns ingest into an immediate typed rejection instead
 	// of a queue behind the failure.
@@ -476,7 +490,7 @@ func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
 		return nil, fmt.Errorf("hub: source %q: %w", source, err)
 	}
 	op := obs.StartOp("insert", source)
-	rec, err := h.insert(source, t, &op)
+	rec, err := h.insert(source, t, payload, &op)
 	total := op.Finish(SlowOps)
 	if err != nil {
 		ingestRejected.Inc()
@@ -490,7 +504,7 @@ func (h *Hub) Insert(source string, t relation.Tuple) (*Receipt, error) {
 }
 
 // insert is Insert's locked body; op marks its commit stages.
-func (h *Hub) insert(source string, t relation.Tuple, op *obs.Op) (*Receipt, error) {
+func (h *Hub) insert(source string, t relation.Tuple, payload []byte, op *obs.Op) (*Receipt, error) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	si, ok := h.byName[source]
@@ -553,8 +567,14 @@ func (h *Hub) insert(source string, t relation.Tuple, op *obs.Op) (*Receipt, err
 	// (ENOSPC, EIO, unusable log) additionally degrades the hub to
 	// read-only; the rejection is typed either way.
 	if h.per != nil {
-		if err := h.per.appendInsert(source, t); err != nil {
-			return nil, fmt.Errorf("hub: source %q: %w", source, h.ingestFailed(err))
+		var aerr error
+		if payload != nil {
+			aerr = h.per.appendPayload(payload)
+		} else {
+			aerr = h.per.appendInsert(source, t)
+		}
+		if aerr != nil {
+			return nil, fmt.Errorf("hub: source %q: %w", source, h.ingestFailed(aerr))
 		}
 	}
 	observeStage(stageWalAppend, op.Stage("wal_append"))
@@ -681,41 +701,37 @@ type InsertResult struct {
 	Err     error
 }
 
-// IngestBatch streams a batch of inserts through a worker pool
-// (workers <= 0 means GOMAXPROCS): items are claimed atomically and
-// identified concurrently, with the per-source/per-pair locks keeping
-// pairwise states consistent — inserts touching disjoint pairs proceed
-// in parallel. Results are reported per item, in input order; a
-// rejected item leaves the hub unchanged and does not stop the batch.
+// IngestBatch runs a batch of inserts through the resident ingest
+// pipeline, reporting per-item results in input order; a rejected item
+// leaves the hub unchanged and does not stop the batch. Commits happen
+// strictly in input order, so batch results are deterministic. A
+// single-item batch — the hot serving shape — commits directly with no
+// goroutine spawned at all; larger batches are fed to the pipeline
+// stages from the caller's goroutine. workers is retained for API
+// compatibility and ignored: the pipeline's resident stages replaced
+// the per-call worker pool.
 func (h *Hub) IngestBatch(items []Insert, workers int) []InsertResult {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(items) {
-		workers = len(items)
-	}
+	_ = workers
 	mBatchSize.ObserveVal(int64(len(items)))
 	out := make([]InsertResult, len(items))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(items) {
-					return
-				}
-				rec, err := h.Insert(items[i].Source, items[i].Tuple)
-				out[i] = InsertResult{Receipt: rec, Err: err}
-			}
-		}()
+	if len(items) == 0 {
+		return out
 	}
-	wg.Wait()
-	// Group commit: under the opt-in fsync policy the whole batch is
-	// flushed with one final sync instead of one per item.
+	var appended int64
 	if h.per != nil {
+		appended = h.per.appended.Load()
+	}
+	if len(items) == 1 {
+		rec, err := h.Insert(items[0].Source, items[0].Tuple)
+		out[0] = InsertResult{Receipt: rec, Err: err}
+	} else {
+		h.ingestBatchPipeline(items, out)
+	}
+	// Group commit: under the opt-in fsync policy the whole batch is
+	// flushed with one final sync instead of one per item — skipped
+	// when nothing in this batch reached the log (empty and
+	// fully-rejected batches cost no fsync).
+	if h.per != nil && h.per.appended.Load() != appended {
 		h.per.flushSync()
 	}
 	return out

@@ -35,6 +35,23 @@ var (
 
 	mBatchSize = obs.Default.SizeHistogram("hub_ingest_batch_size",
 		"IngestBatch sizes")
+
+	mPipeDepth = obs.Default.GaugeVec("hub_pipeline_stage_depth",
+		"Jobs queued at each ingest pipeline stage input", "stage")
+	depthAdmit  = mPipeDepth.With("admit")
+	depthEncode = mPipeDepth.With("encode")
+	depthCommit = mPipeDepth.With("commit")
+
+	mPipeStalls = obs.Default.CounterVec("hub_pipeline_stall_total",
+		"Sends into a full pipeline stage input (backpressure engaged)", "stage")
+	stallAdmit  = mPipeStalls.With("admit")
+	stallEncode = mPipeStalls.With("encode")
+	stallCommit = mPipeStalls.With("commit")
+
+	mPipeStreams = obs.Default.Counter("hub_pipeline_streams_total",
+		"IngestStream streams opened")
+	mPipeFlushEpochs = obs.Default.Counter("hub_pipeline_flush_epochs_total",
+		"Pipeline flush epochs that forced pending WAL appends to stable storage")
 	mClusterMerges = obs.Default.Counter("hub_cluster_merges_total",
 		"Inserts that merged the new tuple into at least one existing cluster")
 	mUniqueness = obs.Default.Counter("hub_uniqueness_rejections_total",

@@ -562,6 +562,10 @@ type walLogger struct {
 	// the next append retries. syncMu serialises the flushes.
 	unsynced atomic.Int64
 	syncMu   sync.Mutex
+	// appended counts every successful log append, so batch and
+	// pipeline flush points can tell whether their window actually
+	// reached the log — a window with no appends skips its fsync.
+	appended atomic.Int64
 	// snapMu serialises snapshot production (cut → capture → write →
 	// truncate); the trigger uses TryLock so ingest never queues behind
 	// a snapshot in flight. It also guards prevMan, which only snapshot
@@ -591,9 +595,16 @@ func (p *walLogger) append(env wal.Envelope) error {
 	if err != nil {
 		return err
 	}
+	return p.appendPayload(payload)
+}
+
+// appendPayload appends an already-encoded record — the pipeline's
+// encode stage marshals off the commit path and hands the bytes here.
+func (p *walLogger) appendPayload(payload []byte) error {
 	if _, err := p.log.Append(payload); err != nil {
 		return err
 	}
+	p.appended.Add(1)
 	p.maybeSync()
 	return nil
 }
@@ -680,14 +691,7 @@ func (p *walLogger) appendAddSource(name string, rel *relation.Relation) error {
 		}}
 		return env.Encode()
 	}
-	emit := func(payload []byte) error {
-		if _, err := p.log.Append(payload); err != nil {
-			return err
-		}
-		p.maybeSync()
-		return nil
-	}
-	return writeChunked(items, p.chunkBytes, encode, emit)
+	return writeChunked(items, p.chunkBytes, encode, p.appendPayload)
 }
 
 func (p *walLogger) appendLink(spec PairSpec) error {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"iter"
 	"math/rand"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -154,10 +155,18 @@ func TestConcurrentReadsDuringIngest(t *testing.T) {
 			}
 		}(r)
 	}
-	for i, res := range h.IngestBatch(items, 4) {
-		if res.Err != nil {
-			t.Fatalf("insert %d: %v", i, res.Err)
+	// Sub-batch with explicit yields: the pipelined batch path commits a
+	// batch this small in a few milliseconds on one core, so without
+	// yield points the reader goroutines would barely interleave with
+	// ingest and the test could sample nothing.
+	for off := 0; off < len(items); off += 32 {
+		end := min(off+32, len(items))
+		for i, res := range h.IngestBatch(items[off:end], 4) {
+			if res.Err != nil {
+				t.Fatalf("insert %d: %v", off+i, res.Err)
+			}
 		}
+		runtime.Gosched()
 	}
 	done.Store(true)
 	wg.Wait()
@@ -495,10 +504,14 @@ func TestMetricsScrapeDuringIngest(t *testing.T) {
 			scrapes++
 		}
 	}()
-	for i, res := range h.IngestBatch(items, 4) {
-		if res.Err != nil {
-			t.Fatalf("insert %d: %v", i, res.Err)
+	for off := 0; off < len(items); off += 32 {
+		end := min(off+32, len(items))
+		for i, res := range h.IngestBatch(items[off:end], 4) {
+			if res.Err != nil {
+				t.Fatalf("insert %d: %v", off+i, res.Err)
+			}
 		}
+		runtime.Gosched()
 	}
 	done.Store(true)
 	wg.Wait()
