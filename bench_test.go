@@ -438,7 +438,7 @@ func BenchmarkHubIngest(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				for _, res := range h.IngestBatch(items, 0) {
+				for _, res := range h.IngestBatch(items) {
 					if res.Err != nil {
 						b.Fatal(res.Err)
 					}
@@ -468,7 +468,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			for _, res := range h.IngestBatch(items, 0) {
+			for _, res := range h.IngestBatch(items) {
 				if res.Err != nil {
 					b.Fatal(res.Err)
 				}
@@ -540,7 +540,7 @@ func BenchmarkHubServe(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, res := range h.IngestBatch(items, 0) {
+		for _, res := range h.IngestBatch(items) {
 			if res.Err != nil {
 				b.Fatal(res.Err)
 			}

@@ -114,7 +114,7 @@ func runDemo(w io.Writer) error {
 		{Source: "infatuation", Tuple: tup("itsgreek", "dinkytown", "gyros", "612-9903")},
 		{Source: "infatuation", Tuple: tup("anjuman", "cathedral hill", "mughalai", "612-0004")},
 	}
-	for i, res := range h.IngestBatch(batch, 4) {
+	for i, res := range h.IngestBatch(batch) {
 		if res.Err != nil {
 			return fmt.Errorf("insert %d: %w", i, res.Err)
 		}

@@ -148,6 +148,9 @@ func main() {
 		ingestConc    = flag.Int("ingest-concurrency", 64, "max concurrent /v1/insert requests; excess is shed with 429 + Retry-After (0: unlimited)")
 		debugAddr     = flag.String("debug-addr", "", "operator-only listen address serving /metrics, /debug/slow and /debug/pprof (empty: disabled; pprof is never on the main port)")
 		slowOpThresh  = flag.Duration("slow-op-threshold", 100*time.Millisecond, "commits slower than this are recorded with per-stage timings at /debug/slow (0: disabled)")
+		storeName     = flag.String("store", "", "storage backend: mem keeps everything resident, disk spills cold cluster records and pair tables under the data dir (empty: $ENTITYID_STORE, then mem)")
+		storeHotClus  = flag.Int("store-hot-clusters", 0, "disk backend: max resident cluster members before cold records spill (0: $ENTITYID_STORE_HOT_CLUSTERS, then the default)")
+		storeHotPairs = flag.Int("store-hot-pairs", 0, "disk backend: max resident pairwise federations before cold pairs spill (0: $ENTITYID_STORE_HOT_PAIRS, then the default)")
 	)
 	flag.Parse()
 	if *maxInsertBody < 0 {
@@ -165,13 +168,15 @@ func main() {
 	durable := *dataDir != ""
 	if durable {
 		var err error
-		hub, err = entityid.OpenHub(*dataDir, entityid.WithSnapshotEvery(*snapEvery), entityid.WithSyncEvery(*syncEvery))
+		hub, err = entityid.OpenHub(*dataDir,
+			entityid.WithSnapshotEvery(*snapEvery), entityid.WithSyncEvery(*syncEvery),
+			entityid.WithStore(*storeName), entityid.WithStoreBudgets(*storeHotClus, *storeHotPairs))
 		if err != nil {
 			log.Fatalf("entityidd: %v", err)
 		}
 		st := hub.Stats()
-		log.Printf("entityidd: recovered %d sources, %d links, %d tuples, %d clusters from %s",
-			st.Sources, st.Pairs, st.Tuples, st.Clusters, *dataDir)
+		log.Printf("entityidd: recovered %d sources, %d links, %d tuples, %d clusters from %s (store: %s)",
+			st.Sources, st.Pairs, st.Tuples, st.Clusters, *dataDir, hub.StoreInfo().Backend)
 		if ri := hub.Recovery(); ri != nil && ri.TailDamage != "" {
 			log.Printf("entityidd: WARNING: damaged log tail dropped during recovery (unacknowledged writes discarded): %s", ri.TailDamage)
 		}
@@ -420,10 +425,21 @@ func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		status = "draining"
 	}
+	st := s.hub.StoreInfo()
 	body := map[string]any{
 		"status":         status,
 		"hub":            h.State.String(),
 		"uptime_seconds": time.Since(processStart).Seconds(),
+		"store": map[string]any{
+			"backend":              st.Backend,
+			"hot_cluster_records":  st.Clusters.HotRecords,
+			"hot_cluster_entries":  st.Clusters.HotEntries,
+			"cold_cluster_records": st.Clusters.ColdRecords,
+			"cluster_entry_budget": st.Clusters.Budget,
+			"hot_pairs":            st.HotPairs,
+			"spilled_pairs":        st.Pairs.Spilled,
+			"pair_budget":          st.PairBudget,
+		},
 	}
 	if snap := s.lastSnapshot(); !snap.Taken.IsZero() {
 		body["last_snapshot_age_seconds"] = time.Since(snap.Taken).Seconds()

@@ -132,7 +132,7 @@ func demo(w io.Writer) error {
 		{Source: "eats", Tuple: entityid.Tuple{s("itsgreek"), s("dinkytown"), s("gyros"), s("612-9903")}},
 		{Source: "eats", Tuple: entityid.Tuple{s("anjuman"), s("cathedral hill"), s("mughalai"), s("612-0004")}},
 	}
-	for i, res := range h.IngestBatch(batch, 0) {
+	for i, res := range h.IngestBatch(batch) {
 		if res.Err != nil {
 			return fmt.Errorf("insert %d: %w", i, res.Err)
 		}
@@ -238,7 +238,7 @@ func demo(w io.Writer) error {
 		SetExtendedKey("phone")); err != nil {
 		return err
 	}
-	for i, res := range d.IngestBatch(batch, 0) {
+	for i, res := range d.IngestBatch(batch) {
 		if res.Err != nil {
 			return fmt.Errorf("durable insert %d: %w", i, res.Err)
 		}

@@ -191,6 +191,9 @@ type hubOptions struct {
 	syncEvery       int
 	probeBackoff    time.Duration
 	probeBackoffMax time.Duration
+	store           string
+	hotClusters     int
+	hotPairs        int
 }
 
 // WithSnapshotEvery sets how many committed inserts elapse between
@@ -224,6 +227,31 @@ func WithProbeBackoff(base, max time.Duration) HubOption {
 	}
 }
 
+// WithStore selects the storage backend by name. "mem" (the default)
+// keeps every structure resident; "disk" bounds resident memory by
+// spilling cold cluster records and cold pair matching tables to a
+// tier under the data directory and paging them back on demand. The
+// empty string falls back to the ENTITYID_STORE environment variable,
+// then to "mem". Durability is identical either way — the write-ahead
+// log and snapshots — and the served state is bit-for-bit the same;
+// the backend only decides what stays resident.
+func WithStore(name string) HubOption {
+	return func(o *hubOptions) { o.store = name }
+}
+
+// WithStoreBudgets bounds the disk backend's hot tiers:
+// hotClusterEntries caps the total members across resident cluster
+// records, hotPairs caps the resident pairwise federations. Zero keeps
+// a value's default (the ENTITYID_STORE_HOT_CLUSTERS and
+// ENTITYID_STORE_HOT_PAIRS environment variables, then built-in
+// defaults). The memory backend ignores both.
+func WithStoreBudgets(hotClusterEntries, hotPairs int) HubOption {
+	return func(o *hubOptions) {
+		o.hotClusters = hotClusterEntries
+		o.hotPairs = hotPairs
+	}
+}
+
 // OpenHub opens (or creates) a durable hub rooted at dir. Every
 // committed mutation — source registration, pair link, tuple insert —
 // is appended to a CRC-guarded write-ahead log before it is applied,
@@ -238,10 +266,13 @@ func OpenHub(dir string, opts ...HubOption) (*Hub, error) {
 		opt(&o)
 	}
 	inner, info, err := hub.Open(dir, hub.Options{
-		SnapshotEvery:   o.snapshotEvery,
-		SyncEvery:       o.syncEvery,
-		ProbeBackoff:    o.probeBackoff,
-		ProbeBackoffMax: o.probeBackoffMax,
+		SnapshotEvery:     o.snapshotEvery,
+		SyncEvery:         o.syncEvery,
+		ProbeBackoff:      o.probeBackoff,
+		ProbeBackoffMax:   o.probeBackoffMax,
+		Store:             o.store,
+		HotClusterEntries: o.hotClusters,
+		HotPairs:          o.hotPairs,
 	})
 	if err != nil {
 		return nil, err
@@ -281,10 +312,10 @@ func (h *Hub) Insert(source string, t Tuple) (*HubReceipt, error) {
 
 // IngestBatch runs a batch of inserts through the resident ingest
 // pipeline, reporting per-item results in input order; commits happen
-// strictly in input order. workers is retained for compatibility and
-// ignored. For unbounded or incremental input, prefer IngestStream.
-func (h *Hub) IngestBatch(items []HubInsert, workers int) []HubInsertResult {
-	return h.inner.IngestBatch(items, workers)
+// strictly in input order. For unbounded or incremental input, prefer
+// IngestStream.
+func (h *Hub) IngestBatch(items []HubInsert) []HubInsertResult {
+	return h.inner.IngestBatch(items)
 }
 
 // IngestStream feeds an insert stream through the hub's resident
@@ -362,6 +393,17 @@ func (h *Hub) Merged(c EntityCluster, strategy MergeStrategy) (*MergedEntity, er
 // Stats summarises the hub.
 func (h *Hub) Stats() HubStats {
 	return h.inner.Stats()
+}
+
+// HubStoreInfo describes the active storage backend and its hot/cold
+// tier occupancy.
+type HubStoreInfo = hub.StoreInfo
+
+// StoreInfo reports which storage backend serves the hub and how its
+// tiers stand: resident vs spilled cluster records and pair matching
+// tables, hit/miss and page-in counts. Lock-free.
+func (h *Hub) StoreInfo() HubStoreInfo {
+	return h.inner.StoreInfo()
 }
 
 // Health reports the hub's current health state: ready, degraded

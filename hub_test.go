@@ -71,7 +71,7 @@ func TestHubPublicSurface(t *testing.T) {
 		// Matches s's row only via the name-phone identity rule (the
 		// speciality differs, so the extended key cannot join them).
 		{Source: "u", Tuple: str("villagewok", "west bank", "sichuan", "612-1")},
-	}, 2)
+	})
 	for i, res := range results {
 		if res.Err != nil {
 			t.Fatalf("insert %d: %v", i, res.Err)
@@ -228,7 +228,7 @@ func TestHubSyncEveryOption(t *testing.T) {
 		{Source: "r", Tuple: entityid.Tuple{entityid.String("b"), entityid.String("s2")}},
 		{Source: "s", Tuple: entityid.Tuple{entityid.String("c"), entityid.String("mpls")}},
 	}
-	for _, res := range h.IngestBatch(items, 2) {
+	for _, res := range h.IngestBatch(items) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}

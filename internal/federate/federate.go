@@ -571,6 +571,21 @@ func (f *Federation) Export() State {
 	}
 }
 
+// ExportOrdered captures the federation's mutable state with the
+// matching table in COMMIT ORDER instead of the canonical sorted
+// order. The hub's storage layer spills this form: the table is
+// append-only under the commit lock, so the length-n prefix of a
+// commit-order export reproduces any cut taken at length n — even a
+// cut taken before the export. Restore accepts either form (it sorts
+// before comparing).
+func (f *Federation) ExportOrdered() State {
+	return State{
+		Pairs: append([]match.Pair(nil), f.res.MT.Pairs...),
+		RLen:  f.cfg.R.Len(),
+		SLen:  f.cfg.S.Len(),
+	}
+}
+
 // Restore rebuilds a federation from a configuration (whose relations
 // hold the snapshot-time tuples) and verifies it reproduces the
 // exported state bit-for-bit: same side lengths, same matching pairs.
@@ -601,5 +616,12 @@ func Restore(cfg match.Config, st State) (*Federation, error) {
 				i, got[i].RIndex, got[i].SIndex, want[i].RIndex, want[i].SIndex)
 		}
 	}
+	// Adopt the state's pair order, not the batch rebuild's: callers
+	// that spill and re-load live federations (the hub's storage tier)
+	// record the table in commit order and read snapshot cuts as
+	// prefixes of it, so the restored table must continue the recorded
+	// order. The two orders hold the same set (just verified), so the
+	// table's indexes are unaffected.
+	f.res.MT.Pairs = append([]match.Pair(nil), st.Pairs...)
 	return f, nil
 }

@@ -4,8 +4,8 @@
 // cluster is a connected component — the set of tuples, across all
 // sources, identified as modeling the same real-world entity. The
 // union-find is the *folding* structure (speculative link folds,
-// snapshot refolds); the *served* partition lives in the sharded store
-// of shard.go.
+// snapshot refolds); the *served* partition lives in the backend's
+// cluster-record store (internal/store).
 //
 // The §3.2 uniqueness constraint lifts transitively: within one
 // cluster, each source may contribute at most one tuple (two tuples of
@@ -17,13 +17,13 @@ package hub
 
 import (
 	"fmt"
-	"sort"
+
+	"entityid/internal/store"
 )
 
-// node identifies one tuple: source ordinal and tuple position.
-type node struct {
-	src, idx int
-}
+// node identifies one tuple: source ordinal and tuple position. It is
+// the storage layer's key type, aliased so hub code reads naturally.
+type node = store.Node
 
 // clusterSet is a union-find over nodes with per-root member lists.
 // Nodes absent from parent are implicit singletons, so the structure
@@ -82,7 +82,7 @@ func (c *clusterSet) checkMerge(n node, partners []node, srcName func(int) strin
 	nRoot := c.find(n)
 	bySrc := map[int]node{}
 	for _, m := range c.membersOf(nRoot) {
-		bySrc[m.src] = m
+		bySrc[m.Src] = m
 	}
 	seen := map[node]bool{nRoot: true}
 	for _, p := range partners {
@@ -92,11 +92,11 @@ func (c *clusterSet) checkMerge(n node, partners []node, srcName func(int) strin
 		}
 		seen[root] = true
 		for _, m := range c.membersOf(root) {
-			if prev, dup := bySrc[m.src]; dup {
+			if prev, dup := bySrc[m.Src]; dup {
 				return fmt.Errorf("transitive uniqueness violation: tuples %d and %d of source %q would join one cluster",
-					prev.idx, m.idx, srcName(m.src))
+					prev.Idx, m.Idx, srcName(m.Src))
 			}
-			bySrc[m.src] = m
+			bySrc[m.Src] = m
 		}
 	}
 	return nil
@@ -123,11 +123,4 @@ func (c *clusterSet) union(a, b node) {
 }
 
 // sortNodes orders nodes by (source, index).
-func sortNodes(ns []node) {
-	sort.Slice(ns, func(a, b int) bool {
-		if ns[a].src != ns[b].src {
-			return ns[a].src < ns[b].src
-		}
-		return ns[a].idx < ns[b].idx
-	})
-}
+func sortNodes(ns []node) { store.SortNodes(ns) }

@@ -38,7 +38,7 @@ func FuzzSnapshotDecode(f *testing.F) {
 	// Legacy single-frame snapshot.
 	h.mu.RLock()
 	h.commitMu.Lock()
-	v1 := h.captureLocked()
+	v1, _ := h.captureLocked()
 	h.commitMu.Unlock()
 	h.mu.RUnlock()
 	if frame, err := encodeSnapshot(v1, 0); err == nil {
@@ -78,7 +78,7 @@ func fuzzHub(f *testing.F) (*Hub, *datagen.MultiWorkload) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	for _, res := range h.IngestBatch(MultiInserts(w), 2) {
+	for _, res := range h.IngestBatch(MultiInserts(w)) {
 		if res.Err != nil {
 			f.Fatal(res.Err)
 		}

@@ -29,13 +29,23 @@
 // Reads scale independently of ingest: point reads (Lookup, ClusterAt)
 // resolve the topology through an atomically published snapshot, the
 // tuple store through per-source published views, and the cluster
-// partition through the sharded store (shard.go) — no read path takes
-// the commit lock or any hub-global exclusive lock, so reads proceed
-// concurrently with each other and with commits. Cluster enumeration
-// streams (iter.go) instead of materialising the hub under a lock.
+// partition through the storage backend's cluster-record store — no
+// read path takes the commit lock or any hub-global exclusive lock, so
+// reads proceed concurrently with each other and with commits. Cluster
+// enumeration streams (iter.go) instead of materialising the hub under
+// a lock.
+//
+// Storage is a seam (internal/store): the hub talks to a pluggable
+// Backend for cluster records, spilled pair tables and tuple
+// registration. The default mem backend keeps everything resident;
+// the disk backend bounds resident memory by spilling cold cluster
+// records and cold pairwise federations and paging them back on
+// demand (see pairFedLocked / maybeSpillPairs below for the pair
+// lifecycle the hub drives).
 package hub
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -50,6 +60,8 @@ import (
 	"entityid/internal/resolve"
 	"entityid/internal/rules"
 	"entityid/internal/schema"
+	"entityid/internal/store"
+	"entityid/internal/store/mem"
 	"entityid/internal/value"
 )
 
@@ -113,14 +125,25 @@ type topoView struct {
 	byName  map[string]int
 }
 
-// pairState is one link: the live pairwise federation and its lock.
-// The spec is retained for snapshots and the WAL.
+// pairState is one link. The live pairwise federation is held through
+// an atomic pointer that is nil while the pair is spilled to the
+// backend's pair store: mutators page it back in under mu before
+// preparing against it, and snapshot capture reads the pointer
+// lock-free (a spilled pair's table is served from the store — see
+// copyPairMT). The spec is retained for snapshots and the WAL.
 type pairState struct {
 	id          int
 	left, right int
 	mu          sync.Mutex
-	fed         *federate.Federation
+	fed         atomic.Pointer[federate.Federation]
 	spec        PairSpec
+	// mtLen mirrors the federation's matching-table length. It is
+	// written under mu + the commit lock (registration and the commit
+	// loop) and read under either, so snapshot cuts and Stats see it
+	// without paging a cold pair in.
+	mtLen int
+	// lastUse orders pairs for spill eviction (hub.pairClock ticks).
+	lastUse atomic.Int64
 }
 
 // Hub is the multi-source federation coordinator.
@@ -136,11 +159,23 @@ type Hub struct {
 	// resolve source names through. Republished by AddSource.
 	topo atomic.Pointer[topoView]
 	// commitMu serialises commits: every canonical-relation mutation and
-	// every cluster-store publication happens under it, so the sharded
+	// every cluster-store publication happens under it, so the cluster
 	// store has exactly one mutator at a time. Readers never take it —
-	// they go through the per-source views and the store's shard locks.
+	// they go through the per-source views and the store's Read path.
 	commitMu sync.Mutex
-	store    *shardStore
+	// backend is the storage layer (internal/store); clusters is its
+	// cluster-record store, cached because every commit and point read
+	// touches it.
+	backend  store.Backend
+	clusters store.Clusters
+	// caps is the backend's residency budget. HotPairs > 0 turns on
+	// the pair spill lifecycle below.
+	caps store.Caps
+	// pairClock ticks lastUse stamps; hotPairs counts resident
+	// federations; spillMu serialises spill passes.
+	pairClock atomic.Int64
+	hotPairs  atomic.Int64
+	spillMu   sync.Mutex
 	// per is the durability layer (persist.go); nil for a memory-only
 	// hub. Mutators append to the write-ahead log before committing, so
 	// a crash can lose an unacknowledged insert but never resurrect a
@@ -159,9 +194,19 @@ type Hub struct {
 	health healthState
 }
 
-// New creates an empty hub.
+// New creates an empty hub on the default in-memory backend.
 func New() *Hub {
-	h := &Hub{byName: map[string]int{}, store: newShardStore()}
+	return NewWithBackend(nil)
+}
+
+// NewWithBackend creates an empty hub on the given storage backend
+// (nil means a fresh in-memory backend). The hub owns the backend and
+// closes it on Close.
+func NewWithBackend(b store.Backend) *Hub {
+	if b == nil {
+		b = mem.New()
+	}
+	h := &Hub{byName: map[string]int{}, backend: b, clusters: b.Clusters(), caps: b.Caps()}
 	h.topo.Store(&topoView{byName: map[string]int{}})
 	return h
 }
@@ -209,6 +254,7 @@ func (h *Hub) AddSource(name string, rel *relation.Relation) error {
 		rel:    rel.Clone(),
 		attrOf: map[string]string{},
 	}
+	h.backend.Tuples().Attach(id, s.rel)
 	s.publishView()
 	h.sources = append(h.sources, s)
 	h.byName[name] = id
@@ -241,6 +287,7 @@ func (h *Hub) addSourceOwned(name string, rel *relation.Relation) error {
 		rel:    rel,
 		attrOf: map[string]string{},
 	}
+	h.backend.Tuples().Attach(id, s.rel)
 	s.publishView()
 	h.sources = append(h.sources, s)
 	h.byName[name] = id
@@ -350,28 +397,42 @@ func (h *Hub) registerLinkLocked(spec PairSpec, li, ri int, fed *federate.Federa
 	// Fold the initial matching table speculatively: seed a scratch
 	// union-find with the current clusters of every involved node,
 	// check-and-union each pair there, and only publish the merged
-	// clusters to the sharded store once every pair proved sound — on
+	// clusters to the cluster store once every pair proved sound — on
 	// failure the store is untouched.
 	h.commitMu.Lock()
 	defer h.commitMu.Unlock()
 	scratch := newClusterSet()
 	seeded := map[node]bool{}
-	seed := func(n node) {
+	// origLen records each seeded node's pre-link cluster size, so the
+	// publish loop below can skip unchanged components without touching
+	// the store again (store reads stay ahead of the WAL append — the
+	// registration cannot fail once logged).
+	origLen := map[node]int{}
+	seed := func(n node) error {
 		if seeded[n] {
-			return
+			return nil
 		}
-		ms := h.store.membersOf(n)
+		ms, err := h.clusters.Members(n)
+		if err != nil {
+			return err
+		}
 		for _, m := range ms {
 			seeded[m] = true
+			origLen[m] = len(ms)
 		}
 		for i := 1; i < len(ms); i++ {
 			scratch.union(ms[0], ms[i])
 		}
+		return nil
 	}
 	for _, pr := range fed.MT().Pairs {
-		a, b := node{src: li, idx: pr.RIndex}, node{src: ri, idx: pr.SIndex}
-		seed(a)
-		seed(b)
+		a, b := node{Src: li, Idx: pr.RIndex}, node{Src: ri, Idx: pr.SIndex}
+		if err := seed(a); err != nil {
+			return fmt.Errorf("hub: link %q-%q: %w", spec.Left, spec.Right, err)
+		}
+		if err := seed(b); err != nil {
+			return fmt.Errorf("hub: link %q-%q: %w", spec.Left, spec.Right, err)
+		}
 		if err := scratch.checkMerge(a, []node{b}, h.sourceName); err != nil {
 			return fmt.Errorf("hub: link %q-%q: initial pair (%d,%d): %w",
 				spec.Left, spec.Right, pr.RIndex, pr.SIndex, err)
@@ -383,7 +444,10 @@ func (h *Hub) registerLinkLocked(spec PairSpec, li, ri int, fed *federate.Federa
 			return fmt.Errorf("hub: link %q-%q: %w", spec.Left, spec.Right, h.ingestFailed(err))
 		}
 	}
-	p := &pairState{id: len(h.pairs), left: li, right: ri, fed: fed, spec: spec}
+	p := &pairState{id: len(h.pairs), left: li, right: ri, spec: spec, mtLen: fed.MT().Len()}
+	p.fed.Store(fed)
+	p.lastUse.Store(h.pairClock.Add(1))
+	h.hotPairs.Add(1)
 	h.pairs = append(h.pairs, p)
 	left.pairs = append(left.pairs, p)
 	right.pairs = append(right.pairs, p)
@@ -399,11 +463,11 @@ func (h *Hub) registerLinkLocked(spec PairSpec, li, ri int, fed *federate.Federa
 		if len(ms) < 2 {
 			continue
 		}
-		if rec := h.store.recOf(ms[0]); rec != nil && len(rec.members) == len(ms) {
+		if origLen[ms[0]] == len(ms) {
 			continue
 		}
 		sortNodes(ms)
-		h.store.publish(ms)
+		h.clusters.Publish(ms)
 	}
 	return nil
 }
@@ -492,6 +556,10 @@ func (h *Hub) insertTraced(source string, t relation.Tuple, payload []byte) (*Re
 	op := obs.StartOp("insert", source)
 	rec, err := h.insert(source, t, payload, &op)
 	total := op.Finish(SlowOps)
+	// Rebalance the resident-pair budget outside every insert lock —
+	// a no-op unless the backend caps hot pairs and an insert paged
+	// some in.
+	h.maybeSpillPairs()
 	if err != nil {
 		ingestRejected.Inc()
 		return nil, err
@@ -523,6 +591,17 @@ func (h *Hub) insert(source string, t relation.Tuple, payload []byte, op *obs.Op
 	if err := src.rel.CanInsert(t); err != nil {
 		return nil, fmt.Errorf("hub: source %q: %w", source, err)
 	}
+	// Page any spilled pairwise federation back in before preparing.
+	// Under the pair locks both side relations are frozen, so the
+	// restored federation verifies against exactly the lengths it was
+	// spilled at (a cold pair implies frozen sides — every mutation of
+	// either side pages the pair in first, through this very path).
+	for _, p := range src.pairs {
+		if _, err := h.pairFedLocked(p); err != nil {
+			return nil, fmt.Errorf("hub: source %q: %w", source, err)
+		}
+		p.lastUse.Store(h.pairClock.Add(1))
+	}
 	// Phase 1: prepare against every pairwise federation, mutating
 	// nothing, collecting the partner tuples the insert would match.
 	pendings := make([]*federate.Pending, 0, len(src.pairs))
@@ -531,9 +610,9 @@ func (h *Hub) insert(source string, t relation.Tuple, payload []byte, op *obs.Op
 		var pd *federate.Pending
 		var err error
 		if p.left == si {
-			pd, err = p.fed.PrepareR(t)
+			pd, err = p.fed.Load().PrepareR(t)
 		} else {
-			pd, err = p.fed.PrepareS(t)
+			pd, err = p.fed.Load().PrepareS(t)
 		}
 		if err != nil {
 			mUniqueness.Inc()
@@ -541,21 +620,23 @@ func (h *Hub) insert(source string, t relation.Tuple, payload []byte, op *obs.Op
 		}
 		for _, pr := range pd.Pairs() {
 			if p.left == si {
-				partners = append(partners, node{src: p.right, idx: pr.SIndex})
+				partners = append(partners, node{Src: p.right, Idx: pr.SIndex})
 			} else {
-				partners = append(partners, node{src: p.left, idx: pr.RIndex})
+				partners = append(partners, node{Src: p.left, Idx: pr.RIndex})
 			}
 		}
 		pendings = append(pendings, pd)
 	}
-	n := node{src: si, idx: src.rel.Len()}
+	n := node{Src: si, Idx: src.rel.Len()}
 	// Phase 2: transitive uniqueness, then commit everywhere. The check
 	// precedes every mutation, so rejection needs no undo; commits
 	// cannot fail under the locks held here.
 	h.commitMu.Lock()
 	defer h.commitMu.Unlock()
-	if err := h.store.checkMerge(n, partners, h.sourceName); err != nil {
-		mUniqueness.Inc()
+	if err := store.CheckMerge(h.clusters, n, partners, h.sourceName); err != nil {
+		if errors.Is(err, store.ErrUniqueness) {
+			mUniqueness.Inc()
+		}
 		return nil, fmt.Errorf("hub: source %q: %w", source, err)
 	}
 	observeStage(stagePrepare, op.Stage("prepare"))
@@ -579,7 +660,8 @@ func (h *Hub) insert(source string, t relation.Tuple, payload []byte, op *obs.Op
 	}
 	observeStage(stageWalAppend, op.Stage("wal_append"))
 	for i, pd := range pendings {
-		if _, err := pd.Commit(); err != nil {
+		prs, err := pd.Commit()
+		if err != nil {
 			// Unreachable under the locking discipline. If it fires
 			// anyway, in-memory pairwise state is torn mid-commit while
 			// the WAL already holds the record: poison the hub —
@@ -588,6 +670,7 @@ func (h *Hub) insert(source string, t relation.Tuple, payload []byte, op *obs.Op
 			return nil, fmt.Errorf("hub: source %q: %w", source,
 				h.poison(fmt.Errorf("pair %d commit after successful prepare: %v", src.pairs[i].id, err)))
 		}
+		src.pairs[i].mtLen += len(prs)
 	}
 	// The canonical insert and the view republication share the key
 	// lock, so a reader whose key lookup finds the new tuple always
@@ -606,7 +689,16 @@ func (h *Hub) insert(source string, t relation.Tuple, payload []byte, op *obs.Op
 			h.poison(fmt.Errorf("canonical insert after CanInsert: %v", insErr)))
 	}
 	observeStage(stageApply, op.Stage("apply"))
-	members := h.store.apply(n, partners)
+	members, err := store.Apply(h.clusters, n, partners)
+	if err != nil {
+		// Practically unreachable: everything Apply folds was paged in
+		// resident by CheckMerge (writer-side reads defer eviction to
+		// Publish), so Apply performs no I/O. If storage fails here
+		// anyway the WAL already holds the record — poison, like the
+		// pair-commit case above.
+		return nil, fmt.Errorf("hub: source %q: %w", source,
+			h.poison(fmt.Errorf("cluster fold after successful check: %v", err)))
+	}
 	if len(partners) > 0 {
 		mClusterMerges.Inc()
 	}
@@ -614,7 +706,7 @@ func (h *Hub) insert(source string, t relation.Tuple, payload []byte, op *obs.Op
 	if h.per != nil {
 		h.per.noteCommit(h)
 	}
-	rec := &Receipt{Source: source, Index: n.idx}
+	rec := &Receipt{Source: source, Index: n.Idx}
 	for _, p := range partners {
 		rec.Matched = append(rec.Matched, h.member(p))
 	}
@@ -637,8 +729,8 @@ func (p *pairState) other(si int) int {
 // member materialises a node on the writer side. Callers hold commitMu
 // (every relation mutation happens under it, so direct reads are safe).
 func (h *Hub) member(n node) Member {
-	s := h.sources[n.src]
-	return Member{Source: s.name, Index: n.idx, Tuple: s.rel.Tuple(n.idx)}
+	s := h.sources[n.Src]
+	return Member{Source: s.name, Index: n.Idx, Tuple: s.rel.Tuple(n.Idx)}
 }
 
 // clusterOf builds the Cluster over a sorted member set (nil means the
@@ -647,7 +739,7 @@ func (h *Hub) clusterOf(n node, members []node) Cluster {
 	if len(members) == 0 {
 		members = []node{n}
 	}
-	c := Cluster{ID: fmt.Sprintf("%s/%d", h.sources[members[0].src].name, members[0].idx)}
+	c := Cluster{ID: fmt.Sprintf("%s/%d", h.sources[members[0].Src].name, members[0].Idx)}
 	for _, m := range members {
 		c.Members = append(c.Members, h.member(m))
 	}
@@ -664,29 +756,34 @@ func (h *Hub) clusterOf(n node, members []node) Cluster {
 // topo is always at least as new as any record already read. Lock-free.
 func (h *Hub) materialize(t *topoView, members []node) Cluster {
 	for _, m := range members {
-		if m.src >= len(t.sources) {
+		if m.Src >= len(t.sources) {
 			t = h.topo.Load()
 			break
 		}
 	}
-	lead := t.sources[members[0].src]
-	c := Cluster{ID: fmt.Sprintf("%s/%d", lead.name, members[0].idx)}
+	lead := t.sources[members[0].Src]
+	c := Cluster{ID: fmt.Sprintf("%s/%d", lead.name, members[0].Idx)}
 	for _, m := range members {
-		s := t.sources[m.src]
-		c.Members = append(c.Members, Member{Source: s.name, Index: m.idx, Tuple: s.view.Load().tuples[m.idx]})
+		s := t.sources[m.Src]
+		c.Members = append(c.Members, Member{Source: s.name, Index: m.Idx, Tuple: s.view.Load().tuples[m.Idx]})
 	}
 	return c
 }
 
 // clusterRead resolves and materialises node n's cluster on the read
-// side: one shard read lock around the record lookup, then lock-free
-// tuple access. The record is immutable, so the member set is always a
-// committed partition state — never torn mid-merge.
-func (h *Hub) clusterRead(t *topoView, n node) Cluster {
-	if rec := h.store.read(n); rec != nil {
-		return h.materialize(t, rec.members)
+// side: one store read around the record lookup (paging a cold record
+// in on the disk backend), then lock-free tuple access. The member set
+// is immutable, so it is always a committed partition state — never
+// torn mid-merge.
+func (h *Hub) clusterRead(t *topoView, n node) (Cluster, error) {
+	ms, err := h.clusters.Read(n)
+	if err != nil {
+		return Cluster{}, err
 	}
-	return h.materialize(t, []node{n})
+	if ms == nil {
+		ms = []node{n}
+	}
+	return h.materialize(t, ms), nil
 }
 
 // Insert is the unit of IngestBatch.
@@ -707,11 +804,8 @@ type InsertResult struct {
 // strictly in input order, so batch results are deterministic. A
 // single-item batch — the hot serving shape — commits directly with no
 // goroutine spawned at all; larger batches are fed to the pipeline
-// stages from the caller's goroutine. workers is retained for API
-// compatibility and ignored: the pipeline's resident stages replaced
-// the per-call worker pool.
-func (h *Hub) IngestBatch(items []Insert, workers int) []InsertResult {
-	_ = workers
+// stages from the caller's goroutine.
+func (h *Hub) IngestBatch(items []Insert) []InsertResult {
 	mBatchSize.ObserveVal(int64(len(items)))
 	out := make([]InsertResult, len(items))
 	if len(items) == 0 {
@@ -801,7 +895,7 @@ func (h *Hub) Lookup(source string, key ...value.Value) (Cluster, error) {
 	if idx < 0 {
 		return Cluster{}, fmt.Errorf("hub: source %q: no tuple with key %v", source, key)
 	}
-	return h.clusterRead(t, node{src: si, idx: idx}), nil
+	return h.clusterRead(t, node{Src: si, Idx: idx})
 }
 
 // ClusterAt returns the cluster of the tuple at a source position — a
@@ -815,7 +909,7 @@ func (h *Hub) ClusterAt(source string, idx int) (Cluster, error) {
 	if idx < 0 || idx >= len(t.sources[si].view.Load().tuples) {
 		return Cluster{}, fmt.Errorf("hub: source %q: no tuple %d", source, idx)
 	}
-	return h.clusterRead(t, node{src: si, idx: idx}), nil
+	return h.clusterRead(t, node{Src: si, Idx: idx})
 }
 
 // MergedEntity is a cluster's single merged record: one value per
@@ -896,13 +990,13 @@ func (h *Hub) Stats() Stats {
 	st := Stats{Sources: len(h.sources), Pairs: len(h.pairs)}
 	for _, p := range h.pairs {
 		p.mu.Lock()
-		st.Matches += p.fed.MT().Len()
+		st.Matches += p.mtLen
 		p.mu.Unlock()
 	}
 	h.mu.RUnlock()
 	// Load merged before the views: views only grow, so the difference
 	// can transiently overcount clusters but never go negative.
-	merged := h.store.merged.Load()
+	merged := h.clusters.Merged()
 	t := h.topo.Load()
 	for _, s := range t.sources {
 		st.Tuples += len(s.view.Load().tuples)
@@ -928,7 +1022,7 @@ func (h *Hub) PairInfos() []PairInfo {
 		out[i] = PairInfo{
 			Left:    h.sources[p.left].name,
 			Right:   h.sources[p.right].name,
-			Matches: p.fed.MT().Len(),
+			Matches: p.mtLen,
 		}
 		p.mu.Unlock()
 	}
@@ -951,7 +1045,13 @@ func (h *Hub) PairResult(left, right string) (*match.Result, error) {
 	}
 	for _, p := range h.pairs {
 		if p.left == li && p.right == ri {
-			return p.fed.Result(), nil
+			p.mu.Lock()
+			fed, err := h.pairFedLocked(p)
+			p.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			return fed.Result(), nil
 		}
 	}
 	return nil, fmt.Errorf("hub: sources %q and %q not linked", left, right)

@@ -230,7 +230,7 @@ func TestHubPairwiseStateEqualsBatchBuild(t *testing.T) {
 		t.Fatal(err)
 	}
 	items := hub.MultiInserts(w)
-	for i, res := range h.IngestBatch(items, 8) {
+	for i, res := range h.IngestBatch(items) {
 		if res.Err != nil {
 			t.Fatalf("insert %d (%s): %v", i, items[i].Source, res.Err)
 		}

@@ -47,29 +47,33 @@ import (
 // position follows start. fn receives the visit node and the cluster's
 // member set (nil for an implicit singleton) and returns false to stop.
 // Materialisation is left to the caller, so a walk can count or probe
-// clusters without building them.
-func (h *Hub) clustersWalk(t *topoView, start node, fn func(n node, members []node) bool) {
+// clusters without building them. A storage read error (possible only
+// on a paging backend) stops the walk and is returned.
+func (h *Hub) clustersWalk(t *topoView, start node, fn func(n node, members []node) bool) error {
 	lens := make([]int, len(t.sources))
 	for i, s := range t.sources {
 		lens[i] = len(s.view.Load().tuples)
 	}
 	inCut := func(m node) bool {
-		return m.src < len(lens) && m.idx < lens[m.src]
+		return m.Src < len(lens) && m.Idx < lens[m.Src]
 	}
-	for si := start.src; si < len(t.sources); si++ {
+	for si := start.Src; si < len(t.sources); si++ {
 		lo := 0
-		if si == start.src {
-			lo = start.idx
+		if si == start.Src {
+			lo = start.Idx
 		}
 		for i := lo; i < lens[si]; i++ {
-			n := node{src: si, idx: i}
-			rec := h.store.read(n)
+			n := node{Src: si, Idx: i}
+			ms, err := h.clusters.Read(n)
+			if err != nil {
+				return err
+			}
 			var members []node
-			if rec != nil {
+			if ms != nil {
 				// Emit at the cluster's first in-cut member (n itself is
 				// in the cut, so one exists at or before n).
 				lead := n
-				for _, m := range rec.members {
+				for _, m := range ms {
 					if inCut(m) {
 						lead = m
 						break
@@ -78,13 +82,14 @@ func (h *Hub) clustersWalk(t *topoView, start node, fn func(n node, members []no
 				if lead != n {
 					continue // emitted (or to be emitted) at an earlier node
 				}
-				members = rec.members
+				members = ms
 			}
 			if !fn(n, members) {
-				return
+				return nil
 			}
 		}
 	}
+	return nil
 }
 
 // ClustersIter streams every global entity cluster — including
@@ -116,7 +121,9 @@ func (h *Hub) ClustersFrom(cursor string) (iter.Seq[Cluster], error) {
 		return nil, err
 	}
 	return func(yield func(Cluster) bool) {
-		h.clustersWalk(t, start, func(n node, members []node) bool {
+		// A storage read error ends the stream early; callers needing
+		// the error use ClustersWalk or ClustersPage.
+		_ = h.clustersWalk(t, start, func(n node, members []node) bool {
 			if members == nil {
 				members = []node{n}
 			}
@@ -132,7 +139,7 @@ func (h *Hub) ClustersFrom(cursor string) (iter.Seq[Cluster], error) {
 // resumption — a cursor taken from the absolute lead could jump the
 // walk backwards and re-serve clusters already emitted.
 func cursorFor(t *topoView, n node) string {
-	return fmt.Sprintf("%s/%d", t.sources[n.src].name, n.idx)
+	return fmt.Sprintf("%s/%d", t.sources[n.Src].name, n.Idx)
 }
 
 // ClustersWalk visits the clusters that follow the cursor ("" = from
@@ -149,7 +156,7 @@ func (h *Hub) ClustersWalk(cursor string, skip int, fn func(c Cluster, resume st
 	if err != nil {
 		return err
 	}
-	h.clustersWalk(t, start, func(n node, members []node) bool {
+	return h.clustersWalk(t, start, func(n node, members []node) bool {
 		if skip > 0 {
 			skip--
 			return true
@@ -159,7 +166,6 @@ func (h *Hub) ClustersWalk(cursor string, skip int, fn func(c Cluster, resume st
 		}
 		return fn(h.materialize(t, members), cursorFor(t, n))
 	})
-	return nil
 }
 
 // ClustersPage materialises one page of the enumeration: up to limit
@@ -178,7 +184,7 @@ func (h *Hub) ClustersPage(cursor string, limit int) ([]Cluster, string, error) 
 	}
 	out := make([]Cluster, 0, min(limit, 64))
 	next, lastResume := "", ""
-	h.clustersWalk(t, start, func(n node, members []node) bool {
+	if err := h.clustersWalk(t, start, func(n node, members []node) bool {
 		if len(out) == limit {
 			// A further cluster exists: the page is full and the walk
 			// resumes after its last entry's visit position.
@@ -191,7 +197,9 @@ func (h *Hub) ClustersPage(cursor string, limit int) ([]Cluster, string, error) 
 		out = append(out, h.materialize(t, members))
 		lastResume = cursorFor(t, n)
 		return true
-	})
+	}); err != nil {
+		return nil, "", err
+	}
 	return out, next, nil
 }
 
@@ -221,7 +229,7 @@ func startFrom(t *topoView, cursor string) (node, error) {
 	if err != nil {
 		return node{}, err
 	}
-	return node{src: after.src, idx: after.idx + 1}, nil
+	return node{Src: after.Src, Idx: after.Idx + 1}, nil
 }
 
 // parseCursor resolves a cluster ID ("source/index") to its node. The
@@ -243,5 +251,5 @@ func parseCursor(t *topoView, cursor string) (node, error) {
 	if err != nil || idx < 0 || idx == math.MaxInt {
 		return node{}, fmt.Errorf("hub: bad cluster cursor %q (want source/index)", cursor)
 	}
-	return node{src: si, idx: idx}, nil
+	return node{Src: si, Idx: idx}, nil
 }

@@ -105,7 +105,7 @@ func NewServeBench(w *datagen.MultiWorkload) (*Hub, *ServeIngester, error) {
 	}
 	items := MultiInserts(w)
 	half := len(items) / 2
-	for _, res := range h.IngestBatch(items[:half], 0) {
+	for _, res := range h.IngestBatch(items[:half]) {
 		if res.Err != nil {
 			return nil, nil, res.Err
 		}

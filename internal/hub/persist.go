@@ -32,6 +32,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,8 @@ import (
 
 	"entityid/internal/obs"
 	"entityid/internal/relation"
+	"entityid/internal/store"
+	"entityid/internal/store/disk"
 	"entityid/internal/wal"
 )
 
@@ -79,6 +82,74 @@ type Options struct {
 	// Zero values mean 500ms and 15s.
 	ProbeBackoff    time.Duration
 	ProbeBackoffMax time.Duration
+	// Store selects the storage backend by name: "mem" (the default)
+	// keeps every structure resident; "disk" spills cold cluster
+	// records and cold pair matching tables to a tier under the data
+	// directory, paging them back on demand. Empty falls back to the
+	// ENTITYID_STORE environment variable, then to "mem".
+	Store string
+	// Backend, when non-nil, is used directly and overrides Store.
+	// The hub takes ownership and closes it with Close.
+	Backend store.Backend
+	// HotClusterEntries and HotPairs bound the disk backend's hot
+	// tiers (total resident cluster members across records, resident
+	// pair federations). Zero falls back to the
+	// ENTITYID_STORE_HOT_CLUSTERS / ENTITYID_STORE_HOT_PAIRS
+	// environment variables, then to the defaults.
+	HotClusterEntries int
+	HotPairs          int
+}
+
+// Default hot-tier budgets for the disk backend.
+const (
+	defaultHotClusterEntries = 1 << 16
+	defaultHotPairs          = 8
+)
+
+// storeTierDir is the data-directory subdirectory the disk backend
+// roots its spill tier in. The tier is an ephemeral cache — wiped on
+// open; durability is always the WAL plus snapshots.
+const storeTierDir = "storetier"
+
+// resolveBackend picks the storage backend for a durable hub:
+// opts.Backend if set, else the backend opts.Store names, else the
+// ENTITYID_STORE environment variable, else memory (returned as nil —
+// NewWithBackend supplies the memory backend). The caller must hold
+// the directory lock: opening the disk backend wipes its spill tier.
+func resolveBackend(dir string, opts Options) (store.Backend, error) {
+	if opts.Backend != nil {
+		return opts.Backend, nil
+	}
+	name := opts.Store
+	if name == "" {
+		name = os.Getenv("ENTITYID_STORE")
+	}
+	switch name {
+	case "", "mem":
+		return nil, nil
+	case "disk":
+		caps := store.Caps{
+			HotClusterEntries: budgetFor(opts.HotClusterEntries, "ENTITYID_STORE_HOT_CLUSTERS", defaultHotClusterEntries),
+			HotPairs:          budgetFor(opts.HotPairs, "ENTITYID_STORE_HOT_PAIRS", defaultHotPairs),
+		}
+		return disk.Open(filepath.Join(dir, storeTierDir), caps)
+	default:
+		return nil, fmt.Errorf("unknown storage backend %q (want mem or disk)", name)
+	}
+}
+
+// budgetFor resolves one hot-tier budget: explicit option, environment
+// override, default.
+func budgetFor(opt int, env string, def int) int {
+	if opt > 0 {
+		return opt
+	}
+	if v := os.Getenv(env); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
 }
 
 // Default recovery-probe backoff bounds.
@@ -148,15 +219,29 @@ func Open(dir string, opts Options) (*Hub, *RecoveryInfo, error) {
 	fsys.Remove(filepath.Join(dir, snapshotTmp))
 	fsys.Remove(filepath.Join(dir, snapshotManTmp))
 
+	// The backend opens under the lock too: the disk backend wipes and
+	// recreates its spill tier, which must never race a live writer.
+	b, err := resolveBackend(dir, opts)
+	if err != nil {
+		l.Close()
+		return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
+	}
+	fail := func(err error) (*Hub, *RecoveryInfo, error) {
+		if b != nil {
+			b.Close()
+		}
+		l.Close()
+		return nil, nil, err
+	}
+
 	info := &RecoveryInfo{}
 	var h *Hub
 	var prevMan *snapManifest
 	switch man, err := readManifestFS(fsys, dir); {
 	case err == nil:
-		h, err = loadSnapshotSections(fsys, dir, man)
+		h, err = loadSnapshotSections(fsys, dir, man, b)
 		if err != nil {
-			l.Close()
-			return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
+			return fail(fmt.Errorf("hub: open %s: %w", dir, err))
 		}
 		prevMan = man
 		info.FromSnapshot = true
@@ -167,29 +252,25 @@ func Open(dir string, opts Options) (*Hub, *RecoveryInfo, error) {
 		f, ferr := fsys.Open(filepath.Join(dir, snapshotFile))
 		switch {
 		case ferr == nil:
-			h, info.Watermark, err = LoadSnapshot(f)
+			h, info.Watermark, err = loadSnapshot(f, b)
 			f.Close()
 			if err != nil {
-				l.Close()
-				return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
+				return fail(fmt.Errorf("hub: open %s: %w", dir, err))
 			}
 			info.FromSnapshot = true
 		case os.IsNotExist(ferr):
-			h = New()
+			h = NewWithBackend(b)
 		default:
-			l.Close()
-			return nil, nil, fmt.Errorf("hub: open %s: %w", dir, ferr)
+			return fail(fmt.Errorf("hub: open %s: %w", dir, ferr))
 		}
 	default:
-		l.Close()
-		return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
+		return fail(fmt.Errorf("hub: open %s: %w", dir, err))
 	}
 	// Sweep section files no committed manifest references — debris of
 	// snapshot attempts a crash interrupted before their manifest
 	// rename.
 	if err := sweepSections(fsys, dir, prevMan); err != nil {
-		l.Close()
-		return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
+		return fail(fmt.Errorf("hub: open %s: %w", dir, err))
 	}
 
 	if d := l.Damage(); d != nil {
@@ -201,22 +282,18 @@ func Open(dir string, opts Options) (*Hub, *RecoveryInfo, error) {
 	// numbers a later replay skips. Fail closed instead.
 	switch {
 	case info.FromSnapshot && l.LastSeq() < info.Watermark:
-		l.Close()
-		return nil, nil, fmt.Errorf("hub: open %s: write-ahead log ends at record %d but the snapshot covers through %d: log records are missing",
-			dir, l.LastSeq(), info.Watermark)
+		return fail(fmt.Errorf("hub: open %s: write-ahead log ends at record %d but the snapshot covers through %d: log records are missing",
+			dir, l.LastSeq(), info.Watermark))
 	case info.FromSnapshot && l.OldestSeq() > info.Watermark+1:
-		l.Close()
-		return nil, nil, fmt.Errorf("hub: open %s: write-ahead log starts at record %d but the snapshot covers only through %d: log records are missing",
-			dir, l.OldestSeq(), info.Watermark)
+		return fail(fmt.Errorf("hub: open %s: write-ahead log starts at record %d but the snapshot covers only through %d: log records are missing",
+			dir, l.OldestSeq(), info.Watermark))
 	case !info.FromSnapshot && l.LastSeq() > 0 && l.OldestSeq() > 1:
-		l.Close()
-		return nil, nil, fmt.Errorf("hub: open %s: write-ahead log starts at record %d with no snapshot covering the truncated prefix",
-			dir, l.OldestSeq())
+		return fail(fmt.Errorf("hub: open %s: write-ahead log starts at record %d with no snapshot covering the truncated prefix",
+			dir, l.OldestSeq()))
 	}
 	n, err := h.Replay(l, info.Watermark)
 	if err != nil {
-		l.Close()
-		return nil, nil, fmt.Errorf("hub: open %s: %w", dir, err)
+		return fail(fmt.Errorf("hub: open %s: %w", dir, err))
 	}
 	info.Replayed = n
 	info.LastSeq = l.LastSeq()
@@ -304,8 +381,9 @@ func sweepSections(fsys wal.FS, dir string, man *snapManifest) error {
 
 // loadSnapshotSections rebuilds a hub from a manifest's section files,
 // decoding independent sections in parallel and verifying each file's
-// content hash, chunk count and item counts against the manifest.
-func loadSnapshotSections(fsys wal.FS, dir string, man *snapManifest) (*Hub, error) {
+// content hash, chunk count and item counts against the manifest. The
+// hub is assembled onto the given storage backend (nil means memory).
+func loadSnapshotSections(fsys wal.FS, dir string, man *snapManifest, b store.Backend) (*Hub, error) {
 	secs := make([]*decSection, len(man.Sections))
 	errs := make([]error, len(man.Sections))
 	var wg sync.WaitGroup
@@ -325,7 +403,7 @@ func loadSnapshotSections(fsys wal.FS, dir string, man *snapManifest) (*Hub, err
 			return nil, err
 		}
 	}
-	return assembleHub(secs)
+	return assembleHub(secs, b)
 }
 
 // readSectionFile streams one section file through the chunk decoder.
@@ -481,14 +559,21 @@ func (h *Hub) applyRecord(env wal.Envelope, open **pendingSource) (int, error) {
 	}
 }
 
-// Close quiesces any in-flight background snapshot and closes the
-// write-ahead log. It is a no-op on a memory-only hub. It returns the
-// first background snapshot error, if any.
+// Close quiesces any in-flight background snapshot, closes the
+// write-ahead log, and closes the storage backend. It returns the
+// first background snapshot error, if any. A memory-only hub's close
+// is a no-op (the memory backend has nothing to release).
 func (h *Hub) Close() error {
-	if h.per == nil {
-		return nil
+	var err error
+	if h.per != nil {
+		err = h.per.close()
 	}
-	return h.per.close()
+	if h.backend != nil {
+		if cerr := h.backend.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // SnapshotNow forces a synchronous snapshot: cut, per-section capture
@@ -1030,4 +1115,9 @@ func (p *walLogger) quiesce() {
 	p.stopProbes()
 	p.wg.Wait()
 	p.log.DropLock()
+	// The spill tier is an ephemeral cache the next open wipes anyway;
+	// closing it here just releases the dead hub's file handles.
+	if p.hub != nil && p.hub.backend != nil {
+		p.hub.backend.Close()
+	}
 }

@@ -308,7 +308,7 @@ func TestPipelineFlushSkipsWhenNoAppends(t *testing.T) {
 	for i := range bad {
 		bad[i] = Insert{Source: "zzz", Tuple: relation.Tuple{value.String(fmt.Sprintf("x-%d", i))}}
 	}
-	for _, res := range h.IngestBatch(bad, 4) {
+	for _, res := range h.IngestBatch(bad) {
 		if res.Err == nil {
 			t.Fatal("unknown-source insert accepted")
 		}
@@ -324,7 +324,7 @@ func TestPipelineFlushSkipsWhenNoAppends(t *testing.T) {
 	}
 
 	// A batch with real appends flushes everything by its end.
-	for _, res := range h.IngestBatch(rowItems(10), 4) {
+	for _, res := range h.IngestBatch(rowItems(10)) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
@@ -349,7 +349,7 @@ func TestPipelineGoroutineLifecycle(t *testing.T) {
 			n++
 		}
 		if round%2 == 0 {
-			for _, res := range h.IngestBatch(items, 4) {
+			for _, res := range h.IngestBatch(items) {
 				if res.Err != nil {
 					t.Fatal(res.Err)
 				}

@@ -83,13 +83,13 @@ func TestHubClusteringProperties(t *testing.T) {
 
 				// Monotonicity probe: ingest the first half, snapshot.
 				half := len(items) / 2
-				for i, res := range h.IngestBatch(items[:half], 6) {
+				for i, res := range h.IngestBatch(items[:half]) {
 					if res.Err != nil {
 						t.Fatalf("shuffle %d insert %d: %v", shuffle, i, res.Err)
 					}
 				}
 				mid := h.Clusters()
-				for i, res := range h.IngestBatch(items[half:], 6) {
+				for i, res := range h.IngestBatch(items[half:]) {
 					if res.Err != nil {
 						t.Fatalf("shuffle %d insert %d: %v", shuffle, half+i, res.Err)
 					}

@@ -46,7 +46,11 @@ func stateOf(h *Hub) hubState {
 	}
 	for _, p := range h.pairs {
 		key := h.sources[p.left].name + "|" + h.sources[p.right].name
-		st.pairs[key] = p.fed.Export().Pairs
+		est, err := h.exportPair(p)
+		if err != nil {
+			panic(err)
+		}
+		st.pairs[key] = est.Pairs
 	}
 	for _, s := range h.sources {
 		tuples := make([]relation.Tuple, s.rel.Len())
@@ -219,7 +223,7 @@ func TestCrashRecoveryMidBatchTornWrite(t *testing.T) {
 			// Kill mid-batch: after a random number of further appends,
 			// the WAL tears.
 			h.per.log.InjectTornAppends(len(items)/4 + rng.Intn(len(items)/2))
-			results := h.IngestBatch(items, 4)
+			results := h.IngestBatch(items)
 
 			var torn, committed, rejected []int
 			for i, res := range results {
@@ -507,7 +511,7 @@ func TestSnapshotRoundTripAndTamperDetection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, res := range h.IngestBatch(MultiInserts(w), 4) {
+	for _, res := range h.IngestBatch(MultiInserts(w)) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
@@ -538,7 +542,7 @@ func TestSnapshotRoundTripAndTamperDetection(t *testing.T) {
 	doctor := func(mutate func(*hubSnap)) []byte {
 		h.mu.RLock()
 		h.commitMu.Lock()
-		snap := h.captureLocked()
+		snap, _ := h.captureLocked()
 		h.commitMu.Unlock()
 		h.mu.RUnlock()
 		mutate(snap)
@@ -867,7 +871,7 @@ func TestPowerLossAtSyncBoundary(t *testing.T) {
 	for _, it := range items[survived:] {
 		rest = append(rest, Insert{Source: it.Source, Tuple: it.Tuple.Clone()})
 	}
-	for _, res := range h2.IngestBatch(rest, 4) {
+	for _, res := range h2.IngestBatch(rest) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}

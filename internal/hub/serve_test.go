@@ -161,7 +161,7 @@ func TestConcurrentReadsDuringIngest(t *testing.T) {
 	// ingest and the test could sample nothing.
 	for off := 0; off < len(items); off += 32 {
 		end := min(off+32, len(items))
-		for i, res := range h.IngestBatch(items[off:end], 4) {
+		for i, res := range h.IngestBatch(items[off:end]) {
 			if res.Err != nil {
 				t.Fatalf("insert %d: %v", off+i, res.Err)
 			}
@@ -217,7 +217,7 @@ func TestClustersPaginationQuiescent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, res := range h.IngestBatch(hub.MultiInserts(w), 0) {
+	for _, res := range h.IngestBatch(hub.MultiInserts(w)) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
@@ -506,7 +506,7 @@ func TestMetricsScrapeDuringIngest(t *testing.T) {
 	}()
 	for off := 0; off < len(items); off += 32 {
 		end := min(off+32, len(items))
-		for i, res := range h.IngestBatch(items[off:end], 4) {
+		for i, res := range h.IngestBatch(items[off:end]) {
 			if res.Err != nil {
 				t.Fatalf("insert %d: %v", off+i, res.Err)
 			}

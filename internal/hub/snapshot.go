@@ -58,6 +58,7 @@ import (
 	"entityid/internal/federate"
 	"entityid/internal/match"
 	"entityid/internal/relation"
+	"entityid/internal/store"
 	"entityid/internal/wal"
 )
 
@@ -178,8 +179,10 @@ func (h *Hub) cutLocked(watermark uint64) *snapshotCut {
 		cut.sources = append(cut.sources, cutSource{s: s, n: s.rel.Len()})
 	}
 	for _, p := range h.pairs {
+		// p.mtLen is written under the commit lock (held here), so this
+		// read is consistent without paging a cold pair in.
 		cut.pairs = append(cut.pairs, cutPair{
-			p: p, n: p.fed.MT().Len(), rlen: h.sources[p.left].rel.Len(), slen: h.sources[p.right].rel.Len(),
+			p: p, n: p.mtLen, rlen: h.sources[p.left].rel.Len(), slen: h.sources[p.right].rel.Len(),
 		})
 	}
 	return cut
@@ -196,14 +199,35 @@ func (h *Hub) copySourceTuples(cs cutSource) []relation.Tuple {
 	return out
 }
 
-// copyPairMT copies one pair section's matching-table prefix under a
-// briefly-held commit lock and sorts it canonically off-lock.
-func (h *Hub) copyPairMT(cp cutPair) []match.Pair {
-	h.commitMu.Lock()
-	ps := cp.p.fed.PairsPrefix(cp.n)
-	h.commitMu.Unlock()
+// copyPairMT copies one pair section's matching-table prefix and sorts
+// it canonically off-lock. A hot pair's prefix is read under a
+// briefly-held commit lock; a cold pair's is read from the backend's
+// pair store, whose spilled table is stored in commit order at a
+// length ≥ the cut (the pair can only have been spilled at or after
+// the cut was taken, and spilling requires the commit lock's ordering
+// of mutations), so the length-n prefix is exactly the cut's table.
+// The federation pointer loaded here may be spilled concurrently — the
+// object itself is never mutated after the spill, so reading its
+// frozen (≥ cut) state remains correct.
+func (h *Hub) copyPairMT(cp cutPair) ([]match.Pair, error) {
+	var ps []match.Pair
+	if fed := cp.p.fed.Load(); fed != nil {
+		h.commitMu.Lock()
+		ps = fed.PairsPrefix(cp.n)
+		h.commitMu.Unlock()
+	} else {
+		tab, err := h.backend.Pairs().Load(cp.p.id)
+		if err != nil {
+			return nil, fmt.Errorf("hub: snapshot pair %q-%q: %w", cp.p.spec.Left, cp.p.spec.Right, err)
+		}
+		if len(tab.Pairs) < cp.n {
+			return nil, fmt.Errorf("hub: snapshot pair %q-%q: spilled table has %d pairs, cut expects %d",
+				cp.p.spec.Left, cp.p.spec.Right, len(tab.Pairs), cp.n)
+		}
+		ps = append([]match.Pair(nil), tab.Pairs[:cp.n]...)
+	}
 	federate.SortPairs(ps)
-	return ps
+	return ps, nil
 }
 
 // foldPartition refolds the cut's matching tables into the canonical
@@ -215,7 +239,7 @@ func foldPartition(cut *snapshotCut, mts [][]match.Pair) [][][2]int {
 	cs := newClusterSet()
 	for i, cp := range cut.pairs {
 		for _, pr := range mts[i] {
-			cs.union(node{src: cp.p.left, idx: pr.RIndex}, node{src: cp.p.right, idx: pr.SIndex})
+			cs.union(node{Src: cp.p.left, Idx: pr.RIndex}, node{Src: cp.p.right, Idx: pr.SIndex})
 		}
 	}
 	byRoot := map[node][]node{}
@@ -237,7 +261,7 @@ func canonicalPartition(byRoot map[node][]node) [][][2]int {
 		sortNodes(ns)
 		c := make([][2]int, len(ns))
 		for i, n := range ns {
-			c[i] = [2]int{n.src, n.idx}
+			c[i] = [2]int{n.Src, n.Idx}
 		}
 		out = append(out, c)
 	}
@@ -253,8 +277,20 @@ func canonicalPartition(byRoot map[node][]node) [][][2]int {
 // partitionLocked returns the canonical non-singleton cluster
 // partition of the live store. Callers hold h.commitMu (and h.mu at
 // least shared).
-func (h *Hub) partitionLocked() [][][2]int {
-	return h.store.partition()
+func (h *Hub) partitionLocked() ([][][2]int, error) {
+	part, err := h.clusters.Partition()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][][2]int, len(part))
+	for i, ms := range part {
+		c := make([][2]int, len(ms))
+		for j, m := range ms {
+			c[j] = [2]int{m.Src, m.Idx}
+		}
+		out[i] = c
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------
@@ -453,7 +489,10 @@ func (h *Hub) writeSnapshotV2(cut *snapshotCut, sink sectionSink, budget int, se
 		}
 		if !sink.reuse(&meta) {
 			allCarried = false
-			mts[i] = h.copyPairMT(cp)
+			var err error
+			if mts[i], err = h.copyPairMT(cp); err != nil {
+				return nil, err
+			}
 			link := linkRecFromSpec(cp.p.spec)
 			body := &sectionBody{
 				kind: secPair, sec: len(man.Sections), link: &link,
@@ -472,7 +511,10 @@ func (h *Hub) writeSnapshotV2(cut *snapshotCut, sink sectionSink, budget int, se
 	if !allCarried || !sink.reuse(&clMeta) {
 		for i := range mts {
 			if mts[i] == nil {
-				mts[i] = h.copyPairMT(cut.pairs[i])
+				var err error
+				if mts[i], err = h.copyPairMT(cut.pairs[i]); err != nil {
+					return nil, err
+				}
 			}
 		}
 		clusters := foldPartition(cut, mts)
@@ -731,6 +773,13 @@ func (d *decSection) matches(want snapSection) error {
 // pairwise matching table and the cluster partition are re-verified;
 // any mismatch fails the load.
 func LoadSnapshot(r io.Reader) (*Hub, uint64, error) {
+	return loadSnapshot(r, nil)
+}
+
+// loadSnapshot is LoadSnapshot onto a specific storage backend (nil
+// means a fresh in-memory backend) — the Open path threads the
+// configured backend through here.
+func loadSnapshot(r io.Reader, b store.Backend) (*Hub, uint64, error) {
 	sc := wal.NewFrameScanner(r)
 	rec, raw, err := sc.Next()
 	if err != nil {
@@ -741,9 +790,9 @@ func LoadSnapshot(r io.Reader) (*Hub, uint64, error) {
 		if _, _, err := sc.Next(); err != io.EOF {
 			return nil, 0, fmt.Errorf("hub: load snapshot: trailing data after single-record frame")
 		}
-		return loadSnapshotV1(rec)
+		return loadSnapshotV1(rec, b)
 	}
-	return loadSnapshotV2Stream(sc, frameMsg{rec: rec, raw: raw})
+	return loadSnapshotV2Stream(sc, frameMsg{rec: rec, raw: raw}, b)
 }
 
 // sectionFeed decodes one section's chunks on its own goroutine.
@@ -789,7 +838,7 @@ func startSectionFeed(sec int) *sectionFeed {
 // (sequence numbers restarting at 1 per section) followed by the
 // manifest frame. Each section is decoded by its own goroutine while
 // the reader streams ahead.
-func loadSnapshotV2Stream(sc *wal.FrameScanner, first frameMsg) (*Hub, uint64, error) {
+func loadSnapshotV2Stream(sc *wal.FrameScanner, first frameMsg, b store.Backend) (*Hub, uint64, error) {
 	var (
 		feeds []*sectionFeed
 		open  bool
@@ -866,7 +915,7 @@ func loadSnapshotV2Stream(sc *wal.FrameScanner, first frameMsg) (*Hub, uint64, e
 			return nil, 0, err
 		}
 	}
-	h, err := assembleHub(secs)
+	h, err := assembleHub(secs, b)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -877,12 +926,13 @@ func loadSnapshotV2Stream(sc *wal.FrameScanner, first frameMsg) (*Hub, uint64, e
 // Assembly
 // ---------------------------------------------------------------------
 
-// assembleHub builds a hub from decoded sections: sources registered in
-// section order, pairwise federations re-verified in parallel through
+// assembleHub builds a hub from decoded sections onto the given
+// storage backend (nil means in-memory): sources registered in section
+// order, pairwise federations re-verified in parallel through
 // federate.Restore, links folded sequentially, and the saved cluster
 // partition checked against the refold.
-func assembleHub(secs []*decSection) (*Hub, error) {
-	h := New()
+func assembleHub(secs []*decSection, b store.Backend) (*Hub, error) {
+	h := NewWithBackend(b)
 	var pairs []*decPair
 	var clusters [][][2]int
 	clustersSeen := false
@@ -959,9 +1009,12 @@ func assembleHub(secs []*decSection) (*Hub, error) {
 	}
 	h.mu.RLock()
 	h.commitMu.Lock()
-	refolded := h.partitionLocked()
+	refolded, perr := h.partitionLocked()
 	h.commitMu.Unlock()
 	h.mu.RUnlock()
+	if perr != nil {
+		return nil, fmt.Errorf("hub: load snapshot: %w", perr)
+	}
 	if !partitionsEqual(refolded, clusters) {
 		return nil, fmt.Errorf("hub: load snapshot: cluster store does not match the refolded pairwise matching tables")
 	}

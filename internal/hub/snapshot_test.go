@@ -27,7 +27,7 @@ func multiHub(t *testing.T, cfg datagen.MultiConfig) (*Hub, *datagen.MultiWorklo
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, res := range h.IngestBatch(MultiInserts(w), 4) {
+	for _, res := range h.IngestBatch(MultiInserts(w)) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
@@ -82,7 +82,7 @@ func TestSnapshotMultiChunkBeyondV1FrameCap(t *testing.T) {
 	// Format 1 cannot hold this hub in one frame.
 	h.mu.RLock()
 	h.commitMu.Lock()
-	v1 := h.captureLocked()
+	v1, _ := h.captureLocked()
 	h.commitMu.Unlock()
 	h.mu.RUnlock()
 	if _, err := encodeSnapshot(v1, 0); err == nil {
@@ -307,7 +307,7 @@ func TestFormatV1SnapshotStillLoads(t *testing.T) {
 	// Write the legacy single-frame snapshot exactly as PR 3 did.
 	h.mu.RLock()
 	h.commitMu.Lock()
-	snap := h.captureLocked()
+	snap, _ := h.captureLocked()
 	watermark := h.per.log.LastSeq()
 	h.commitMu.Unlock()
 	h.mu.RUnlock()
@@ -421,7 +421,7 @@ func TestSaveSnapshotDuringIngest(t *testing.T) {
 	}
 	items := MultiInserts(w)
 	done := make(chan []InsertResult, 1)
-	go func() { done <- h.IngestBatch(items, 4) }()
+	go func() { done <- h.IngestBatch(items) }()
 	for i := 0; i < 5; i++ {
 		var buf bytes.Buffer
 		if _, err := h.SaveSnapshot(&buf); err != nil {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"entityid/internal/relation"
+	"entityid/internal/store"
 	"entityid/internal/wal"
 )
 
@@ -47,8 +48,10 @@ type pairSnap struct {
 // captureLocked copies the hub state into a format-1 snapshot payload.
 // Callers hold h.mu (at least shared) and h.commitMu. Retained for the
 // compatibility tests and the bench baseline; the production path
-// captures per-section instead (snapshot.go).
-func (h *Hub) captureLocked() *hubSnap {
+// captures per-section instead (snapshot.go). A spilled pair's state
+// is read from the backend's pair store and sorted into the canonical
+// export order.
+func (h *Hub) captureLocked() (*hubSnap, error) {
 	snap := &hubSnap{}
 	for _, s := range h.sources {
 		ss := sourceSnap{
@@ -59,15 +62,21 @@ func (h *Hub) captureLocked() *hubSnap {
 		snap.Sources = append(snap.Sources, ss)
 	}
 	for _, p := range h.pairs {
-		st := p.fed.Export()
+		st, err := h.exportPair(p)
+		if err != nil {
+			return nil, fmt.Errorf("hub: snapshot: %w", err)
+		}
 		ps := pairSnap{Link: linkRecFromSpec(p.spec), RLen: st.RLen, SLen: st.SLen}
 		for _, pr := range st.Pairs {
 			ps.MT = append(ps.MT, [2]int{pr.RIndex, pr.SIndex})
 		}
 		snap.Pairs = append(snap.Pairs, ps)
 	}
-	snap.Clusters = h.partitionLocked()
-	return snap
+	var err error
+	if snap.Clusters, err = h.partitionLocked(); err != nil {
+		return nil, err
+	}
+	return snap, nil
 }
 
 // encodeSnapshot frames a format-1 snapshot payload. The frame sequence
@@ -95,20 +104,24 @@ func encodeSnapshot(snap *hubSnap, watermark uint64) ([]byte, error) {
 func (h *Hub) EncodeLegacySnapshot() ([]byte, error) {
 	h.mu.RLock()
 	h.commitMu.Lock()
-	snap := h.captureLocked()
+	snap, err := h.captureLocked()
 	var watermark uint64
 	if h.per != nil {
 		watermark = h.per.log.LastSeq()
 	}
 	h.commitMu.Unlock()
 	h.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
 	return encodeSnapshot(snap, watermark)
 }
 
 // loadSnapshotV1 rebuilds a hub from a decoded format-1 frame by
 // converting it into the section form and running the shared assembly
-// (parallel federate.Restore verification, cluster refold check).
-func loadSnapshotV1(rec wal.Record) (*Hub, uint64, error) {
+// (parallel federate.Restore verification, cluster refold check) onto
+// the given storage backend (nil means in-memory).
+func loadSnapshotV1(rec wal.Record, b store.Backend) (*Hub, uint64, error) {
 	var snap hubSnap
 	if err := json.Unmarshal(rec.Payload, &snap); err != nil {
 		return nil, 0, fmt.Errorf("hub: load snapshot: %w", err)
@@ -145,7 +158,7 @@ func loadSnapshotV1(rec wal.Record) (*Hub, uint64, error) {
 		secs = append(secs, &decSection{meta: snapSection{Kind: secPair}, pair: dp})
 	}
 	secs = append(secs, &decSection{meta: snapSection{Kind: secClusters}, clusters: snap.Clusters})
-	h, err := assembleHub(secs)
+	h, err := assembleHub(secs, b)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,265 @@
+package hub
+
+// Randomized differential harness for the storage backends: the same
+// workload — source registration, links, shuffled ingest with planted
+// rejects, snapshots, a crash, recovery — is driven through a
+// memory-backed hub and a disk-backed hub whose hot tiers are squeezed
+// far below the working set, and every served surface must be
+// bit-for-bit identical: the full cluster partition, per-pair matching
+// tables, canonical relations, point reads, and pagination at several
+// page sizes. The memory backend is the executable specification; the
+// disk backend must be indistinguishable through the public surface.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"entityid/internal/datagen"
+	"entityid/internal/relation"
+)
+
+// diffWorkload generates the K-source workload the differential tests
+// share.
+func diffWorkload(seed int64) *datagen.MultiWorkload {
+	return datagen.MustMultiGenerate(datagen.MultiConfig{
+		Sources: 4, Entities: 50, PresenceFrac: 0.6, HomonymRate: 0.25,
+		MissingPhone: 0.1, DirtyPhone: 0.2, Seed: seed,
+	})
+}
+
+// openPair opens a mem-backed and a disk-backed hub over fresh
+// directories, the disk hub's hot tiers squeezed so most of the state
+// lives cold.
+func openPair(t *testing.T, snapEvery int) (hm, hd *Hub) {
+	t.Helper()
+	hm = openBackend(t, t.TempDir(), "mem", snapEvery)
+	hd = openBackend(t, t.TempDir(), "disk", snapEvery)
+	return hm, hd
+}
+
+func openBackend(t *testing.T, dir, backend string, snapEvery int) *Hub {
+	t.Helper()
+	h, _, err := Open(dir, Options{
+		SnapshotEvery: snapEvery,
+		Store:         backend,
+		// Squeeze the disk tiers: a handful of resident cluster
+		// members and a single resident pair, so reads and snapshots
+		// constantly page cold state back in.
+		HotClusterEntries: 16,
+		HotPairs:          1,
+	})
+	if err != nil {
+		t.Fatalf("open %s hub: %v", backend, err)
+	}
+	return h
+}
+
+// seedTopology registers the workload's sources (empty) and links every
+// pair on both hubs.
+func seedTopology(t *testing.T, w *datagen.MultiWorkload, hubs ...*Hub) {
+	t.Helper()
+	for _, h := range hubs {
+		for k, name := range w.Names {
+			if err := h.AddSource(name, relation.New(w.Relations[k].Schema())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < len(w.Names); i++ {
+			for j := i + 1; j < len(w.Names); j++ {
+				if err := h.Link(SpecFromMultiPair(w.Pair(i, j))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// mustEqualServed compares every served surface of the two hubs:
+// the full observable state, point reads for every committed tuple,
+// and pagination at several page sizes.
+func mustEqualServed(t *testing.T, label string, hm, hd *Hub) {
+	t.Helper()
+	mustEqualState(t, label, stateOf(hd), stateOf(hm))
+
+	// Point reads: every (source, index) must serve the same cluster.
+	for _, s := range hm.sources {
+		for i := 0; i < s.rel.Len(); i++ {
+			cm, err := hm.ClusterAt(s.name, i)
+			if err != nil {
+				t.Fatalf("%s: mem ClusterAt(%s,%d): %v", label, s.name, i, err)
+			}
+			cd, err := hd.ClusterAt(s.name, i)
+			if err != nil {
+				t.Fatalf("%s: disk ClusterAt(%s,%d): %v", label, s.name, i, err)
+			}
+			if !reflect.DeepEqual(cm, cd) {
+				t.Fatalf("%s: ClusterAt(%s,%d) diverges:\nmem:  %+v\ndisk: %+v", label, s.name, i, cm, cd)
+			}
+		}
+	}
+
+	// Pagination: identical pages, cursors and order at any page size.
+	for _, limit := range []int{1, 3, 7, 1 << 20} {
+		curM, curD := "", ""
+		for page := 0; ; page++ {
+			pm, nextM, err := hm.ClustersPage(curM, limit)
+			if err != nil {
+				t.Fatalf("%s: mem page %d: %v", label, page, err)
+			}
+			pd, nextD, err := hd.ClustersPage(curD, limit)
+			if err != nil {
+				t.Fatalf("%s: disk page %d: %v", label, page, err)
+			}
+			if !reflect.DeepEqual(pm, pd) || nextM != nextD {
+				t.Fatalf("%s: page %d (limit %d) diverges: mem %d clusters next %q, disk %d clusters next %q",
+					label, page, limit, len(pm), nextM, len(pd), nextD)
+			}
+			if nextM == "" {
+				break
+			}
+			curM, curD = nextM, nextD
+		}
+	}
+}
+
+// TestStoreDifferentialMemVsDisk drives the same randomized workload
+// through both backends and demands indistinguishable served state at
+// a mid-stream checkpoint, at quiescence, and again after a crash and
+// recovery of both.
+func TestStoreDifferentialMemVsDisk(t *testing.T) {
+	for _, seed := range []int64{7, 19} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			w := diffWorkload(seed)
+			hm, hd := openPair(t, 40)
+			seedTopology(t, w, hm, hd)
+
+			items := MultiInserts(w)
+			rand.New(rand.NewSource(seed)).Shuffle(len(items), func(a, b int) {
+				items[a], items[b] = items[b], items[a]
+			})
+			insertBoth := func(label string, batch []Insert) {
+				t.Helper()
+				for i, it := range batch {
+					_, errM := hm.Insert(it.Source, it.Tuple)
+					_, errD := hd.Insert(it.Source, it.Tuple)
+					if (errM == nil) != (errD == nil) {
+						t.Fatalf("%s insert %d: outcomes diverge: mem %v, disk %v", label, i, errM, errD)
+					}
+				}
+			}
+
+			half := len(items) / 2
+			insertBoth("first-half", items[:half])
+			// Planted rejects: re-inserting committed tuples violates
+			// per-source uniqueness identically on both backends.
+			insertBoth("dup-replay", items[:min(10, half)])
+			mustEqualServed(t, "mid-stream", hm, hd)
+
+			insertBoth("second-half", items[half:])
+			if err := hm.SnapshotNow(); err != nil {
+				t.Fatal(err)
+			}
+			if err := hd.SnapshotNow(); err != nil {
+				t.Fatal(err)
+			}
+			mustEqualServed(t, "quiescent", hm, hd)
+
+			// The disk hub must actually have exercised its tiers, or
+			// the test proves nothing.
+			si := hd.StoreInfo()
+			if si.Backend != "disk" {
+				t.Fatalf("disk hub backend = %q", si.Backend)
+			}
+			if si.Clusters.Spills == 0 || si.Clusters.PageIns == 0 {
+				t.Fatalf("disk hub never spilled/paged clusters: %+v", si.Clusters)
+			}
+			if si.Pairs.Spilled == 0 && si.Pairs.Spills == 0 {
+				t.Fatalf("disk hub never spilled a pair: %+v", si.Pairs)
+			}
+
+			// Crash both (background work drained, flock dropped, spill
+			// tier abandoned) and recover: the disk backend's cold tier
+			// is a cache, so recovery must reproduce everything from the
+			// WAL and snapshots alone.
+			dirM, dirD := hm.per.dir, hd.per.dir
+			hm.per.quiesce()
+			hd.per.quiesce()
+			hm = openBackend(t, dirM, "mem", 40)
+			hd = openBackend(t, dirD, "disk", 40)
+			defer hm.Close()
+			defer hd.Close()
+			mustEqualServed(t, "recovered", hm, hd)
+		})
+	}
+}
+
+// TestDiskStoreBoundedResidency holds the disk backend to its budget
+// under a working set several times larger than the hot tier: resident
+// cluster entries never exceed the budget at quiescence, a substantial
+// cold tier exists, and the served partition still matches a
+// memory-backed reference.
+func TestDiskStoreBoundedResidency(t *testing.T) {
+	w := datagen.MustMultiGenerate(datagen.MultiConfig{
+		Sources: 3, Entities: 120, PresenceFrac: 0.7, HomonymRate: 0.2,
+		MissingPhone: 0.1, DirtyPhone: 0.2, Seed: 5,
+	})
+	const budget = 24
+	hd, _, err := Open(t.TempDir(), Options{
+		Store: "disk", HotClusterEntries: budget, HotPairs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hd.Close()
+	hr, err := NewFromMulti(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedTopology(t, w, hd)
+	for _, res := range hd.IngestBatch(MultiInserts(w)) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	for _, res := range hr.IngestBatch(MultiInserts(w)) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+
+	st := hd.clusters.Stats()
+	if st.HotEntries > budget {
+		t.Fatalf("hot tier over budget at quiescence: %d resident entries, budget %d", st.HotEntries, budget)
+	}
+	var entries int
+	for _, c := range hd.Clusters() {
+		entries += len(c.Members)
+	}
+	if entries < 4*budget {
+		t.Fatalf("working set too small to prove anything: %d member entries vs budget %d (want >= 4x); grow the workload", entries, budget)
+	}
+	total := st.HotRecords + st.ColdRecords
+	if st.ColdRecords*4 < total*3 {
+		t.Fatalf("working set does not dwarf the hot tier: %d cold of %d records (want >= 3/4 cold); grow the workload",
+			st.ColdRecords, total)
+	}
+	if got, want := partitionIDs(hd), partitionIDs(hr); !reflect.DeepEqual(got, want) {
+		t.Fatalf("disk partition diverges from memory reference:\ndisk: %v\nmem:  %v", got, want)
+	}
+	// And the full deep comparison.
+	mustEqualState(t, "bounded-residency", stateOf(hd), stateOf(hr))
+}
+
+// partitionIDs flattens a hub's partition to cluster IDs with member
+// counts — a quick structural fingerprint before the deep comparison.
+func partitionIDs(h *Hub) []string {
+	var out []string
+	for _, c := range h.Clusters() {
+		out = append(out, fmt.Sprintf("%s#%d", c.ID, len(c.Members)))
+	}
+	return out
+}

@@ -1,0 +1,578 @@
+// Package disk is the tiered storage backend: cold cluster records
+// and cold pair tables spill to CRC-framed section files (the PR 4
+// WAL frame format) and page back in on demand, keeping resident
+// memory bounded by the configured hot-tier budget.
+//
+// The spill tier is a CACHE, not a durability layer. Durability stays
+// with the WAL and snapshots; Open wipes any leftover spill files from
+// a previous process, because recovery rebuilds every record it needs
+// by replay. That makes crash-consistency trivial — there is no spill
+// state to fsck — and means spill writes never fsync.
+//
+// Tier discipline for cluster records:
+//
+//   - Reads page a cold record in, install it hot, and evict the
+//     least-recently-used records back down to budget. Evicting a
+//     record whose body is already on disk is free (the frame stays
+//     addressable); only never-spilled records pay a write.
+//
+//   - Writer-side lookups (Members) page in WITHOUT evicting: the
+//     commit path must never lose a record between its uniqueness
+//     check and its merge publication. Publish rebalances at the end
+//     of the commit instead.
+//
+//   - If a spill write fails, the victim simply stays resident and the
+//     eviction pass stops: the tier runs over budget rather than
+//     losing data. Publish therefore never fails.
+//
+// Returned member slices are immutable and remain valid after the
+// record is evicted or superseded — eviction drops the store's
+// reference, not the caller's.
+//
+// Concurrency: one mutex serialises the whole tier. This is the
+// capacity tier, not the fast path — the hub's hot reads are served
+// from resident records under the same single lock, which profiles
+// fine next to the page-in I/O this backend exists to perform. The
+// always-hot mem backend keeps the sharded lock-striped layout for
+// read scalability.
+package disk
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"entityid/internal/match"
+	"entityid/internal/obs"
+	"entityid/internal/store"
+	"entityid/internal/wal"
+)
+
+var (
+	mTierReads = obs.Default.CounterVec("store_tier_reads_total",
+		"Cluster-record reads by serving tier (disk backend)", "tier")
+	tierHot  = mTierReads.With("hot")
+	tierCold = mTierReads.With("cold")
+
+	mSpills = obs.Default.CounterVec("store_tier_spills_total",
+		"Bodies written to the spill tier", "kind")
+	spillCluster = mSpills.With("cluster")
+	spillPair    = mSpills.With("pair")
+
+	mPageIns = obs.Default.CounterVec("store_tier_pageins_total",
+		"Bodies read back from the spill tier", "kind")
+	pageInCluster = mPageIns.With("cluster")
+	pageInPair    = mPageIns.With("pair")
+
+	mPageInSeconds = obs.Default.LatencyHistogramVec("store_tier_pagein_seconds",
+		"Spill-tier page-in latency", "kind")
+	pageInClusterSec = mPageInSeconds.With("cluster")
+	pageInPairSec    = mPageInSeconds.With("pair")
+
+	mSpillErrors = obs.Default.Counter("store_tier_spill_errors_total",
+		"Failed spill writes (the victim stays resident)")
+
+	mHotEntries = obs.Default.Gauge("store_hot_cluster_entries",
+		"Members across resident cluster records (disk backend; last backend to update wins)")
+)
+
+// rec is the index entry for one published cluster. members is nil
+// while the body lives only in the spill file; size, the member count,
+// is always known so merge accounting never pages in.
+type rec struct {
+	members []store.Node
+	size    int
+	off     int64 // spill frame offset; -1 when never spilled
+	flen    int64 // spill frame length
+	elem    *elem // LRU position while resident
+}
+
+// elem is a node of the intrusive LRU list (front = most recent).
+type elem struct {
+	r          *rec
+	prev, next *elem
+}
+
+// lruList is a tiny intrusive doubly-linked list; container/list would
+// do, but an intrusive list keeps rec↔element wiring explicit.
+type lruList struct {
+	front, back *elem
+	n           int
+}
+
+func (l *lruList) pushFront(r *rec) *elem {
+	e := &elem{r: r, next: l.front}
+	if l.front != nil {
+		l.front.prev = e
+	}
+	l.front = e
+	if l.back == nil {
+		l.back = e
+	}
+	l.n++
+	return e
+}
+
+func (l *lruList) remove(e *elem) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.n--
+}
+
+func (l *lruList) moveToFront(e *elem) {
+	if l.front == e {
+		return
+	}
+	l.remove(e)
+	e.next = l.front
+	if l.front != nil {
+		l.front.prev = e
+	}
+	l.front = e
+	if l.back == nil {
+		l.back = e
+	}
+	l.n++
+}
+
+// clusters is the tiered cluster-record store.
+type clusters struct {
+	mu         sync.Mutex
+	byNode     map[store.Node]*rec
+	lru        lruList
+	hotEntries int
+	cold       int
+	budget     int // HotClusterEntries; 0 = unbounded
+
+	f     *os.File // append-only spill file
+	wsize int64    // logical end of f (append offset)
+	seq   uint64   // next spill frame ordinal
+
+	merged  atomic.Int64
+	hits    atomic.Int64
+	misses  atomic.Int64
+	spills  atomic.Int64
+	pageIns atomic.Int64
+}
+
+func (c *clusters) Read(n store.Node) ([]store.Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.byNode[n]
+	if r == nil {
+		return nil, nil
+	}
+	if r.members != nil {
+		c.hits.Add(1)
+		tierHot.Inc()
+		c.lru.moveToFront(r.elem)
+		return r.members, nil
+	}
+	c.misses.Add(1)
+	tierCold.Inc()
+	ms, err := c.load(r)
+	if err != nil {
+		return nil, err
+	}
+	c.install(r, ms)
+	c.evict()
+	return ms, nil
+}
+
+func (c *clusters) Members(n store.Node) ([]store.Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.byNode[n]
+	if r == nil {
+		return []store.Node{n}, nil
+	}
+	if r.members != nil {
+		c.lru.moveToFront(r.elem)
+		return r.members, nil
+	}
+	c.misses.Add(1)
+	tierCold.Inc()
+	ms, err := c.load(r)
+	if err != nil {
+		return nil, err
+	}
+	// No evict here: everything the commit path pages in stays
+	// resident until Publish rebalances (see package comment).
+	c.install(r, ms)
+	return ms, nil
+}
+
+func (c *clusters) Has(n store.Node) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byNode[n] != nil
+}
+
+func (c *clusters) Publish(members []store.Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := 0
+	seen := map[*rec]bool{}
+	for _, m := range members {
+		if r := c.byNode[m]; r != nil && !seen[r] {
+			seen[r] = true
+			prev += r.size - 1
+			// Supersede: the new member set is a superset, so every
+			// byNode entry pointing at r is overwritten below.
+			if r.members != nil {
+				c.lru.remove(r.elem)
+				r.elem = nil
+				r.members = nil
+				c.hotEntries -= r.size
+			} else {
+				c.cold--
+			}
+		}
+	}
+	nr := &rec{members: members, size: len(members), off: -1}
+	nr.elem = c.lru.pushFront(nr)
+	c.hotEntries += nr.size
+	for _, m := range members {
+		c.byNode[m] = nr
+	}
+	c.merged.Add(int64(len(members) - 1 - prev))
+	c.evict()
+	mHotEntries.Set(int64(c.hotEntries))
+}
+
+func (c *clusters) Merged() int64 { return c.merged.Load() }
+
+// Partition reads every record — paging cold bodies without installing
+// them, so a snapshot scan does not thrash the hot tier.
+func (c *clusters) Partition() ([][]store.Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := map[*rec]bool{}
+	var out [][]store.Node
+	for _, r := range c.byNode {
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		ms := r.members
+		if ms == nil {
+			var err error
+			ms, err = c.load(r)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, ms)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0].Src != out[b][0].Src {
+			return out[a][0].Src < out[b][0].Src
+		}
+		return out[a][0].Idx < out[b][0].Idx
+	})
+	return out, nil
+}
+
+func (c *clusters) Stats() store.ClusterStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return store.ClusterStats{
+		HotRecords:  c.lru.n,
+		HotEntries:  c.hotEntries,
+		ColdRecords: c.cold,
+		Budget:      c.budget,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Spills:      c.spills.Load(),
+		PageIns:     c.pageIns.Load(),
+	}
+}
+
+// install makes a paged-in body resident. Caller holds c.mu.
+func (c *clusters) install(r *rec, ms []store.Node) {
+	r.members = ms
+	r.elem = c.lru.pushFront(r)
+	c.hotEntries += r.size
+	c.cold--
+	mHotEntries.Set(int64(c.hotEntries))
+}
+
+// evict spills least-recently-used records until the hot tier fits its
+// budget. A record already on disk evicts for free; a spill-write
+// failure keeps the victim resident and stops the pass. Caller holds
+// c.mu.
+func (c *clusters) evict() {
+	if c.budget <= 0 {
+		return
+	}
+	for c.hotEntries > c.budget && c.lru.back != nil {
+		e := c.lru.back
+		r := e.r
+		if r.off < 0 {
+			if err := c.spill(r); err != nil {
+				mSpillErrors.Inc()
+				return
+			}
+		}
+		c.lru.remove(e)
+		r.elem = nil
+		r.members = nil
+		c.hotEntries -= r.size
+		c.cold++
+	}
+	mHotEntries.Set(int64(c.hotEntries))
+}
+
+// spill appends r's body to the spill file and records its address.
+// Caller holds c.mu.
+func (c *clusters) spill(r *rec) error {
+	payload, err := json.Marshal(nodePairs(r.members))
+	if err != nil {
+		return err
+	}
+	c.seq++
+	frame, err := wal.EncodeRecord(c.seq, payload)
+	if err != nil {
+		return err
+	}
+	if _, err := c.f.WriteAt(frame, c.wsize); err != nil {
+		return err
+	}
+	r.off = c.wsize
+	r.flen = int64(len(frame))
+	c.wsize += int64(len(frame))
+	c.spills.Add(1)
+	spillCluster.Inc()
+	return nil
+}
+
+// load reads r's body back from the spill file without changing tier
+// state. Caller holds c.mu.
+func (c *clusters) load(r *rec) ([]store.Node, error) {
+	start := time.Now()
+	sc := wal.NewFrameScanner(io.NewSectionReader(c.f, r.off, r.flen))
+	frame, _, err := sc.Next()
+	if err != nil {
+		return nil, fmt.Errorf("disk: cluster page-in at %d: %w", r.off, err)
+	}
+	var ps [][2]int
+	if err := json.Unmarshal(frame.Payload, &ps); err != nil {
+		return nil, fmt.Errorf("disk: cluster page-in at %d: %w", r.off, err)
+	}
+	if len(ps) != r.size {
+		return nil, fmt.Errorf("disk: cluster page-in at %d: %d members on disk, index says %d", r.off, len(ps), r.size)
+	}
+	ms := make([]store.Node, len(ps))
+	for i, p := range ps {
+		ms[i] = store.Node{Src: p[0], Idx: p[1]}
+	}
+	c.pageIns.Add(1)
+	pageInCluster.Inc()
+	pageInClusterSec.Since(start)
+	return ms, nil
+}
+
+func nodePairs(ms []store.Node) [][2]int {
+	ps := make([][2]int, len(ms))
+	for i, m := range ms {
+		ps[i] = [2]int{m.Src, m.Idx}
+	}
+	return ps
+}
+
+func pairOf(pr [2]int) match.Pair {
+	return match.Pair{RIndex: pr[0], SIndex: pr[1]}
+}
+
+// pairHdr is the first chunk of a spilled pair table.
+type pairHdr struct {
+	RLen  int `json:"rlen"`
+	SLen  int `json:"slen"`
+	Pairs int `json:"pairs"`
+}
+
+// pairChunk is the pair count per continuation chunk: small enough to
+// stay far under the frame cap even when tests lower it is not a goal
+// (spill failures are tolerated); large enough to amortise framing.
+const pairChunk = 1 << 16
+
+// pairs spills pair tables to content-addressed section files, one per
+// link ordinal, replaced atomically on each save.
+type pairs struct {
+	mu    sync.Mutex
+	dir   string
+	files map[int]string
+
+	spills  atomic.Int64
+	pageIns atomic.Int64
+}
+
+func (p *pairs) Save(id int, tab store.PairTab) error {
+	var buf fileBuf
+	sw := wal.NewSectionWriter(&buf)
+	hdr, err := json.Marshal(pairHdr{RLen: tab.RLen, SLen: tab.SLen, Pairs: len(tab.Pairs)})
+	if err != nil {
+		return err
+	}
+	if err := sw.WriteChunk(hdr); err != nil {
+		return err
+	}
+	for lo := 0; lo < len(tab.Pairs); lo += pairChunk {
+		hi := min(lo+pairChunk, len(tab.Pairs))
+		ps := make([][2]int, hi-lo)
+		for i, pr := range tab.Pairs[lo:hi] {
+			ps[i] = [2]int{pr.RIndex, pr.SIndex}
+		}
+		payload, err := json.Marshal(ps)
+		if err != nil {
+			return err
+		}
+		if err := sw.WriteChunk(payload); err != nil {
+			return err
+		}
+	}
+	name := fmt.Sprintf("p%d-%s.sec", id, sw.Sum()[:16])
+	path := filepath.Join(p.dir, name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	p.mu.Lock()
+	old, had := p.files[id]
+	p.files[id] = path
+	p.mu.Unlock()
+	if had && old != path {
+		os.Remove(old)
+	}
+	p.spills.Add(1)
+	spillPair.Inc()
+	return nil
+}
+
+func (p *pairs) Load(id int) (store.PairTab, error) {
+	start := time.Now()
+	p.mu.Lock()
+	path, ok := p.files[id]
+	p.mu.Unlock()
+	if !ok {
+		return store.PairTab{}, fmt.Errorf("disk: pair %d not spilled", id)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return store.PairTab{}, fmt.Errorf("disk: pair %d page-in: %w", id, err)
+	}
+	sc := wal.NewFrameScanner(bytes.NewReader(data))
+	first, _, err := sc.Next()
+	if err != nil {
+		return store.PairTab{}, fmt.Errorf("disk: pair %d page-in: %w", id, err)
+	}
+	var hdr pairHdr
+	if err := json.Unmarshal(first.Payload, &hdr); err != nil {
+		return store.PairTab{}, fmt.Errorf("disk: pair %d page-in: %w", id, err)
+	}
+	tab := store.PairTab{RLen: hdr.RLen, SLen: hdr.SLen}
+	for len(tab.Pairs) < hdr.Pairs {
+		rec, _, err := sc.Next()
+		if err != nil {
+			return store.PairTab{}, fmt.Errorf("disk: pair %d page-in: truncated table: %w", id, err)
+		}
+		var ps [][2]int
+		if err := json.Unmarshal(rec.Payload, &ps); err != nil {
+			return store.PairTab{}, fmt.Errorf("disk: pair %d page-in: %w", id, err)
+		}
+		for _, pr := range ps {
+			tab.Pairs = append(tab.Pairs, pairOf(pr))
+		}
+	}
+	if len(tab.Pairs) != hdr.Pairs {
+		return store.PairTab{}, fmt.Errorf("disk: pair %d page-in: %d pairs on disk, header says %d", id, len(tab.Pairs), hdr.Pairs)
+	}
+	p.pageIns.Add(1)
+	pageInPair.Inc()
+	pageInPairSec.Since(start)
+	return tab, nil
+}
+
+func (p *pairs) Stats() store.PairStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return store.PairStats{
+		Spilled: len(p.files),
+		Spills:  p.spills.Load(),
+		PageIns: p.pageIns.Load(),
+	}
+}
+
+// fileBuf is a minimal append-only byte buffer implementing io.Writer.
+type fileBuf struct{ b []byte }
+
+func (f *fileBuf) Write(p []byte) (int, error) {
+	f.b = append(f.b, p...)
+	return len(p), nil
+}
+
+// Backend is the disk-tiered storage backend.
+type Backend struct {
+	dir       string
+	caps      store.Caps
+	c         clusters
+	p         pairs
+	t         store.ResidentTuples
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open prepares the spill tier under dir. Any leftover spill state
+// from a previous process is discarded: the tier only caches records
+// the hub republishes during recovery, so stale files are garbage, and
+// wiping them is what makes crash recovery correct by construction.
+func Open(dir string, caps store.Caps) (*Backend, error) {
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, fmt.Errorf("disk: reset spill tier: %w", err)
+	}
+	pairDir := filepath.Join(dir, "pairs")
+	if err := os.MkdirAll(pairDir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "clusters.spill"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	b := &Backend{dir: dir, caps: caps}
+	b.c = clusters{byNode: map[store.Node]*rec{}, budget: caps.HotClusterEntries, f: f}
+	b.p = pairs{dir: pairDir, files: map[int]string{}}
+	return b, nil
+}
+
+func (b *Backend) Name() string             { return "disk" }
+func (b *Backend) Caps() store.Caps         { return b.caps }
+func (b *Backend) Clusters() store.Clusters { return &b.c }
+func (b *Backend) Pairs() store.Pairs       { return &b.p }
+func (b *Backend) Tuples() store.Tuples     { return &b.t }
+
+func (b *Backend) Close() error {
+	b.closeOnce.Do(func() {
+		b.closeErr = b.c.f.Close()
+	})
+	return b.closeErr
+}

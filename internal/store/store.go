@@ -1,0 +1,282 @@
+// Package store is the hub's storage seam: narrow interfaces for the
+// three kinds of committed state the hub serves — per-source tuples,
+// per-pair matching tables, and cluster records — plus the generic
+// merge logic that is identical across backends.
+//
+// The hub never reaches into concrete maps; it holds a Backend and
+// talks to whatever that backend returns. store/mem is the default
+// and reproduces the pre-seam in-memory layout bit for bit. store/disk
+// bounds resident memory by spilling cold cluster records and cold
+// pair tables to CRC-framed section files and paging them back on
+// demand.
+//
+// Concurrency contract: Clusters readers (Read, Has, Merged, Stats)
+// may run concurrently with each other and with the single mutator.
+// Mutations (Publish) and writer-side reads (Members, CheckMerge,
+// Apply) are serialized by the hub's commit lock; backends may rely on
+// at most one of these running at a time. Slices returned by Read and
+// Members are immutable once returned — callers must not modify them,
+// and backends must never mutate a slice they have handed out, even
+// after the record is superseded or evicted.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"entityid/internal/federate"
+	"entityid/internal/relation"
+)
+
+// Node identifies one tuple: source ordinal and tuple index within
+// that source. It is the key of the cluster-record store.
+type Node struct {
+	Src int
+	Idx int
+}
+
+// SortNodes orders nodes by (Src, Idx), the canonical member order of
+// every published cluster record.
+func SortNodes(ns []Node) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Src != ns[j].Src {
+			return ns[i].Src < ns[j].Src
+		}
+		return ns[i].Idx < ns[j].Idx
+	})
+}
+
+// ErrUniqueness marks a merge rejected because it would place two
+// tuples of the same real-world source into one cluster, violating the
+// paper's §3.2 instance-level uniqueness assumption transitively.
+// Callers classify rejections with errors.Is(err, ErrUniqueness);
+// anything else out of CheckMerge is a storage fault.
+var ErrUniqueness = errors.New("transitive uniqueness violation")
+
+// ClusterStats describes the cluster store's tiers. Always-hot
+// backends report zero cold records and zero tier-traffic counters.
+type ClusterStats struct {
+	HotRecords  int   // multi-member records resident in memory
+	HotEntries  int   // total members across resident records (the budgeted unit)
+	ColdRecords int   // records whose members live only in the spill tier
+	Budget      int   // configured HotEntries ceiling; 0 = unbounded
+	Hits        int64 // reads served from the hot tier
+	Misses      int64 // reads that had to page in
+	Spills      int64 // record bodies written to the spill tier
+	PageIns     int64 // record bodies read back from the spill tier
+}
+
+// Clusters is the cluster-record store: the mapping from a node to the
+// sorted member set of its entity cluster. Nodes without a record are
+// singletons.
+type Clusters interface {
+	// Read returns the cluster members containing n, or nil when n is
+	// a singleton (or unknown). Safe for concurrent use; the returned
+	// slice must not be modified.
+	Read(n Node) ([]Node, error)
+
+	// Members is the writer-side Read: it returns {n} itself for a
+	// singleton instead of nil, and tiered backends keep the record
+	// resident until the next Publish. Serialized by the commit lock.
+	Members(n Node) ([]Node, error)
+
+	// Has reports whether n currently has a multi-member record,
+	// without touching tier state. Serialized by the commit lock.
+	Has(n Node) bool
+
+	// Publish installs a new record mapping every member to the given
+	// sorted member set, superseding the members' previous records.
+	// The caller's member set must be a superset of every superseded
+	// record (always true for union-style merges). Publish is
+	// infallible: a tiered backend that cannot spill keeps records
+	// resident (over budget) rather than losing them.
+	Publish(members []Node)
+
+	// Merged returns the total merge count: for each record,
+	// len(members)-1, summed. Safe for concurrent use.
+	Merged() int64
+
+	// Partition returns every record's member set, sorted by first
+	// member, without disturbing tier state. Serialized by the commit
+	// lock (snapshot cuts hold it).
+	Partition() ([][]Node, error)
+
+	// Stats snapshots tier occupancy and traffic counters.
+	Stats() ClusterStats
+}
+
+// PairTab is the portable state of one pairwise federation. The hub
+// stores it with Pairs in COMMIT ORDER (federate.ExportOrdered), not
+// sorted: snapshot cuts reconstruct "the first n commits" as a plain
+// prefix, so a spill that happens after a cut still serves the cut.
+type PairTab = federate.State
+
+// PairStats describes the pair store's spill tier.
+type PairStats struct {
+	Spilled int   // pair tables currently held by the store
+	Spills  int64 // Save calls (table bodies written)
+	PageIns int64 // Load calls (table bodies read back)
+}
+
+// Pairs is the per-pair matching-table store. The hub spills a pair's
+// exported federation state here when the pair falls out of the hot
+// budget, and loads it back before the pair's next mutation or when a
+// snapshot needs a cold pair's table.
+type Pairs interface {
+	// Save stores the pair table for link ordinal id, replacing any
+	// previous save.
+	Save(id int, tab PairTab) error
+
+	// Load returns the most recently saved table for id. Loading an
+	// id that was never saved is an error.
+	Load(id int) (PairTab, error)
+
+	// Stats snapshots spill-tier occupancy and traffic counters.
+	Stats() PairStats
+}
+
+// Tuples is the per-source tuple store. Both current backends keep
+// every relation resident — the live pairwise matchers require
+// resident attribute access — so the interface registers canonical
+// relations and hands back the resident handle; it is the seam a
+// future tiered tuple store plugs into.
+type Tuples interface {
+	// Attach registers source ordinal si's canonical relation.
+	// Ordinals arrive densely, in order.
+	Attach(si int, rel *relation.Relation)
+
+	// Relation returns the resident handle for source si.
+	Relation(si int) *relation.Relation
+}
+
+// Caps is a backend's residency budget. Zero means unbounded (the mem
+// backend); the disk backend evicts past these.
+type Caps struct {
+	HotClusterEntries int // Σ members of resident cluster records
+	HotPairs          int // live federations the hub keeps resident
+}
+
+// Backend bundles the three stores plus identity and lifecycle.
+type Backend interface {
+	Name() string
+	Caps() Caps
+	Clusters() Clusters
+	Pairs() Pairs
+	Tuples() Tuples
+
+	// Close releases backend resources. Idempotent.
+	Close() error
+}
+
+// ResidentTuples is the always-resident Tuples implementation shared
+// by both backends.
+type ResidentTuples struct {
+	mu   sync.RWMutex
+	rels []*relation.Relation
+}
+
+func (t *ResidentTuples) Attach(si int, rel *relation.Relation) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.rels) <= si {
+		t.rels = append(t.rels, nil)
+	}
+	t.rels[si] = rel
+}
+
+func (t *ResidentTuples) Relation(si int) *relation.Relation {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if si < 0 || si >= len(t.rels) {
+		return nil
+	}
+	return t.rels[si]
+}
+
+// CheckMerge verifies that merging node n with the clusters of the
+// given partner nodes cannot place two tuples of one source into the
+// same cluster. Backend-generic: records are identified by their lead
+// (first, smallest) member, which is unique per record because records
+// partition the node space. srcName renders a source ordinal for the
+// rejection message. Serialized by the commit lock.
+func CheckMerge(c Clusters, n Node, partners []Node, srcName func(int) string) error {
+	if len(partners) == 0 {
+		return nil
+	}
+	bySrc := make(map[int]Node, len(partners)+1)
+	bySrc[n.Src] = n
+	seen := make(map[Node]bool, len(partners)) // lead (first) member -> cluster absorbed
+	absorb := func(m Node) error {
+		if prev, ok := bySrc[m.Src]; ok {
+			if prev != m {
+				return fmt.Errorf("%w: tuples %d and %d of source %q would join one cluster",
+					ErrUniqueness, prev.Idx, m.Idx, srcName(m.Src))
+			}
+			return nil
+		}
+		bySrc[m.Src] = m
+		return nil
+	}
+	for _, p := range partners {
+		ms, err := c.Members(p)
+		if err != nil {
+			return err
+		}
+		// Dedup clusters by their lead member: records partition the
+		// node space, so the sorted member set's first node uniquely
+		// identifies the record (and a singleton is its own lead).
+		if seen[ms[0]] {
+			continue
+		}
+		seen[ms[0]] = true
+		for _, m := range ms {
+			if err := absorb(m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Apply merges node n with its partners' clusters and publishes the
+// union record, returning the sorted member set. Must follow a
+// successful CheckMerge under the same commit-lock critical section.
+// A nil error is the only acceptable outcome after the merge has been
+// logged; backends keep everything Apply needs resident between
+// CheckMerge and Apply (see Members).
+func Apply(c Clusters, n Node, partners []Node) ([]Node, error) {
+	if len(partners) == 0 && !c.Has(n) {
+		return nil, nil
+	}
+	memberSet := make(map[Node]bool)
+	add := func(m Node) error {
+		if memberSet[m] {
+			return nil
+		}
+		ms, err := c.Members(m)
+		if err != nil {
+			return err
+		}
+		for _, x := range ms {
+			memberSet[x] = true
+		}
+		return nil
+	}
+	if err := add(n); err != nil {
+		return nil, err
+	}
+	for _, p := range partners {
+		if err := add(p); err != nil {
+			return nil, err
+		}
+	}
+	members := make([]Node, 0, len(memberSet))
+	for m := range memberSet {
+		members = append(members, m)
+	}
+	SortNodes(members)
+	c.Publish(members)
+	return members, nil
+}
