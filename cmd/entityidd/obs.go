@@ -84,6 +84,23 @@ func (sw *statusWriter) Flush() {
 // through the wrapper (the insert handler needs EnableFullDuplex).
 func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
+// statusClass buckets an HTTP status code into one of five constant
+// label values, keeping the metrics label space finite.
+func statusClass(code int) string {
+	switch code / 100 {
+	case 1:
+		return "1xx"
+	case 2:
+		return "2xx"
+	case 3:
+		return "3xx"
+	case 4:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
 // handleMetrics serves the process-wide registry in the Prometheus
 // text exposition format.
 func handleMetrics(w http.ResponseWriter, _ *http.Request) {

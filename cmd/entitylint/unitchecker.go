@@ -1,0 +1,154 @@
+// The go vet driver protocol: `go vet -vettool=entitylint` invokes the
+// tool once per package with a JSON config file describing the unit —
+// source files, the import map, and the export-data file of every
+// dependency — and expects findings on stderr with exit status 2.
+// This mirrors golang.org/x/tools/go/analysis/unitchecker on top of
+// the internal/analysis framework.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+
+	"entityid/internal/analysis"
+)
+
+// vetConfig is the unit description the go command writes for vet
+// tools (a subset; unused fields are ignored by the decoder).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion answers the go command's -V=full probe. The build ID
+// must change when the tool's behavior does, so hash the executable.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("entitylint version devel buildID=%x\n", h.Sum(nil)[:16])
+}
+
+// unitcheck analyzes one vet protocol unit; the return value is the
+// process exit status.
+func unitcheck(cfgPath string, enabled []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "entitylint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "entitylint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command requires the facts output file to exist even
+	// though this suite exchanges no facts between units.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "entitylint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "entitylint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	var terrs []error
+	tconf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	pkg, _ := tconf.Check(cfg.ImportPath, fset, files, info)
+	if len(terrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, e := range terrs {
+			fmt.Fprintln(os.Stderr, "entitylint:", e)
+		}
+		return 1
+	}
+
+	sup := analysis.NewSuppressor(fset, files)
+	var findings []string
+	for _, a := range enabled {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				if !sup.Suppressed(a.Name, d.Pos) {
+					findings = append(findings, fmt.Sprintf("%s: %s [%s]", fset.Position(d.Pos), d.Message, a.Name))
+				}
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "entitylint: %s: %v\n", a.Name, err)
+			return 1
+		}
+	}
+	if len(findings) > 0 {
+		sort.Strings(findings)
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		return 2
+	}
+	return 0
+}

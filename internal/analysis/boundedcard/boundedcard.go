@@ -1,0 +1,106 @@
+// Package boundedcard guards the metrics plane against label
+// cardinality bombs: every child of an obs labeled family — a
+// `.With(values...)` call on a *Vec type — must be created from values
+// the compiler can prove constant. A request-derived string as a label
+// value mints an unbounded set of children; the runtime 64-child cap
+// only caps the damage, this check prevents it.
+//
+// A non-constant value that provably ranges over a finite set (a
+// switch over an enum, a fixed table) is allowed when the call carries
+// an //entitylint:bounded <reason> directive on its line or the line
+// above; the reason is mandatory so the proof obligation lives next to
+// the code.
+package boundedcard
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"entityid/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedcard",
+	Doc: "labeled-family children (Vec.With) must be created from compile-time " +
+		"constants or carry an //entitylint:bounded justification",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		lines := analysis.LineDirectives(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isVecWith(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				tv, ok := pass.TypesInfo.Types[arg]
+				if ok && tv.Value != nil {
+					continue // compile-time constant: bounded by definition
+				}
+				d, ok := boundedAt(pass, lines, arg)
+				if !ok {
+					pass.Reportf(arg.Pos(),
+						"labeled-family child created from a non-constant value: label values "+
+							"must come from a finite static set (or carry //entitylint:bounded <reason>)")
+					continue
+				}
+				if strings.TrimSpace(d.Args) == "" {
+					pass.Reportf(arg.Pos(), "//entitylint:bounded requires a justification")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isVecWith recognizes a With method call on a named *Vec type.
+func isVecWith(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "With" {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	return strings.HasSuffix(namedName(recv.Type()), "Vec")
+}
+
+// namedName unwraps pointers and returns the named type's name.
+func namedName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// boundedAt finds a bounded directive covering the argument's line.
+func boundedAt(pass *analysis.Pass, lines map[int][]analysis.Directive, arg ast.Expr) (analysis.Directive, bool) {
+	line := pass.Fset.Position(arg.Pos()).Line
+	for _, l := range []int{line, line - 1} {
+		for _, d := range lines[l] {
+			if d.Verb == "bounded" {
+				return d, true
+			}
+		}
+	}
+	return analysis.Directive{}, false
+}

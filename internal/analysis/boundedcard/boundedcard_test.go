@@ -1,0 +1,12 @@
+package boundedcard_test
+
+import (
+	"testing"
+
+	"entityid/internal/analysis/analysistest"
+	"entityid/internal/analysis/boundedcard"
+)
+
+func TestBoundedCard(t *testing.T) {
+	analysistest.Run(t, "../testdata", boundedcard.Analyzer, "boundedcard_a")
+}

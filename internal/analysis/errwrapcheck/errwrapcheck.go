@@ -1,0 +1,242 @@
+// Package errwrapcheck enforces the sentinel-error contract: sentinel
+// errors (package-level error variables named Err*) must be compared
+// with errors.Is, never == or !=, and must be wrapped with %w — a
+// sentinel formatted into fmt.Errorf under %v or %s produces an error
+// that errors.Is can no longer match, silently breaking the
+// degraded/poisoned → HTTP-status mapping and every other classifier.
+//
+// Exemption: the body of an `Is(target error) bool` method may compare
+// against sentinels with == — that is precisely where the identity
+// comparison belongs.
+package errwrapcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"entityid/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrapcheck",
+	Doc: "sentinel errors (Err*) must be wrapped with %w and compared via errors.Is, " +
+		"never == / != / switch",
+	Run: run,
+}
+
+var sentinelName = regexp.MustCompile(`^Err[A-Z0-9_]`)
+
+type checker struct {
+	pass     *analysis.Pass
+	errIface *types.Interface
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:     pass,
+		errIface: types.Universe.Lookup("error").Type().Underlying().(*types.Interface),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+		// Package-level var initializers can alias sentinels (legal) but
+		// not compare them; expressions there are rare — skip.
+	}
+	return nil, nil
+}
+
+// isSentinel reports whether an expression denotes a package-level
+// error variable named Err*.
+func (c *checker) isSentinel(e ast.Expr) (*types.Var, bool) {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[x.Sel]
+	default:
+		return nil, false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil, false
+	}
+	if !sentinelName.MatchString(v.Name()) {
+		return nil, false
+	}
+	if !types.Implements(v.Type(), c.errIface) &&
+		!types.Identical(v.Type(), c.errIface) &&
+		v.Type().String() != "error" {
+		return nil, false
+	}
+	return v, true
+}
+
+// isErrorTyped reports whether an expression's static type satisfies
+// the error interface (so errors.Is applies to it).
+func (c *checker) isErrorTyped(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, c.errIface) || types.Identical(t, c.errIface) || t.String() == "error"
+}
+
+// isIsMethod recognizes the errors.Is support method
+// `func (T) Is(error) bool`, whose body legitimately compares by
+// identity.
+func isIsMethod(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Is" || fd.Recv == nil {
+		return false
+	}
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 1 &&
+		sig.Params().At(0).Type().String() == "error" &&
+		sig.Results().Len() == 1 &&
+		sig.Results().At(0).Type().String() == "bool"
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	exemptIdentity := isIsMethod(c.pass.TypesInfo, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if exemptIdentity {
+				return true
+			}
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			for i, side := range []ast.Expr{n.X, n.Y} {
+				v, ok := c.isSentinel(side)
+				if !ok {
+					continue
+				}
+				// Comparing a sentinel against a non-error-typed value
+				// (e.g. a recover()ed any, per the net/http
+				// ErrAbortHandler contract) is panic-value identity, not
+				// error classification — errors.Is would not even
+				// compile there.
+				other := n.Y
+				if i == 1 {
+					other = n.X
+				}
+				if !c.isErrorTyped(other) {
+					continue
+				}
+				c.pass.Reportf(n.Pos(),
+					"sentinel %s compared with %s: use errors.Is so wrapped errors match",
+					v.Name(), n.Op)
+				break
+			}
+		case *ast.SwitchStmt:
+			if exemptIdentity || n.Tag == nil {
+				return true
+			}
+			for _, cl := range n.Body.List {
+				for _, e := range cl.(*ast.CaseClause).List {
+					if v, ok := c.isSentinel(e); ok {
+						c.pass.Reportf(e.Pos(),
+							"sentinel %s used as a switch case: switch compares with ==; "+
+								"use errors.Is in an if/else chain", v.Name())
+					}
+				}
+			}
+		case *ast.CallExpr:
+			c.checkErrorf(n)
+		}
+		return true
+	})
+}
+
+// checkErrorf flags sentinels passed to fmt.Errorf under a non-%w verb.
+func (c *checker) checkErrorf(call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Errorf" || analysis.PkgPathOf(fn) != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs, ok := parseVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return // explicit argument indexes etc.: bail rather than misreport
+	}
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if verb == 'w' || verb == '*' {
+			continue
+		}
+		if v, ok := c.isSentinel(call.Args[argIdx]); ok {
+			c.pass.Reportf(call.Args[argIdx].Pos(),
+				"sentinel %s formatted with %%%c: use %%w so errors.Is matches through the wrap",
+				v.Name(), verb)
+		}
+	}
+}
+
+// parseVerbs returns the verb consuming each successive argument of a
+// Printf-style format ('*' entries are width/precision arguments). ok
+// is false for formats this simple scanner does not model (explicit
+// argument indexes).
+func parseVerbs(format string) (verbs []rune, ok bool) {
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		// Flags.
+		for i < len(rs) && strings.ContainsRune("+-# 0", rs[i]) {
+			i++
+		}
+		// Width.
+		for i < len(rs) && (rs[i] == '*' || (rs[i] >= '0' && rs[i] <= '9')) {
+			if rs[i] == '*' {
+				verbs = append(verbs, '*')
+			}
+			i++
+		}
+		// Precision.
+		if i < len(rs) && rs[i] == '.' {
+			i++
+			for i < len(rs) && (rs[i] == '*' || (rs[i] >= '0' && rs[i] <= '9')) {
+				if rs[i] == '*' {
+					verbs = append(verbs, '*')
+				}
+				i++
+			}
+		}
+		if i >= len(rs) {
+			break
+		}
+		switch rs[i] {
+		case '%':
+		case '[':
+			return nil, false
+		default:
+			verbs = append(verbs, rs[i])
+		}
+	}
+	return verbs, true
+}

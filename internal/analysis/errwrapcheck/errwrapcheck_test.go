@@ -1,0 +1,12 @@
+package errwrapcheck_test
+
+import (
+	"testing"
+
+	"entityid/internal/analysis/analysistest"
+	"entityid/internal/analysis/errwrapcheck"
+)
+
+func TestErrWrapCheck(t *testing.T) {
+	analysistest.Run(t, "../testdata", errwrapcheck.Analyzer, "errwrap_a")
+}

@@ -1,0 +1,309 @@
+// Package hotpath checks functions annotated //entitylint:hotpath
+// against the read-path discipline: no allocation, no blocking
+// synchronization, no obs instrumentation, no I/O. The directive takes
+// a comma-separated subset of the flags noalloc,nolock,noobs,noio; an
+// empty flag list means all four.
+//
+// The check is transitive within the package: a call from a hotpath
+// function to an unannotated same-package function descends into the
+// callee and reports violations with the call chain. A call to an
+// annotated function instead checks that the callee's declared flags
+// cover the caller's — annotations are the trust boundary, and
+// cross-package calls into this module must be annotated in their own
+// package to be checked.
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"entityid/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "functions annotated //entitylint:hotpath must not allocate, take locks, " +
+		"call obs instrumentation, or do I/O (per their declared flags)",
+	Run: run,
+}
+
+// flagSet is the set of hot-path disciplines a function declares.
+type flagSet struct {
+	noalloc, nolock, noobs, noio bool
+}
+
+var allFlags = flagSet{noalloc: true, nolock: true, noobs: true, noio: true}
+
+func (f flagSet) covers(g flagSet) bool {
+	return (f.noalloc || !g.noalloc) && (f.nolock || !g.nolock) &&
+		(f.noobs || !g.noobs) && (f.noio || !g.noio)
+}
+
+func (f flagSet) String() string {
+	var parts []string
+	if f.noalloc {
+		parts = append(parts, "noalloc")
+	}
+	if f.nolock {
+		parts = append(parts, "nolock")
+	}
+	if f.noobs {
+		parts = append(parts, "noobs")
+	}
+	if f.noio {
+		parts = append(parts, "noio")
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseFlags parses the directive argument list.
+func parseFlags(args string) (flagSet, error) {
+	if strings.TrimSpace(args) == "" {
+		return allFlags, nil
+	}
+	var f flagSet
+	for _, tok := range strings.Split(args, ",") {
+		switch strings.TrimSpace(tok) {
+		case "noalloc":
+			f.noalloc = true
+		case "nolock":
+			f.nolock = true
+		case "noobs":
+			f.noobs = true
+		case "noio":
+			f.noio = true
+		default:
+			return f, fmt.Errorf("unknown hotpath flag %q (want noalloc,nolock,noobs,noio)", strings.TrimSpace(tok))
+		}
+	}
+	return f, nil
+}
+
+// ioPackages are import-path roots whose calls count as I/O.
+var ioPackages = map[string]bool{
+	"os": true, "io": true, "net": true, "syscall": true, "bufio": true,
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	decls     map[*types.Func]*ast.FuncDecl
+	annotated map[*types.Func]flagSet
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:      pass,
+		decls:     map[*types.Func]*ast.FuncDecl{},
+		annotated: map[*types.Func]flagSet{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.decls[fn] = fd
+			d, ok := analysis.FindDirective("hotpath", fd.Doc)
+			if !ok {
+				continue
+			}
+			flags, err := parseFlags(d.Args)
+			if err != nil {
+				pass.Reportf(d.Pos, "bad //entitylint:hotpath directive: %v", err)
+				continue
+			}
+			c.annotated[fn] = flags
+		}
+	}
+	roots := make([]*types.Func, 0, len(c.annotated))
+	for fn := range c.annotated {
+		roots = append(roots, fn)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return c.decls[roots[i]].Pos() < c.decls[roots[j]].Pos()
+	})
+	for _, fn := range roots {
+		c.visit(fn, c.annotated[fn], nil, map[*types.Func]bool{fn: true})
+	}
+	return nil, nil
+}
+
+// visit walks one function body under the given flags; chain names the
+// call path from the annotated root (empty at the root itself).
+func (c *checker) visit(fn *types.Func, flags flagSet, chain []string, seen map[*types.Func]bool) {
+	fd := c.decls[fn]
+	if fd == nil || fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if flags.noalloc {
+				c.report(n.Pos(), chain, "function literal allocates a closure")
+			}
+			return false
+		case *ast.CompositeLit:
+			if flags.noalloc {
+				c.report(n.Pos(), chain, "composite literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if flags.noalloc && n.Op == token.ADD && c.isString(n) {
+				c.report(n.Pos(), chain, "string concatenation allocates")
+			}
+		case *ast.SendStmt:
+			if flags.nolock {
+				c.report(n.Pos(), chain, "channel send can block")
+			}
+		case *ast.UnaryExpr:
+			if flags.nolock && n.Op == token.ARROW {
+				c.report(n.Pos(), chain, "channel receive can block")
+			}
+		case *ast.SelectStmt:
+			if flags.nolock {
+				c.report(n.Pos(), chain, "select can block")
+			}
+		case *ast.GoStmt:
+			if flags.nolock {
+				c.report(n.Pos(), chain, "spawning a goroutine on the hot path")
+			}
+			return false
+		case *ast.CallExpr:
+			c.checkCall(n, fn, flags, chain, seen)
+		}
+		return true
+	})
+}
+
+// isString reports whether an expression has (possibly named) string
+// type.
+func (c *checker) isString(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// lockingMethods are sync-package methods that acquire or wait.
+var lockingMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+	"Wait": true, "Do": true,
+}
+
+func (c *checker) checkCall(call *ast.CallExpr, caller *types.Func, flags flagSet, chain []string, seen map[*types.Func]bool) {
+	// Builtin allocators.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if flags.noalloc {
+				switch b.Name() {
+				case "make", "new", "append":
+					c.report(call.Pos(), chain, b.Name()+" allocates")
+				}
+			}
+			return
+		}
+	}
+	// Conversions between strings and byte/rune slices copy.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if flags.noalloc && len(call.Args) == 1 && c.isStringSliceConv(tv.Type, call.Args[0]) {
+			c.report(call.Pos(), chain, "string conversion allocates")
+		}
+		return
+	}
+	fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	pkgPath := analysis.PkgPathOf(fn)
+	if flags.nolock && pkgPath == "sync" && lockingMethods[fn.Name()] {
+		c.report(call.Pos(), chain, "acquires "+fn.Name()+" on the hot path")
+		return
+	}
+	if flags.noobs && hasPathSegment(pkgPath, "obs") {
+		c.report(call.Pos(), chain, "calls obs instrumentation ("+fn.Name()+")")
+		return
+	}
+	if flags.noio && ioPackages[rootSegment(pkgPath)] {
+		c.report(call.Pos(), chain, "performs I/O ("+pkgPath+"."+fn.Name()+")")
+		return
+	}
+	if flags.noalloc && pkgPath == "fmt" {
+		c.report(call.Pos(), chain, "fmt."+fn.Name()+" allocates")
+		return
+	}
+	// Same-package static calls: trust annotations, descend otherwise.
+	if fn.Pkg() == c.pass.Pkg {
+		if callee, ok := c.annotated[fn]; ok {
+			if !callee.covers(flags) {
+				c.report(call.Pos(), chain,
+					fmt.Sprintf("calls %s, whose hotpath flags (%s) do not cover the required %s",
+						fn.Name(), callee, flags))
+			}
+			return
+		}
+		if fd, ok := c.decls[fn]; ok && fd.Body != nil && !seen[fn] && len(chain) < 12 {
+			seen[fn] = true
+			c.visit(fn, flags, append(chain, fn.Name()), seen)
+		}
+	}
+}
+
+// isStringSliceConv reports a conversion between string and []byte or
+// []rune (either direction).
+func (c *checker) isStringSliceConv(to types.Type, arg ast.Expr) bool {
+	from := c.pass.TypesInfo.TypeOf(arg)
+	if from == nil {
+		return false
+	}
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// hasPathSegment reports whether a slash-separated import path has the
+// given segment.
+func hasPathSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+func rootSegment(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+func (c *checker) report(pos token.Pos, chain []string, what string) {
+	if len(chain) > 0 {
+		c.pass.Reportf(pos, "hotpath violation (via %s): %s", strings.Join(chain, " -> "), what)
+		return
+	}
+	c.pass.Reportf(pos, "hotpath violation: %s", what)
+}

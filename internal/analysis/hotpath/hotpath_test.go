@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"entityid/internal/analysis/analysistest"
+	"entityid/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "../testdata", hotpath.Analyzer, "hotpath_a")
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"entityid/internal/analysis/analysistest"
+	"entityid/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "../testdata", lockorder.Analyzer, "lockorder_a")
+}

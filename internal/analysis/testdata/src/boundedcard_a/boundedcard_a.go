@@ -1,0 +1,53 @@
+// Fixture for the boundedcard analyzer: labeled-family children from
+// constants, from request-derived strings, and from justified bounded
+// sets.
+package boundedcard_a
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Inc() { c.n++ }
+
+type CounterVec struct{}
+
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{} }
+
+var requests = &CounterVec{}
+
+const methodGet = "GET"
+
+func good() {
+	requests.With("static", "2xx").Inc()
+	requests.With(methodGet).Inc()
+}
+
+func bad(route string) {
+	requests.With(route).Inc() // want `labeled-family child created from a non-constant value`
+}
+
+func justified(route string) {
+	//entitylint:bounded route is one of the fixed mux patterns
+	requests.With(route).Inc()
+}
+
+func unjustified(route string) {
+	//entitylint:bounded
+	requests.With(route).Inc() // want `requires a justification`
+}
+
+func statusClass(code int) string {
+	switch code / 100 {
+	case 2:
+		return "2xx"
+	case 4:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+func mixed(code int) {
+	// The class string is computed, so it needs the justification even
+	// though the set is finite.
+	//entitylint:bounded statusClass returns one of three constants
+	requests.With(statusClass(code)).Inc()
+}

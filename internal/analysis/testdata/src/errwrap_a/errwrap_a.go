@@ -1,0 +1,59 @@
+// Fixture for the errwrapcheck analyzer: sentinel comparisons and
+// wrapping, right and wrong.
+package errwrap_a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrGone = errors.New("gone")
+var ErrStale = errors.New("stale")
+
+type wrapped struct{ msg string }
+
+func (w *wrapped) Error() string { return w.msg }
+
+// Is methods are the one legitimate home of identity comparison.
+func (w *wrapped) Is(target error) bool {
+	return target == ErrGone
+}
+
+func badEq(err error) bool {
+	return err == ErrGone // want `sentinel ErrGone compared with ==`
+}
+
+func badNeq(err error) bool {
+	return err != ErrStale // want `sentinel ErrStale compared with !=`
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrGone: // want `sentinel ErrGone used as a switch case`
+		return "gone"
+	default:
+		return ""
+	}
+}
+
+func badWrap(err error) error {
+	return fmt.Errorf("lookup failed: %v", ErrGone) // want `sentinel ErrGone formatted with %v: use %w`
+}
+
+// recoveredPanic compares a sentinel against a recover()ed any value:
+// panic identity per the net/http ErrAbortHandler contract, allowed.
+func recoveredPanic() {
+	if r := recover(); r == ErrGone {
+		panic(r)
+	}
+}
+
+func good(err error) error {
+	if errors.Is(err, ErrGone) {
+		return fmt.Errorf("lookup failed: %w", ErrGone)
+	}
+	if err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+// Fixture for the hotpath analyzer: annotated read paths that honour
+// and violate the noalloc/nolock/noobs/noio disciplines.
+package hotpath_a
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"obs"
+)
+
+type table struct {
+	mu  sync.RWMutex
+	m   map[int][]int
+	ctr *obs.Counter
+}
+
+//entitylint:hotpath
+func (t *table) goodRead(k int) []int {
+	return t.m[k]
+}
+
+// lockedRead declares only the disciplines it keeps: the shard-style
+// read lock is allowed because nolock is not claimed.
+//
+//entitylint:hotpath noalloc,noobs,noio
+func (t *table) lockedRead(k int) []int {
+	t.mu.RLock()
+	v := t.m[k]
+	t.mu.RUnlock()
+	return v
+}
+
+//entitylint:hotpath
+func (t *table) badAlloc(k int) []int {
+	out := make([]int, 0, 1) // want `make allocates`
+	out = append(out, k)     // want `append allocates`
+	return out
+}
+
+//entitylint:hotpath
+func (t *table) badLock(k int) []int {
+	t.mu.RLock() // want `acquires RLock on the hot path`
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+//entitylint:hotpath
+func (t *table) badObs() {
+	t.ctr.Inc() // want `calls obs instrumentation \(Inc\)`
+}
+
+//entitylint:hotpath
+func (t *table) badIO() int {
+	return os.Getpid() // want `performs I/O \(os\.Getpid\)`
+}
+
+//entitylint:hotpath
+func (t *table) badFmt(k int) string {
+	return fmt.Sprint(k) // want `fmt\.Sprint allocates`
+}
+
+//entitylint:hotpath
+func (t *table) badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+func helper(t *table) {
+	t.ctr.Inc() // want `hotpath violation \(via helper\): calls obs instrumentation`
+}
+
+//entitylint:hotpath
+func (t *table) badChain() {
+	helper(t)
+}
+
+//entitylint:hotpath noobs
+func weak(t *table) {
+	t.mu.RLock()
+	t.mu.RUnlock()
+}
+
+//entitylint:hotpath
+func (t *table) badCallee() {
+	weak(t) // want `calls weak, whose hotpath flags \(noobs\) do not cover the required noalloc,nolock,noobs,noio`
+}

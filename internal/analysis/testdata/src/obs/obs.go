@@ -1,0 +1,8 @@
+// Package obs is a fixture stand-in for the repo's instrumentation
+// package: the hotpath analyzer recognizes callees by the "obs" path
+// segment.
+package obs
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Inc() { c.n++ }

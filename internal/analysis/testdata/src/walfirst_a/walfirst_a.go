@@ -1,0 +1,96 @@
+// Fixture for the walfirst analyzer: commit-path functions that do and
+// do not log write-ahead before mutating published state.
+package walfirst_a
+
+import "sync/atomic"
+
+type logger struct{ n int }
+
+//entitylint:walappend
+func (l *logger) appendRecord(b []byte) error {
+	l.n += len(b)
+	return nil
+}
+
+type Hub struct {
+	per *logger
+	//entitylint:published
+	view atomic.Value
+	// clock is deliberately NOT published: Store calls through it are
+	// cache/bookkeeping, not logical mutations.
+	clock atomic.Value
+	//entitylint:published
+	sources []int
+}
+
+//entitylint:publishes
+func (h *Hub) publishView() {
+	h.view.Store(len(h.sources))
+}
+
+//entitylint:commitpath
+func (h *Hub) goodCommit(b []byte) error {
+	if h.per != nil {
+		if err := h.per.appendRecord(b); err != nil {
+			return err
+		}
+	}
+	h.sources = append(h.sources, len(b))
+	h.view.Store(len(h.sources))
+	h.publishView()
+	return nil
+}
+
+//entitylint:commitpath
+func (h *Hub) badCommit(b []byte) error {
+	h.sources = append(h.sources, len(b)) // want `assignment to published field sources before the write-ahead append`
+	h.view.Store(len(h.sources))          // want `call to Store through published field view before the write-ahead append`
+	h.clock.Store(1)                      // bookkeeping store: not flagged
+	if h.per != nil {
+		if err := h.per.appendRecord(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+//entitylint:commitpath
+func (h *Hub) badViaHelper(b []byte) error {
+	h.publishView() // want `call to publishView, which mutates published state before the write-ahead append`
+	if h.per != nil {
+		if err := h.per.appendRecord(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// badConditionalAppend: the append is guarded by an arbitrary flag, not
+// a persistence nil-guard, so it does not dominate the mutation.
+//
+//entitylint:commitpath
+func (h *Hub) badConditionalAppend(b []byte, ok bool) {
+	if ok {
+		_ = h.per.appendRecord(b)
+	}
+	h.view.Store(1) // want `call to Store through published field view before the write-ahead append`
+}
+
+// goodBothBranches: both arms of the if append, so the mutation after
+// the merge point is dominated.
+//
+//entitylint:commitpath
+func (h *Hub) goodBothBranches(b []byte, ok bool) {
+	if ok {
+		_ = h.per.appendRecord(b)
+	} else {
+		_ = h.per.appendRecord(nil)
+	}
+	h.view.Store(1)
+}
+
+// unannotated functions may mutate freely (replay/restore paths).
+func (h *Hub) restore(members []int) {
+	h.sources = members
+	h.view.Store(len(members))
+}

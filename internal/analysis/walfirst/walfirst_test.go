@@ -1,0 +1,12 @@
+package walfirst_test
+
+import (
+	"testing"
+
+	"entityid/internal/analysis/analysistest"
+	"entityid/internal/analysis/walfirst"
+)
+
+func TestWALFirst(t *testing.T) {
+	analysistest.Run(t, "../testdata", walfirst.Analyzer, "walfirst_a")
+}

@@ -104,7 +104,8 @@ type Health struct {
 // mutex; the mutex covers the slow transitions and the descriptive
 // fields.
 type healthState struct {
-	state      atomic.Int32
+	state atomic.Int32
+	//entitylint:lock rank=85
 	mu         sync.Mutex
 	cause      error
 	since      time.Time

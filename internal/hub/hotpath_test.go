@@ -1,0 +1,108 @@
+package hub
+
+import (
+	"testing"
+
+	"entityid/internal/match"
+	"entityid/internal/relation"
+	"entityid/internal/schema"
+	"entityid/internal/value"
+)
+
+// twoSourceHub builds the smallest hub with a real cluster record:
+// A/0 and B/0 matched on name.
+func twoSourceHub(t *testing.T) *Hub {
+	t.Helper()
+	h := New()
+	mk := func(name string) {
+		t.Helper()
+		attrs := []schema.Attribute{
+			{Name: "id", Kind: value.KindString},
+			{Name: "name", Kind: value.KindString},
+		}
+		if err := h.AddSource(name, relation.New(schema.MustNew(name, attrs, []string{"id"}))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("A")
+	mk("B")
+	err := h.Link(PairSpec{
+		Left:  "A",
+		Right: "B",
+		Attrs: []match.AttrMap{
+			{Name: "name", R: "name", S: "name"},
+			{Name: "id_A", R: "id", S: ""},
+			{Name: "id_B", R: "", S: "id"},
+		},
+		ExtKey: []string{"name"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range [][2]string{{"A", "a0"}, {"B", "b0"}} {
+		if _, err := h.Insert(ins[0], relation.Tuple{value.String(ins[1]), value.String("n1")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+// TestPointReadPathZeroAlloc pins the positional point-read path —
+// topo snapshot, published view, cluster-record read — at zero
+// allocations per probe. This is the machine check behind the
+// //entitylint:hotpath annotations on the read path: the snapshot
+// load, the view load and the mem backend's shard read must stay
+// alloc-free so point reads never pressure the GC under load.
+func TestPointReadPathZeroAlloc(t *testing.T) {
+	h := twoSourceHub(t)
+	bad := false
+	avg := testing.AllocsPerRun(200, func() {
+		tv := h.topo.Load()
+		si, ok := tv.byName["A"]
+		if !ok {
+			bad = true
+			return
+		}
+		src := tv.sources[si]
+		if src.view.Load().tuples[0] == nil {
+			bad = true
+			return
+		}
+		ms, err := h.clusters.Read(node{Src: si, Idx: 0})
+		if err != nil || len(ms) != 2 {
+			bad = true
+		}
+	})
+	if bad {
+		t.Fatal("point-read probe hit an unexpected state")
+	}
+	if avg != 0 {
+		t.Fatalf("positional point read allocates %.1f times per probe, want 0", avg)
+	}
+}
+
+// TestKeyedLookupAllocBound pins the keyed probe (LookupKey under the
+// key read lock). Key encoding inherently allocates — value.Key builds
+// a small string — but the cost must stay a small constant, never
+// O(tuples) or O(members).
+func TestKeyedLookupAllocBound(t *testing.T) {
+	h := twoSourceHub(t)
+	key := []value.Value{value.String("a0")}
+	bad := false
+	avg := testing.AllocsPerRun(200, func() {
+		tv := h.topo.Load()
+		src := tv.sources[tv.byName["A"]]
+		src.keyMu.RLock()
+		idx := src.rel.LookupKey(key...)
+		src.keyMu.RUnlock()
+		if idx != 0 {
+			bad = true
+		}
+	})
+	if bad {
+		t.Fatal("keyed probe missed tuple A/0")
+	}
+	if avg > 3 {
+		t.Fatalf("keyed lookup allocates %.1f times per probe, want <= 3", avg)
+	}
+}

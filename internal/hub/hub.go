@@ -85,11 +85,14 @@ type PairSpec struct {
 type sourceState struct {
 	id   int
 	name string
-	rel  *relation.Relation
+	//entitylint:published
+	rel *relation.Relation
 	// mu serialises inserts into this source, which keeps tuple
 	// positions identical across the canonical relation and every
 	// pairwise federation the source participates in.
-	mu    sync.Mutex
+	//entitylint:lock rank=30
+	mu sync.Mutex
+	//entitylint:published
 	pairs []*pairState
 	// attrOf maps integrated attribute names (from the pair specs) to
 	// this source's attribute names, for the merged cross-source view.
@@ -98,10 +101,12 @@ type sourceState struct {
 	// takes it shared, and the commit path wraps rel.Insert plus the
 	// view republication in it exclusively — so a key hit is always
 	// covered by the view a reader loads afterwards.
+	//entitylint:lock rank=60
 	keyMu sync.RWMutex
 	// view is the published snapshot of the committed tuples. Tuples are
 	// immutable once inserted and the slice prefix a view exposes is
 	// never rewritten, so readers materialise members lock-free from it.
+	//entitylint:published
 	view atomic.Pointer[tupleView]
 }
 
@@ -113,6 +118,8 @@ type tupleView struct {
 
 // publishView re-publishes the source's committed tuples. Callers hold
 // the commit lock (and keyMu exclusively on the insert path).
+//
+//entitylint:publishes
 func (s *sourceState) publishView() {
 	s.view.Store(&tupleView{tuples: s.rel.Tuples()})
 }
@@ -134,13 +141,17 @@ type topoView struct {
 type pairState struct {
 	id          int
 	left, right int
-	mu          sync.Mutex
-	fed         atomic.Pointer[federate.Federation]
-	spec        PairSpec
+	// The commit loop acquires several pairs' locks in sequence under
+	// the source lock, hence multi.
+	//entitylint:lock rank=40 multi
+	mu   sync.Mutex
+	fed  atomic.Pointer[federate.Federation]
+	spec PairSpec
 	// mtLen mirrors the federation's matching-table length. It is
 	// written under mu + the commit lock (registration and the commit
 	// loop) and read under either, so snapshot cuts and Stats see it
 	// without paging a cold pair in.
+	//entitylint:published
 	mtLen int
 	// lastUse orders pairs for spill eviction (hub.pairClock ticks).
 	lastUse atomic.Int64
@@ -151,22 +162,30 @@ type Hub struct {
 	// mu guards the topology (source and pair registration). Inserts
 	// hold it shared; AddSource and Link hold it exclusively. Read paths
 	// use the published topo snapshot instead.
-	mu      sync.RWMutex
+	//entitylint:lock rank=20
+	mu sync.RWMutex
+	//entitylint:published
 	sources []*sourceState
-	byName  map[string]int
-	pairs   []*pairState
+	//entitylint:published
+	byName map[string]int
+	//entitylint:published
+	pairs []*pairState
 	// topo is the atomically published topology snapshot the read paths
 	// resolve source names through. Republished by AddSource.
+	//entitylint:published
 	topo atomic.Pointer[topoView]
 	// commitMu serialises commits: every canonical-relation mutation and
 	// every cluster-store publication happens under it, so the cluster
 	// store has exactly one mutator at a time. Readers never take it —
 	// they go through the per-source views and the store's Read path.
+	//entitylint:lock rank=50
 	commitMu sync.Mutex
 	// backend is the storage layer (internal/store); clusters is its
 	// cluster-record store, cached because every commit and point read
 	// touches it.
-	backend  store.Backend
+	//entitylint:published
+	backend store.Backend
+	//entitylint:published
 	clusters store.Clusters
 	// caps is the backend's residency budget. HotPairs > 0 turns on
 	// the pair spill lifecycle below.
@@ -175,7 +194,8 @@ type Hub struct {
 	// federations; spillMu serialises spill passes.
 	pairClock atomic.Int64
 	hotPairs  atomic.Int64
-	spillMu   sync.Mutex
+	//entitylint:lock rank=10
+	spillMu sync.Mutex
 	// per is the durability layer (persist.go); nil for a memory-only
 	// hub. Mutators append to the write-ahead log before committing, so
 	// a crash can lose an unacknowledged insert but never resurrect a
@@ -213,6 +233,8 @@ func NewWithBackend(b store.Backend) *Hub {
 
 // publishTopo re-publishes the read-path topology snapshot. Callers
 // hold h.mu exclusively.
+//
+//entitylint:publishes
 func (h *Hub) publishTopo() {
 	t := &topoView{
 		sources: append([]*sourceState(nil), h.sources...),
@@ -227,6 +249,8 @@ func (h *Hub) publishTopo() {
 // AddSource registers an autonomous source under a unique name. The
 // relation seeds the hub's canonical copy (cloned — later hub inserts
 // do not touch the original); pass an empty relation to start blank.
+//
+//entitylint:commitpath
 func (h *Hub) AddSource(name string, rel *relation.Relation) error {
 	if name == "" {
 		return fmt.Errorf("hub: empty source name")
@@ -392,6 +416,8 @@ func (h *Hub) resolveLinkLocked(spec PairSpec) (li, ri int, err error) {
 // registerLinkLocked folds a validated link's initial matching table
 // into the clusters and commits the registration. Callers hold h.mu
 // exclusively.
+//
+//entitylint:commitpath
 func (h *Hub) registerLinkLocked(spec PairSpec, li, ri int, fed *federate.Federation) error {
 	left, right := h.sources[li], h.sources[ri]
 	// Fold the initial matching table speculatively: seed a scratch
@@ -572,6 +598,8 @@ func (h *Hub) insertTraced(source string, t relation.Tuple, payload []byte) (*Re
 }
 
 // insert is Insert's locked body; op marks its commit stages.
+//
+//entitylint:commitpath
 func (h *Hub) insert(source string, t relation.Tuple, payload []byte, op *obs.Op) (*Receipt, error) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
@@ -869,6 +897,8 @@ func (h *Hub) SourceRelation(source string) (*relation.Relation, error) {
 }
 
 // SourceLen returns a source's current committed tuple count.
+//
+//entitylint:hotpath nolock,noobs,noio
 func (h *Hub) SourceLen(source string) (int, error) {
 	t := h.topo.Load()
 	si, ok := t.byName[source]
@@ -882,6 +912,8 @@ func (h *Hub) SourceLen(source string) (int, error) {
 // cluster. It is a point read: the source's key lock shared for the key
 // probe, one shard lock shared for the cluster record — no hub-global
 // lock, so lookups scale with readers and proceed during ingest.
+//
+//entitylint:hotpath noobs,noio
 func (h *Hub) Lookup(source string, key ...value.Value) (Cluster, error) {
 	t := h.topo.Load()
 	si, ok := t.byName[source]
@@ -900,6 +932,8 @@ func (h *Hub) Lookup(source string, key ...value.Value) (Cluster, error) {
 
 // ClusterAt returns the cluster of the tuple at a source position — a
 // point read, like Lookup.
+//
+//entitylint:hotpath noobs,noio
 func (h *Hub) ClusterAt(source string, idx int) (Cluster, error) {
 	t := h.topo.Load()
 	si, ok := t.byName[source]

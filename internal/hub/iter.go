@@ -49,6 +49,8 @@ import (
 // Materialisation is left to the caller, so a walk can count or probe
 // clusters without building them. A storage read error (possible only
 // on a paging backend) stops the walk and is returned.
+//
+//entitylint:hotpath noobs,noio
 func (h *Hub) clustersWalk(t *topoView, start node, fn func(n node, members []node) bool) error {
 	lens := make([]int, len(t.sources))
 	for i, s := range t.sources {
@@ -97,6 +99,8 @@ func (h *Hub) clustersWalk(t *topoView, start node, fn func(n node, members []no
 // The source lengths are cut when iteration starts; each cluster is a
 // committed state at its visit time (see the package notes on weak
 // consistency under concurrent ingest).
+//
+//entitylint:hotpath noobs,noio
 func (h *Hub) ClustersIter() iter.Seq[Cluster] {
 	seq, err := h.ClustersFrom("")
 	if err != nil {
@@ -114,6 +118,8 @@ func (h *Hub) ClustersIter() iter.Seq[Cluster] {
 // returned cursors track the visit position, whereas a concurrent
 // merge can hand a cluster an ID outside the walk's cut that would
 // rewind this seek and re-serve earlier clusters.
+//
+//entitylint:hotpath noobs,noio
 func (h *Hub) ClustersFrom(cursor string) (iter.Seq[Cluster], error) {
 	t := h.topo.Load()
 	start, err := startFrom(t, cursor)
@@ -150,6 +156,8 @@ func cursorFor(t *topoView, n node) string {
 // ClustersPage and the HTTP front-end paginate with: the resume cursor
 // tracks the walk position, which stays monotone even when concurrent
 // merges move a cluster's ID.
+//
+//entitylint:hotpath noobs,noio
 func (h *Hub) ClustersWalk(cursor string, skip int, fn func(c Cluster, resume string) bool) error {
 	t := h.topo.Load()
 	start, err := startFrom(t, cursor)
@@ -173,6 +181,8 @@ func (h *Hub) ClustersWalk(cursor string, skip int, fn func(c Cluster, resume st
 // DefaultClustersPageSize). The returned cursor addresses the next
 // page, "" when the enumeration is exhausted. The look-ahead that
 // detects a further page never materialises its cluster.
+//
+//entitylint:hotpath noobs,noio
 func (h *Hub) ClustersPage(cursor string, limit int) ([]Cluster, string, error) {
 	if limit <= 0 {
 		limit = DefaultClustersPageSize

@@ -646,7 +646,8 @@ type walLogger struct {
 	// group-commit policy; a failed fsync leaves the count pending so
 	// the next append retries. syncMu serialises the flushes.
 	unsynced atomic.Int64
-	syncMu   sync.Mutex
+	//entitylint:lock rank=70
+	syncMu sync.Mutex
 	// appended counts every successful log append, so batch and
 	// pipeline flush points can tell whether their window actually
 	// reached the log — a window with no appends skips its fsync.
@@ -655,6 +656,7 @@ type walLogger struct {
 	// truncate); the trigger uses TryLock so ingest never queues behind
 	// a snapshot in flight. It also guards prevMan, which only snapshot
 	// production touches.
+	//entitylint:lock rank=15
 	snapMu sync.Mutex
 	// prevMan is the manifest of the latest committed snapshot: the
 	// diff base that lets unchanged sections carry forward.
@@ -668,13 +670,16 @@ type walLogger struct {
 	// by close. Failures do NOT suppress later snapshot attempts: a
 	// transient error (disk briefly full) must not leave the log
 	// growing unboundedly for the rest of the process lifetime.
+	//entitylint:lock rank=80
 	errMu sync.Mutex
 	bgErr error
 	// statsMu/stats report the latest completed snapshot.
+	//entitylint:lock rank=81
 	statsMu sync.Mutex
 	stats   SnapshotStats
 }
 
+//entitylint:walappend
 func (p *walLogger) append(env wal.Envelope) error {
 	payload, err := env.Encode()
 	if err != nil {
@@ -685,6 +690,8 @@ func (p *walLogger) append(env wal.Envelope) error {
 
 // appendPayload appends an already-encoded record — the pipeline's
 // encode stage marshals off the commit path and hands the bytes here.
+//
+//entitylint:walappend
 func (p *walLogger) appendPayload(payload []byte) error {
 	if _, err := p.log.Append(payload); err != nil {
 		return err
@@ -744,6 +751,8 @@ func (p *walLogger) syncPending() {
 // source_begin record plus budget-sized source_chunk continuations
 // (the same writeChunked splitter the snapshot sections use, frame-cap
 // halving included) that commit atomically at the final chunk.
+//
+//entitylint:walappend
 func (p *walLogger) appendAddSource(name string, rel *relation.Relation) error {
 	budget := p.chunkBytes
 	if budget <= 0 {
@@ -779,11 +788,13 @@ func (p *walLogger) appendAddSource(name string, rel *relation.Relation) error {
 	return writeChunked(items, p.chunkBytes, encode, p.appendPayload)
 }
 
+//entitylint:walappend
 func (p *walLogger) appendLink(spec PairSpec) error {
 	rec := linkRecFromSpec(spec)
 	return p.append(wal.Envelope{Type: wal.TypeLink, Link: &rec})
 }
 
+//entitylint:walappend
 func (p *walLogger) appendInsert(source string, t relation.Tuple) error {
 	return p.append(wal.Envelope{Type: wal.TypeInsert, Insert: &wal.InsertRec{
 		Source: source,

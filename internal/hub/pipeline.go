@@ -69,6 +69,7 @@ const (
 // a generation's stages so the next generation never runs concurrently
 // with a draining predecessor.
 type pipeline struct {
+	//entitylint:lock rank=5
 	mu     sync.Mutex
 	active int
 	in     chan *pipeJob

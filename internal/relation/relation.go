@@ -242,6 +242,8 @@ func (r *Relation) InsertStrings(fields ...string) error {
 // LookupKey finds the tuple whose primary-key projection equals the given
 // values (in primary-key attribute order). It returns the tuple index or
 // -1. NULL key values never match.
+//
+//entitylint:hotpath nolock,noobs,noio
 func (r *Relation) LookupKey(keyVals ...value.Value) int {
 	key := r.schema.PrimaryKey()
 	if len(keyVals) != len(key) {

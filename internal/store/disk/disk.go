@@ -153,6 +153,7 @@ func (l *lruList) moveToFront(e *elem) {
 
 // clusters is the tiered cluster-record store.
 type clusters struct {
+	//entitylint:lock rank=100
 	mu         sync.Mutex
 	byNode     map[store.Node]*rec
 	lru        lruList
@@ -415,6 +416,7 @@ const pairChunk = 1 << 16
 // pairs spills pair tables to content-addressed section files, one per
 // link ordinal, replaced atomically on each save.
 type pairs struct {
+	//entitylint:lock rank=110
 	mu    sync.Mutex
 	dir   string
 	files map[int]string

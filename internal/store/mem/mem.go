@@ -50,6 +50,9 @@ type rec struct {
 
 // shard is one lock stripe of the store.
 type shard struct {
+	// Shard locks are never nested (Publish locks one shard at a time),
+	// so one rank covers all stripes.
+	//entitylint:lock rank=100
 	mu  sync.RWMutex
 	rec map[store.Node]*rec
 	// pad spaces shards onto distinct cache lines so reader locks on
@@ -72,11 +75,14 @@ type clusters struct {
 }
 
 // shardOf maps a node onto its lock stripe.
+//
+//entitylint:hotpath
 func shardOf(n store.Node) int {
 	h := uint64(uint32(n.Src))*0x9e3779b1 ^ uint64(uint32(n.Idx))*0x85ebca77
 	return int((h ^ h>>16) & (shardCount - 1))
 }
 
+//entitylint:hotpath noalloc,noobs,noio
 func (c *clusters) Read(n store.Node) ([]store.Node, error) {
 	sh := &c.shards[shardOf(n)]
 	sh.mu.RLock()
@@ -90,6 +96,8 @@ func (c *clusters) Read(n store.Node) ([]store.Node, error) {
 
 // recOf is the writer-side lookup. Callers hold the hub's commit lock —
 // the store's single-mutator guarantee — so no shard lock is needed.
+//
+//entitylint:hotpath
 func (c *clusters) recOf(n store.Node) *rec {
 	return c.shards[shardOf(n)].rec[n]
 }
@@ -101,6 +109,7 @@ func (c *clusters) Members(n store.Node) ([]store.Node, error) {
 	return []store.Node{n}, nil
 }
 
+//entitylint:hotpath
 func (c *clusters) Has(n store.Node) bool {
 	return c.recOf(n) != nil
 }
@@ -181,6 +190,7 @@ func (c *clusters) Stats() store.ClusterStats {
 // to an unbounded backend, so in production this map stays empty; it
 // behaves correctly regardless.
 type pairs struct {
+	//entitylint:lock rank=110
 	mu   sync.Mutex
 	tabs map[int]store.PairTab
 	st   store.PairStats

@@ -173,6 +173,7 @@ type Backend interface {
 // ResidentTuples is the always-resident Tuples implementation shared
 // by both backends.
 type ResidentTuples struct {
+	//entitylint:lock rank=100
 	mu   sync.RWMutex
 	rels []*relation.Relation
 }

@@ -244,6 +244,7 @@ var ErrLogUnusable = fmt.Errorf("wal: log unusable until healed")
 // A Log holds an exclusive flock on the directory for its lifetime, so
 // two writers can never interleave frames in one log.
 type Log struct {
+	//entitylint:lock rank=100
 	mu     sync.Mutex
 	dir    string
 	fs     FS     // file-system seam (OS in production, errfs in chaos tests)

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -279,10 +280,10 @@ func TestInjectTornAppends(t *testing.T) {
 			t.Fatalf("append %d: %v", i, err)
 		}
 	}
-	if _, err := l.Append([]byte(`{"doomed":true}`)); err != ErrTornWrite {
+	if _, err := l.Append([]byte(`{"doomed":true}`)); !errors.Is(err, ErrTornWrite) {
 		t.Fatalf("torn append: %v", err)
 	}
-	if _, err := l.Append([]byte(`{"after":true}`)); err != ErrTornWrite {
+	if _, err := l.Append([]byte(`{"after":true}`)); !errors.Is(err, ErrTornWrite) {
 		t.Fatalf("post-torn append: %v", err)
 	}
 	// The dead writer's directory lock evaporates with the "process".
